@@ -1,0 +1,54 @@
+//! Criterion benchmarks: one per paper figure/table, each running the
+//! full experiment sweep on a reduced schedule. These pin the wall-clock
+//! cost of regenerating the paper's evaluation and guard the simulator
+//! against performance regressions (an accidental O(n²) in the event
+//! paths shows up here immediately).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use clusterlab::{presets, run_experiment};
+use netpipe::RunOptions;
+
+fn bench_experiments(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    let opts = RunOptions::quick(1 << 20);
+    let experiments = [
+        ("fig1", presets::fig1()),
+        ("fig2", presets::fig2()),
+        ("fig3", presets::fig3()),
+        ("fig4", presets::fig4()),
+        ("fig5", presets::fig5()),
+        ("t1_tuning", presets::t1_tuning()),
+        ("t2_latency", presets::t2_latency()),
+        ("t3_rendezvous", presets::t3_rendezvous()),
+        ("t4_kernel_driver", presets::t4_kernel_driver()),
+    ];
+    for (name, exp) in experiments {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let res = run_experiment(black_box(&exp), black_box(&opts));
+                black_box(res.signatures.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_overlap_panel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("overlap");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    group.sample_size(10);
+    group.bench_function("section7_panel", |b| {
+        b.iter(|| black_box(clusterlab::section7_panel().len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments, bench_overlap_panel);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Ablation study (DESIGN.md §8): switch each model mechanism off and
+//! show that the corresponding paper effect disappears. This is the
+//! evidence that the reproduction's effects come from the mechanisms the
+//! paper names, not from curve fitting.
+
+use hwmodel::presets::{pcs_ga620, pcs_trendnet};
+use mpsim::libs::{mpich, pvm, raw_tcp, MpichConfig, PvmConfig};
+use netpipe::{run, RunOptions, SimDriver, Signature};
+use simcore::units::kib;
+
+fn measure(spec: hwmodel::ClusterSpec, lib: mpsim::MpLib) -> Signature {
+    let mut driver = SimDriver::new(spec, lib);
+    run(&mut driver, &RunOptions::default()).expect("sim sweep")
+}
+
+fn row(label: &str, on: &Signature, _off: &Signature, metric: &str, v_on: f64, v_off: f64) {
+    let lib = on.name.split(" (").next().unwrap_or(&on.name);
+    println!("| {label} | {lib} | {metric} | {v_on:.2} | {v_off:.2} |");
+}
+
+fn main() {
+    println!("# Ablations: mechanism on vs off\n");
+    println!("| ablation | library | metric | mechanism ON | mechanism OFF |");
+    println!("|---|---|---|---:|---:|");
+
+    // 1. Window-recycle stall: without the TrendNet ack delay, the
+    //    default-buffer flattening at ~290 Mbps disappears (§4).
+    {
+        let on = measure(pcs_trendnet(), raw_tcp(kib(64)));
+        let mut spec = pcs_trendnet();
+        spec.nic.ack_delay_us = 0.0;
+        let off = measure(spec, raw_tcp(kib(64)));
+        row(
+            "ack-recycle stall",
+            &on,
+            &off,
+            "64kB-buffer plateau (Mbps)",
+            on.final_mbps(),
+            off.final_mbps(),
+        );
+        assert!(off.final_mbps() > 1.5 * on.final_mbps(), "stall ablation inert");
+    }
+
+    // 2. p4 receive-buffer memcpy: without it, MPICH's 25-30% loss is
+    //    gone (§7).
+    {
+        let on = measure(pcs_ga620(), mpich(MpichConfig::tuned()));
+        let mut lib = mpich(MpichConfig::tuned());
+        lib.profile.recv_copies = 0;
+        let off = measure(pcs_ga620(), lib);
+        row(
+            "p4 recv memcpy",
+            &on,
+            &off,
+            "plateau (Mbps)",
+            on.final_mbps(),
+            off.final_mbps(),
+        );
+        assert!(off.final_mbps() > 1.15 * on.final_mbps(), "memcpy ablation inert");
+    }
+
+    // 3. Rendezvous handshake: without it, the 128 kB dip is gone (§4.1).
+    {
+        let on = measure(pcs_ga620(), mpich(MpichConfig::tuned()));
+        let mut lib = mpich(MpichConfig::tuned());
+        lib.profile.rendezvous_bytes = None;
+        let off = measure(pcs_ga620(), lib);
+        row(
+            "rendezvous handshake",
+            &on,
+            &off,
+            "dip ratio at 128 kB",
+            on.dip_ratio(128 * 1024),
+            off.dip_ratio(128 * 1024),
+        );
+        assert!(
+            off.dip_ratio(128 * 1024) > on.dip_ratio(128 * 1024),
+            "rendezvous ablation inert"
+        );
+    }
+
+    // 4. pvmd stop-and-wait: without the per-fragment ack, daemon-routed
+    //    PVM recovers most of the direct-route rate (§4.5).
+    {
+        let on = measure(pcs_ga620(), pvm(PvmConfig::default()));
+        let mut lib = pvm(PvmConfig::default());
+        if let Some(f) = &mut lib.profile.fragment {
+            f.stop_and_wait = false;
+        }
+        let off = measure(pcs_ga620(), lib);
+        row(
+            "pvmd stop-and-wait",
+            &on,
+            &off,
+            "daemon-routed plateau (Mbps)",
+            on.final_mbps(),
+            off.final_mbps(),
+        );
+        assert!(off.final_mbps() > 1.5 * on.final_mbps(), "pvmd ablation inert");
+    }
+
+    // 5. Delayed-ACK block-sync interaction: without p4's block-sync
+    //    writes, P4_SOCKBUFSIZE=32k does not collapse to ~75 Mbps (§4.1).
+    {
+        let on = measure(pcs_ga620(), mpich(MpichConfig::default()));
+        let mut lib = mpich(MpichConfig::default());
+        if let mpsim::Transport::Tcp(p) = &mut lib.transport {
+            p.block_sync_writes = false;
+        }
+        let off = measure(pcs_ga620(), lib);
+        row(
+            "p4 block-sync writes",
+            &on,
+            &off,
+            "32kB-buffer plateau (Mbps)",
+            on.final_mbps(),
+            off.final_mbps(),
+        );
+        assert!(off.final_mbps() > 3.0 * on.final_mbps(), "delack ablation inert");
+    }
+
+    println!("\nAll five mechanisms are load-bearing: removing any one removes its paper effect.");
+}

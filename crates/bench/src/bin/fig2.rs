@@ -1,0 +1,7 @@
+//! Regenerate figure 2 of the paper. Prints the curves and the
+//! paper-vs-measured table; writes results/fig2.{csv,svg} and plotfiles.
+
+fn main() {
+    let ok = bench::regenerate(&clusterlab::presets::fig2());
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,7 @@
+//! Regenerate figure 3 of the paper. Prints the curves and the
+//! paper-vs-measured table; writes results/fig3.{csv,svg} and plotfiles.
+
+fn main() {
+    let ok = bench::regenerate(&clusterlab::presets::fig3());
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,65 @@
+//! A modern appendix to the paper: the same NetPIPE methodology, run for
+//! real on this machine's loopback TCP and on the real mplite library.
+//! Writes `results/modern_loopback.{csv,svg}`.
+//!
+//! Absolute numbers dwarf 2002's (no NIC in the path), but the paper's
+//! qualitative findings survive: socket buffers still gate throughput,
+//! and a lean message-passing layer still tracks raw TCP closely.
+
+use netpipe::{
+    run, svg_figure, to_csv, MpliteDriver, RealTcpDriver, RealTcpOptions, RunOptions,
+    ScheduleOptions, Signature,
+};
+
+fn options() -> RunOptions {
+    RunOptions {
+        schedule: ScheduleOptions {
+            max: 4 * 1024 * 1024,
+            ..Default::default()
+        },
+        trials: 5,
+        warmup: 3,
+        ..Default::default()
+    }
+}
+
+fn main() {
+    let mut sigs: Vec<Signature> = Vec::new();
+
+    for (label, sockbuf) in [("default", 0u32), ("64k", 64 * 1024), ("1M", 1024 * 1024)] {
+        let mut d = RealTcpDriver::new(RealTcpOptions {
+            sockbuf,
+            nodelay: true,
+        })
+        .expect("echo server");
+        let mut sig = run(&mut d, &options()).expect("real TCP sweep");
+        sig.name = format!("loopback TCP ({label} buffers)");
+        println!(
+            "{:<34} latency {:>8.1} us   peak {:>9.0} Mbps",
+            sig.name, sig.latency_us, sig.max_mbps
+        );
+        sigs.push(sig);
+    }
+
+    let mut d = MpliteDriver::new().expect("mplite job");
+    let sig = run(&mut d, &options()).expect("mplite sweep");
+    println!(
+        "{:<34} latency {:>8.1} us   peak {:>9.0} Mbps",
+        sig.name, sig.latency_us, sig.max_mbps
+    );
+    sigs.push(sig);
+
+    let dir = bench::results_dir();
+    std::fs::write(dir.join("modern_loopback.csv"), to_csv(&sigs)).expect("write csv");
+    std::fs::write(
+        dir.join("modern_loopback.svg"),
+        svg_figure(
+            "NetPIPE on this machine: real loopback TCP and real mplite",
+            &sigs,
+            840,
+            520,
+        ),
+    )
+    .expect("write svg");
+    println!("\nwrote {}/modern_loopback.{{csv,svg}}", dir.display());
+}

@@ -1,0 +1,204 @@
+//! A NetPIPE command-line front end.
+//!
+//! ```text
+//! netpipe_cli sim  [--cluster NAME] [--lib NAME] [--max BYTES] [--csv]
+//! netpipe_cli real [--sockbuf BYTES] [--max BYTES] [--csv]
+//! netpipe_cli mplite [--max BYTES] [--csv]
+//! netpipe_cli list
+//! ```
+//!
+//! `sim` measures a modeled library on a simulated 2002 cluster; `real`
+//! runs genuine kernel TCP over loopback; `mplite` runs the real
+//! message-passing library. Default output is the summary + ASCII figure;
+//! `--csv` dumps the raw points instead.
+
+use hwmodel::ClusterSpec;
+use mpsim::libs as L;
+use mpsim::MpLib;
+use netpipe::{
+    analyze, ascii_figure, run, run_streaming, summary_table, to_csv, Driver, MpliteDriver,
+    RealTcpDriver, RealTcpOptions, RunOptions, ScheduleOptions, SimDriver,
+};
+use protosim::{RawParams, RecvMode};
+use simcore::units::kib;
+
+fn clusters() -> Vec<(&'static str, ClusterSpec)> {
+    use hwmodel::presets::*;
+    vec![
+        ("ga620", pcs_ga620()),
+        ("trendnet", pcs_trendnet()),
+        ("ga622", ds20s_ga622()),
+        ("syskonnect", pcs_syskonnect()),
+        ("syskonnect-jumbo-pc", pcs_syskonnect_jumbo()),
+        ("ds20-jumbo", ds20s_syskonnect_jumbo()),
+        ("myrinet", pcs_myrinet()),
+        ("giganet", pcs_giganet()),
+        ("mvia", pcs_mvia_syskonnect()),
+    ]
+}
+
+fn libraries(kernel: &hwmodel::KernelModel) -> Vec<(&'static str, MpLib)> {
+    vec![
+        ("raw-tcp", L::raw_tcp(kib(512))),
+        ("raw-tcp-default", L::raw_tcp(kib(64))),
+        ("mpich", L::mpich(L::MpichConfig::tuned())),
+        ("mpich-default", L::mpich(L::MpichConfig::default())),
+        ("lam", L::lammpi(L::LamConfig::tuned())),
+        ("lam-lamd", L::lammpi(L::LamConfig { optimized_o: true, use_lamd: true })),
+        ("mpipro", L::mpipro(L::MpiProConfig::tuned())),
+        ("mplite", L::mp_lite(kernel)),
+        ("pvm", L::pvm(L::PvmConfig::tuned())),
+        ("pvm-daemon", L::pvm(L::PvmConfig::default())),
+        ("tcgmsg", L::tcgmsg_default()),
+        ("raw-gm", L::raw_gm(RecvMode::Polling)),
+        ("mpich-gm", L::mpich_gm(RecvMode::Hybrid)),
+        ("mvich", L::mvich(L::MvichConfig::tuned(), RawParams::giganet())),
+        ("mplite-via", L::mp_lite_via(RawParams::giganet())),
+    ]
+}
+
+struct Args {
+    mode: String,
+    cluster: String,
+    lib: String,
+    max: u64,
+    sockbuf: u32,
+    csv: bool,
+    stream: u32,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let mode = argv.next().ok_or("missing mode: sim | real | mplite | list")?;
+    let mut args = Args {
+        mode,
+        cluster: "ga620".into(),
+        lib: "raw-tcp".into(),
+        max: 8 * 1024 * 1024,
+        sockbuf: 0,
+        csv: false,
+        stream: 0,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--cluster" => args.cluster = argv.next().ok_or("--cluster needs a value")?,
+            "--lib" => args.lib = argv.next().ok_or("--lib needs a value")?,
+            "--max" => {
+                args.max = argv
+                    .next()
+                    .ok_or("--max needs a value")?
+                    .parse()
+                    .map_err(|_| "--max must be an integer byte count")?;
+            }
+            "--sockbuf" => {
+                args.sockbuf = argv
+                    .next()
+                    .ok_or("--sockbuf needs a value")?
+                    .parse()
+                    .map_err(|_| "--sockbuf must be an integer byte count")?;
+            }
+            "--csv" => args.csv = true,
+            "--stream" => {
+                args.stream = argv
+                    .next()
+                    .ok_or("--stream needs a burst count")?
+                    .parse()
+                    .map_err(|_| "--stream must be an integer burst count")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn report(driver: &mut dyn Driver, max: u64, csv: bool, stream: u32) {
+    let opts = RunOptions {
+        schedule: ScheduleOptions {
+            max,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let sig = if stream > 0 {
+        run_streaming(driver, &opts, stream).expect("measurement failed")
+    } else {
+        run(driver, &opts).expect("measurement failed")
+    };
+    if csv {
+        print!("{}", to_csv(std::slice::from_ref(&sig)));
+        return;
+    }
+    println!("{}", ascii_figure(&sig.name, std::slice::from_ref(&sig), 92, 20));
+    println!("{}", summary_table(std::slice::from_ref(&sig)));
+    let a = analyze(&sig);
+    println!(
+        "n1/2 = {} B   saturation at {} B   fit: t0 = {:.1} us, r_inf = {:.0} Mbps",
+        a.n_half,
+        a.saturation_bytes,
+        a.t0_s * 1e6,
+        a.r_inf_bps * 8.0 / 1e6
+    );
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: netpipe_cli <sim|real|mplite|list> [--cluster C] [--lib L] [--max N] [--sockbuf N] [--stream N] [--csv]");
+            std::process::exit(2);
+        }
+    };
+    match args.mode.as_str() {
+        "list" => {
+            println!("clusters:");
+            for (name, spec) in clusters() {
+                println!("  {name:<22} {}", spec.name);
+            }
+            let kernel = hwmodel::presets::linux_2_4().with_raised_sockbuf_max();
+            println!("libraries:");
+            for (name, lib) in libraries(&kernel) {
+                println!("  {name:<22} {}", lib.name());
+            }
+        }
+        "sim" => {
+            let spec = clusters()
+                .into_iter()
+                .find(|(n, _)| *n == args.cluster)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown cluster '{}' (try: netpipe_cli list)", args.cluster);
+                    std::process::exit(2);
+                })
+                .1;
+            let lib = libraries(&spec.kernel)
+                .into_iter()
+                .find(|(n, _)| *n == args.lib)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown library '{}' (try: netpipe_cli list)", args.lib);
+                    std::process::exit(2);
+                })
+                .1;
+            println!("# {} on {}\n", lib.name(), spec.name);
+            report(&mut SimDriver::new(spec, lib), args.max, args.csv, args.stream);
+        }
+        "real" => {
+            let mut d = RealTcpDriver::new(RealTcpOptions {
+                sockbuf: args.sockbuf,
+                nodelay: true,
+            })
+            .expect("cannot start loopback echo server");
+            let (snd, rcv) = d.effective_buffers();
+            println!("# real loopback TCP (granted sndbuf={snd}, rcvbuf={rcv})\n");
+            report(&mut d, args.max, args.csv, args.stream);
+        }
+        "mplite" => {
+            let mut d = MpliteDriver::new().expect("cannot boot mplite job");
+            println!("# real mplite over loopback TCP\n");
+            report(&mut d, args.max, args.csv, args.stream);
+        }
+        other => {
+            eprintln!("unknown mode '{other}'");
+            std::process::exit(2);
+        }
+    }
+}

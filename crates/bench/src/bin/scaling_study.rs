@@ -1,0 +1,48 @@
+//! The paper's opening sentence, quantified: how far can a stencil
+//! application scale on each interconnect/library before communication
+//! eats the speedup?
+//!
+//! Strong-scaling predictions are derived from the *measured* NetPIPE
+//! signatures (so every protocol pathology flows through) plus each
+//! library's measured overlap efficiency.
+
+use clusterlab::overlap::measure_overlap;
+use clusterlab::scaling::{strong_scaling, to_markdown, AppModel};
+use hwmodel::presets::{pcs_ga620, pcs_myrinet};
+use mpsim::libs::{mp_lite, mpich, pvm, raw_gm, MpichConfig, PvmConfig};
+use mpsim::MpLib;
+use netpipe::{run, RunOptions, SimDriver};
+use protosim::RecvMode;
+use simcore::SimDuration;
+
+fn main() {
+    let nodes = [1u32, 2, 4, 8, 16, 32, 64, 128, 256];
+    let app = AppModel::stencil_3d();
+    println!(
+        "Strong scaling of a 512^3 stencil (0.5 s serial step) predicted from measured signatures\n"
+    );
+
+    let cases: Vec<(hwmodel::ClusterSpec, MpLib)> = vec![
+        (pcs_ga620(), mpich(MpichConfig::tuned())),
+        (pcs_ga620(), pvm(PvmConfig::tuned())),
+        (pcs_ga620(), mp_lite(&pcs_ga620().kernel)),
+        (pcs_myrinet(), raw_gm(RecvMode::Polling)),
+    ];
+
+    let mut rows = Vec::new();
+    for (spec, lib) in cases {
+        let mut driver = SimDriver::new(spec.clone(), lib.clone());
+        let sig = run(&mut driver, &RunOptions::default()).expect("sweep");
+        let eff = measure_overlap(&spec, &lib, 1 << 20, SimDuration::from_millis(20)).efficiency();
+        let pts = strong_scaling(&sig, eff, &app, &nodes);
+        rows.push((format!("{} ({})", lib.name(), spec.nic.name), pts));
+    }
+
+    println!("{}", to_markdown(&rows));
+    println!(
+        "Parallel efficiency per node count. The ordering mirrors the paper:\n\
+         lean libraries on fast fabrics keep scaling after copy-burdened or\n\
+         daemon-routed stacks have flattened — communication rate, not CPU,\n\
+         sets the ceiling (§1)."
+    );
+}

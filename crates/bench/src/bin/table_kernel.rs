@@ -1,0 +1,6 @@
+//! Regenerate narrative table T4 (§2/§7): kernel and driver comparisons.
+
+fn main() {
+    let ok = bench::regenerate(&clusterlab::presets::t4_kernel_driver());
+    std::process::exit(if ok { 0 } else { 1 });
+}

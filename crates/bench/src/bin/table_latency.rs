@@ -1,0 +1,6 @@
+//! Regenerate narrative table T2 (§4–§6): small-message latencies.
+
+fn main() {
+    let ok = bench::regenerate(&clusterlab::presets::t2_latency());
+    std::process::exit(if ok { 0 } else { 1 });
+}

@@ -1,0 +1,6 @@
+//! Regenerate narrative table T3: rendezvous-threshold placement/dips.
+
+fn main() {
+    let ok = bench::regenerate(&clusterlab::presets::t3_rendezvous());
+    std::process::exit(if ok { 0 } else { 1 });
+}

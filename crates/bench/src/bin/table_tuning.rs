@@ -1,0 +1,6 @@
+//! Regenerate narrative table T1 (§4): every tuning knob's before→after.
+
+fn main() {
+    let ok = bench::regenerate(&clusterlab::presets::t1_tuning());
+    std::process::exit(if ok { 0 } else { 1 });
+}

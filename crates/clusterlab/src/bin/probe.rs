@@ -1,0 +1,26 @@
+//! Calibration probe: print every experiment's paper-vs-measured rows.
+//!
+//! Used while tuning the hardware/protocol model constants; the figure
+//! binaries in `crates/bench` are the user-facing equivalents.
+
+use clusterlab::{all_experiments, compare, run_experiment, to_markdown};
+use netpipe::RunOptions;
+
+fn main() {
+    let opts = RunOptions::default();
+    for exp in all_experiments() {
+        let res = run_experiment(&exp, &opts);
+        let rows = compare(&exp, &res);
+        println!("{}", to_markdown(&format!("{} — {}", exp.id, exp.title), &rows));
+        // Also evaluate the shape checks and flag failures inline.
+        for c in clusterlab::evaluate(&res, &clusterlab::checks_for(exp.id)) {
+            println!(
+                "  [{}] {} (measured {:.2})",
+                if c.pass { "ok" } else { "FAIL" },
+                c.desc,
+                c.measured
+            );
+        }
+        println!();
+    }
+}

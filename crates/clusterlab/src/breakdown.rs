@@ -1,0 +1,225 @@
+//! Where does the time go? — the paper's §1 question, made executable.
+//!
+//! "The first step in improving the overall performance of the
+//! message-passing system is to identify where the performance is being
+//! lost and determine why." Every fabric resource already accounts its
+//! busy time; this module runs one transfer and reports the busy share of
+//! each pipeline stage (host CPUs, PCI buses, NIC engines, wires), plus
+//! the residual — latency gaps and serial library work.
+
+use hwmodel::ClusterSpec;
+use mpsim::{MpLib, Session};
+use protosim::Fabric;
+use simcore::SimDuration;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Busy time of one pipeline stage during a transfer.
+#[derive(Debug, Clone)]
+pub struct StageBusy {
+    /// Stage name, e.g. `"host0 cpu"`, `"wire ch0 ->"`.
+    pub stage: String,
+    /// Accumulated busy time.
+    pub busy: SimDuration,
+    /// Bytes the stage served.
+    pub bytes: u64,
+}
+
+/// A transfer's complete stage accounting.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// Library measured.
+    pub name: String,
+    /// Message size, bytes.
+    pub bytes: u64,
+    /// One-way elapsed time, seconds.
+    pub elapsed_s: f64,
+    /// Per-stage busy times.
+    pub stages: Vec<StageBusy>,
+}
+
+impl Breakdown {
+    /// The stage with the largest busy time — the bottleneck the paper
+    /// hunts per configuration.
+    pub fn bottleneck(&self) -> &StageBusy {
+        self.stages
+            .iter()
+            .max_by(|a, b| a.busy.cmp(&b.busy))
+            .expect("at least one stage")
+    }
+
+    /// Busy share of `stage` relative to the elapsed time.
+    pub fn share(&self, stage: &str) -> f64 {
+        let busy = self
+            .stages
+            .iter()
+            .find(|s| s.stage.starts_with(stage))
+            .map_or(SimDuration::ZERO, |s| s.busy);
+        busy.as_secs_f64() / self.elapsed_s
+    }
+
+    /// Render as an aligned text table with utilization bars.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = format!(
+            "{} — {} bytes, one-way {:.1} us\n",
+            self.name,
+            self.bytes,
+            self.elapsed_s * 1e6
+        );
+        for s in &self.stages {
+            let share = s.busy.as_secs_f64() / self.elapsed_s;
+            let bar = "#".repeat((share * 40.0).round() as usize);
+            let _ = writeln!(
+                out,
+                "  {:<14} {:>10.1} us  {:>5.1}%  {bar}",
+                s.stage,
+                s.busy.as_micros_f64(),
+                share * 100.0
+            );
+        }
+        out
+    }
+}
+
+/// Run one `bytes`-sized transfer of `lib` on `spec` and account every
+/// stage's busy time.
+pub fn measure_breakdown(spec: &ClusterSpec, lib: &MpLib, bytes: u64) -> Breakdown {
+    let mut eng = Fabric::engine(spec.clone());
+    let session = Session::establish(&mut eng.world, lib);
+    let done = Rc::new(Cell::new(None));
+    let d = Rc::clone(&done);
+    session.send(
+        &mut eng,
+        0,
+        bytes,
+        Box::new(move |e| d.set(Some(e.now().as_secs_f64()))),
+    );
+    eng.run();
+    let elapsed_s = done.get().expect("transfer never completed");
+
+    let fab = &eng.world;
+    let mut stages = Vec::new();
+    for (h, host) in fab.hosts.iter().enumerate() {
+        stages.push(StageBusy {
+            stage: format!("host{h} cpu"),
+            busy: host.cpu.busy_time(),
+            bytes: host.cpu.bytes_served(),
+        });
+        stages.push(StageBusy {
+            stage: format!("host{h} pci"),
+            busy: host.pci.busy_time(),
+            bytes: host.pci.bytes_served(),
+        });
+        for (ch, nic) in host.nics.iter().enumerate() {
+            stages.push(StageBusy {
+                stage: format!("host{h} nic{ch}"),
+                busy: nic.busy_time(),
+                bytes: nic.bytes_served(),
+            });
+        }
+    }
+    for (ch, pair) in fab.wires.iter().enumerate() {
+        for (dir, wire) in pair.iter().enumerate() {
+            let arrow = if dir == 0 { "->" } else { "<-" };
+            stages.push(StageBusy {
+                stage: format!("wire{ch} {arrow}"),
+                busy: wire.busy_time(),
+                bytes: wire.bytes_served(),
+            });
+        }
+    }
+    Breakdown {
+        name: lib.name().to_string(),
+        bytes,
+        elapsed_s,
+        stages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwmodel::presets::{pcs_ga620, pcs_myrinet};
+    use mpsim::libs::{mpich, raw_gm, raw_tcp, MpichConfig};
+    use protosim::RecvMode;
+    use simcore::units::{kib, mib};
+
+    #[test]
+    fn no_stage_exceeds_elapsed_time() {
+        let b = measure_breakdown(&pcs_ga620(), &raw_tcp(kib(512)), mib(1));
+        for s in &b.stages {
+            assert!(
+                s.busy.as_secs_f64() <= b.elapsed_s * 1.0001,
+                "{} busy {} > elapsed {}",
+                s.stage,
+                s.busy.as_secs_f64(),
+                b.elapsed_s
+            );
+        }
+    }
+
+    #[test]
+    fn one_way_transfer_uses_one_wire_direction() {
+        let b = measure_breakdown(&pcs_ga620(), &raw_tcp(kib(512)), mib(1));
+        let fwd = b.stages.iter().find(|s| s.stage == "wire0 ->").unwrap();
+        let rev = b.stages.iter().find(|s| s.stage == "wire0 <-").unwrap();
+        assert!(fwd.bytes > mib(1), "payload + headers crossed forward");
+        assert_eq!(rev.bytes, 0, "nothing flowed backwards");
+    }
+
+    #[test]
+    fn ga620_bottleneck_is_the_nic_engine() {
+        // The calibrated fig-1 story: the GA620's per-frame firmware cost
+        // caps raw TCP, not the wire or the CPU.
+        let b = measure_breakdown(&pcs_ga620(), &raw_tcp(kib(512)), mib(4));
+        assert!(b.bottleneck().stage.contains("nic"), "{}", b.to_table());
+        assert!(b.share("host0 nic") > 0.8, "{}", b.to_table());
+    }
+
+    #[test]
+    fn mpich_burns_more_receiver_cpu_than_raw_tcp() {
+        // The p4 drain memcpy is receiver-side CPU time.
+        let raw = measure_breakdown(&pcs_ga620(), &raw_tcp(kib(512)), mib(4));
+        let mpich = measure_breakdown(&pcs_ga620(), &mpich(MpichConfig::tuned()), mib(4));
+        let cpu = |b: &Breakdown| {
+            b.stages
+                .iter()
+                .find(|s| s.stage == "host1 cpu")
+                .unwrap()
+                .busy
+                .as_secs_f64()
+        };
+        assert!(
+            cpu(&mpich) > 1.5 * cpu(&raw),
+            "mpich rx cpu {} vs raw {}",
+            cpu(&mpich),
+            cpu(&raw)
+        );
+    }
+
+    #[test]
+    fn gm_bottleneck_is_the_card_not_the_host() {
+        // OS bypass: the PCI DMA engine and the 66 MHz LANai are nearly
+        // co-saturated (the fig-4 calibration); the host CPU does almost
+        // nothing and the wire has headroom — exactly the §5 picture.
+        let b = measure_breakdown(&pcs_myrinet(), &raw_gm(RecvMode::Polling), mib(4));
+        let hot = b.bottleneck();
+        assert!(
+            hot.stage.contains("nic") || hot.stage.contains("pci"),
+            "{}",
+            b.to_table()
+        );
+        assert!(b.share("host0 cpu") < 0.10, "{}", b.to_table());
+        assert!(b.share("wire0 ->") < 0.80, "{}", b.to_table());
+    }
+
+    #[test]
+    fn table_renders_every_stage() {
+        let b = measure_breakdown(&pcs_ga620(), &raw_tcp(kib(512)), 100_000);
+        let t = b.to_table();
+        assert!(t.contains("host0 cpu"));
+        assert!(t.contains("wire0 ->"));
+        assert!(t.contains('%'));
+    }
+}

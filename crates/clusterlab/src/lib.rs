@@ -1,0 +1,29 @@
+//! # clusterlab — the paper's evaluation, as runnable experiments
+//!
+//! * [`presets`] — one [`presets::Experiment`] per figure (1–5) and per
+//!   narrative table (tuning effects, latencies, rendezvous thresholds,
+//!   kernel/driver comparisons), each entry carrying the paper's reported
+//!   value for side-by-side comparison.
+//! * [`sweep`] — measure an experiment's curves in parallel threads.
+//! * [`calibration`] — the machine-checked *shape* criteria that define
+//!   "reproduced": orderings, loss factors, dip locations, tuning deltas.
+//! * [`comparison`] — paper-vs-measured tables (EXPERIMENTS.md is
+//!   generated from these).
+
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod calibration;
+pub mod overlap;
+pub mod comparison;
+pub mod presets;
+pub mod scaling;
+pub mod sweep;
+
+pub use breakdown::{measure_breakdown, Breakdown, StageBusy};
+pub use calibration::{checks_for, evaluate, Check, CheckResult};
+pub use comparison::{compare, digest, to_markdown, ComparisonRow};
+pub use overlap::{measure_overlap, section7_panel, OverlapPoint};
+pub use presets::{all_experiments, Entry, Experiment, PaperValues};
+pub use scaling::{strong_scaling, AppModel, ScalingPoint};
+pub use sweep::{run_experiment, ExperimentResult};

@@ -1,0 +1,100 @@
+//! Run an experiment's curves in parallel and collect the signatures.
+//!
+//! Each entry is an independent deterministic simulation, so the sweep
+//! fans out across OS threads with `std::thread::scope` — the same
+//! data-race-free fork/join structure rayon's `join` provides, without
+//! adding a dependency for a flat fan-out.
+
+use netpipe::{run, RunOptions, Signature, SimDriver};
+
+use crate::presets::Experiment;
+
+/// A measured experiment: the preset plus one signature per entry (in
+/// preset order).
+pub struct ExperimentResult {
+    /// Experiment id (`fig1`, …).
+    pub id: &'static str,
+    /// Experiment title.
+    pub title: &'static str,
+    /// One measured signature per entry.
+    pub signatures: Vec<Signature>,
+}
+
+impl ExperimentResult {
+    /// Look a signature up by (exact) library name.
+    pub fn by_name(&self, name: &str) -> Option<&Signature> {
+        self.signatures.iter().find(|s| s.name == name)
+    }
+
+    /// Look a signature up by name prefix (library family).
+    pub fn by_prefix(&self, prefix: &str) -> Option<&Signature> {
+        self.signatures.iter().find(|s| s.name.starts_with(prefix))
+    }
+}
+
+/// Measure every entry of `exp` in parallel.
+pub fn run_experiment(exp: &Experiment, opts: &RunOptions) -> ExperimentResult {
+    let signatures: Vec<Signature> = std::thread::scope(|scope| {
+        let handles: Vec<_> = exp
+            .entries
+            .iter()
+            .map(|entry| {
+                let spec = entry
+                    .spec_override
+                    .clone()
+                    .unwrap_or_else(|| exp.spec.clone());
+                let lib = entry.lib.clone();
+                let opts = opts.clone();
+                scope.spawn(move || {
+                    let mut driver = SimDriver::new(spec, lib);
+                    run(&mut driver, &opts).expect("simulated sweep cannot fail")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep thread panicked"))
+            .collect()
+    });
+    ExperimentResult {
+        id: exp.id,
+        title: exp.title,
+        signatures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::fig1;
+    use netpipe::RunOptions;
+
+    #[test]
+    fn sweep_preserves_entry_order_and_names() {
+        let exp = fig1();
+        let res = run_experiment(&exp, &RunOptions::quick(1 << 16));
+        assert_eq!(res.signatures.len(), exp.entries.len());
+        for (e, s) in exp.entries.iter().zip(&res.signatures) {
+            assert_eq!(e.lib.name(), s.name);
+        }
+        assert!(res.by_name("raw TCP").is_some());
+        assert!(res.by_prefix("MPICH").is_some());
+        assert!(res.by_prefix("nonexistent").is_none());
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_measurement() {
+        // Determinism across threads: the same entry measured standalone
+        // gives bit-identical numbers.
+        let exp = fig1();
+        let opts = RunOptions::quick(1 << 15);
+        let parallel = run_experiment(&exp, &opts);
+        let mut solo = SimDriver::new(exp.spec.clone(), exp.entries[0].lib.clone());
+        let solo_sig = run(&mut solo, &opts).unwrap();
+        let par_sig = &parallel.signatures[0];
+        assert_eq!(solo_sig.points.len(), par_sig.points.len());
+        for (a, b) in solo_sig.points.iter().zip(&par_sig.points) {
+            assert_eq!(a.seconds, b.seconds);
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Two-node cluster configurations.
+//!
+//! A [`ClusterSpec`] bundles the host pair, the NIC, the kernel and the
+//! interconnect topology into one named configuration. One preset exists
+//! for each hardware setup the paper measures (§2): "All tests were done
+//! back-to-back with no intervening switch, except for the Giganet VIA
+//! tests" (8-port cLAN switch).
+
+use serde::{Deserialize, Serialize};
+
+use crate::host::{compaq_ds20, pc_pentium4, HostModel};
+use crate::kernel::{linux_2_4, linux_2_4_2_mvia, KernelModel};
+use crate::nic::{
+    fast_ethernet, giganet_clan, myrinet_pci64a, netgear_ga620, netgear_ga622,
+    syskonnect_sk9843, syskonnect_sk9843_jumbo, trendnet_teg_pcitx, NicModel,
+};
+
+/// A two-node cluster: the unit of every NetPIPE measurement in the paper.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Configuration name used in reports.
+    pub name: &'static str,
+    /// Both nodes are identical in every paper configuration.
+    pub host: HostModel,
+    /// The NIC in each node.
+    pub nic: NicModel,
+    /// Kernel on both nodes.
+    pub kernel: KernelModel,
+    /// Number of switch hops between the nodes (0 = back-to-back).
+    pub switch_hops: u32,
+    /// Per-hop switch latency, microseconds.
+    pub switch_latency_us: f64,
+    /// Identical NICs installed per node (1 everywhere in the paper;
+    /// >1 enables MP_Lite-style channel bonding across parallel wires —
+    /// the authors' companion-paper feature).
+    pub nic_count: u32,
+}
+
+impl ClusterSpec {
+    /// Effective PCI DMA rate for this NIC/slot pairing: a 32-bit-only
+    /// card in a 64-bit slot falls back to 32-bit transfers (the paper's
+    /// GA622-vs-TrendNet comparison is exactly this distinction), and the
+    /// card's DMA engine efficiency scales the burst rate.
+    pub fn pci_effective_bps(&self) -> f64 {
+        let width = if self.nic.pci_64bit {
+            self.host.pci.width_bits
+        } else {
+            self.host.pci.width_bits.min(32)
+        };
+        f64::from(width) / 8.0 * self.host.pci.mhz * 1e6 * self.nic.dma_eff
+    }
+
+    /// Total propagation + switching delay of the path, microseconds.
+    pub fn path_latency_us(&self) -> f64 {
+        // A couple of meters of copper/fiber is ~0.01 µs; negligible next
+        // to the switch hops, but kept for completeness.
+        0.05 + f64::from(self.switch_hops) * self.switch_latency_us
+    }
+}
+
+/// Fig. 1 testbed: Netgear GA620 fiber GigE between two P4 PCs.
+pub fn pcs_ga620() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x P4 PC, Netgear GA620 fiber GigE, back-to-back",
+        host: pc_pentium4(),
+        nic: netgear_ga620(),
+        kernel: linux_2_4().with_raised_sockbuf_max(),
+        switch_hops: 0,
+        switch_latency_us: 0.0,
+        nic_count: 1,
+    }
+}
+
+/// MP_Lite channel-bonding testbed: two GA620 cards per PC, parallel
+/// back-to-back wires (the companion MP_Lite paper's dual-NIC setup;
+/// not in this paper's figures, used by the bonding extension).
+pub fn pcs_ga620_dual() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x P4 PC, dual Netgear GA620 fiber GigE, back-to-back pairs",
+        nic_count: 2,
+        ..pcs_ga620()
+    }
+}
+
+/// Fast Ethernet between two PCs — the "established technology" baseline
+/// (§4: "like you can with more established Fast Ethernet technology").
+pub fn pcs_fast_ethernet() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x P4 PC, Fast Ethernet, back-to-back",
+        host: pc_pentium4(),
+        nic: fast_ethernet(),
+        kernel: linux_2_4(),
+        switch_hops: 0,
+        switch_latency_us: 0.0,
+        nic_count: 1,
+    }
+}
+
+/// Dual Fast Ethernet per PC — the configuration where MP_Lite's channel
+/// bonding historically paid off (100 Mb/s wires leave the PCI bus idle,
+/// so two cards really double the rate).
+pub fn pcs_fast_ethernet_dual() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x P4 PC, dual Fast Ethernet, back-to-back pairs",
+        nic_count: 2,
+        ..pcs_fast_ethernet()
+    }
+}
+
+/// Fig. 2 testbed: TrendNet TEG-PCITX copper GigE between two P4 PCs.
+pub fn pcs_trendnet() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x P4 PC, TrendNet TEG-PCITX copper GigE, back-to-back",
+        host: pc_pentium4(),
+        nic: trendnet_teg_pcitx(),
+        kernel: linux_2_4().with_raised_sockbuf_max(),
+        switch_hops: 0,
+        switch_latency_us: 0.0,
+        nic_count: 1,
+    }
+}
+
+/// Fig. 3 testbed: SysKonnect SK-9843 with 9000-byte jumbo frames between
+/// two Compaq DS20s (64-bit PCI).
+pub fn ds20s_syskonnect_jumbo() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x Compaq DS20, SysKonnect SK-9843 (9000 MTU), back-to-back",
+        host: compaq_ds20(),
+        nic: syskonnect_sk9843_jumbo(),
+        kernel: linux_2_4().with_raised_sockbuf_max(),
+        switch_hops: 0,
+        switch_latency_us: 0.0,
+        nic_count: 1,
+    }
+}
+
+/// §7 comparison: SysKonnect with jumbo frames on the PCs, where the
+/// 32-bit PCI bus caps raw TCP at ~710 Mbps.
+pub fn pcs_syskonnect_jumbo() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x P4 PC, SysKonnect SK-9843 (9000 MTU), back-to-back",
+        host: pc_pentium4(),
+        nic: syskonnect_sk9843_jumbo(),
+        kernel: linux_2_4().with_raised_sockbuf_max(),
+        switch_hops: 0,
+        switch_latency_us: 0.0,
+        nic_count: 1,
+    }
+}
+
+/// SysKonnect at the standard 1500-byte MTU on the PCs (used by the M-VIA
+/// comparison and as a GigE reference in fig. 4).
+pub fn pcs_syskonnect() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x P4 PC, SysKonnect SK-9843 (1500 MTU), back-to-back",
+        host: pc_pentium4(),
+        nic: syskonnect_sk9843(),
+        kernel: linux_2_4().with_raised_sockbuf_max(),
+        switch_hops: 0,
+        switch_latency_us: 0.0,
+        nic_count: 1,
+    }
+}
+
+/// §7: Netgear GA622 copper cards on the DS20s — "showed poor performance
+/// even for raw TCP" with the era's driver.
+pub fn ds20s_ga622() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x Compaq DS20, Netgear GA622 copper GigE, back-to-back",
+        host: compaq_ds20(),
+        nic: netgear_ga622(),
+        kernel: linux_2_4().with_raised_sockbuf_max(),
+        switch_hops: 0,
+        switch_latency_us: 0.0,
+        nic_count: 1,
+    }
+}
+
+/// Fig. 4 testbed: Myrinet PCI64A-2 between two PCs.
+pub fn pcs_myrinet() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x P4 PC, Myrinet PCI64A-2, back-to-back",
+        host: pc_pentium4(),
+        nic: myrinet_pci64a(),
+        kernel: linux_2_4(),
+        switch_hops: 0,
+        switch_latency_us: 0.0,
+        nic_count: 1,
+    }
+}
+
+/// Fig. 5 testbed: Giganet cLAN cards through the 8-port cLAN switch.
+pub fn pcs_giganet() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x P4 PC, Giganet cLAN, 8-port switch",
+        host: pc_pentium4(),
+        nic: giganet_clan(),
+        kernel: linux_2_4(),
+        switch_hops: 1,
+        switch_latency_us: 0.5,
+        nic_count: 1,
+    }
+}
+
+/// Fig. 5 testbed: M-VIA (software VIA) over the SysKonnect cards between
+/// PCs, on the 2.4.2 kernel the M-VIA beta requires.
+pub fn pcs_mvia_syskonnect() -> ClusterSpec {
+    ClusterSpec {
+        name: "2x P4 PC, M-VIA over SysKonnect SK-9843, back-to-back",
+        host: pc_pentium4(),
+        nic: syskonnect_sk9843(),
+        kernel: linux_2_4_2_mvia(),
+        switch_hops: 0,
+        switch_latency_us: 0.0,
+        nic_count: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simcore::units::bytes_per_sec_to_mbps;
+
+    #[test]
+    fn presets_cover_all_five_figures() {
+        // fig1..fig5 testbeds all construct without panicking and are distinct.
+        let names: Vec<&str> = [
+            pcs_ga620(),
+            pcs_trendnet(),
+            ds20s_syskonnect_jumbo(),
+            pcs_myrinet(),
+            pcs_giganet(),
+            pcs_mvia_syskonnect(),
+        ]
+        .iter()
+        .map(|c| c.name)
+        .collect();
+        let mut unique = names.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn trendnet_card_stuck_at_32bit_even_in_64bit_slot() {
+        // GA622 == TrendNet silicon but 64-bit capable; in the DS20 the
+        // GA622 gets the full 64-bit rate while a TrendNet would not.
+        let ga622 = ds20s_ga622();
+        assert!(bytes_per_sec_to_mbps(ga622.pci_effective_bps()) > 1000.0);
+        let mut hypothetical = ds20s_ga622();
+        hypothetical.nic = trendnet_teg_pcitx();
+        assert!(hypothetical.pci_effective_bps() < ga622.pci_effective_bps());
+    }
+
+    #[test]
+    fn pc_pci_is_the_jumbo_bottleneck() {
+        let pc = pcs_syskonnect_jumbo();
+        let ds20 = ds20s_syskonnect_jumbo();
+        // §4: PC 32-bit PCI caps below the wire's ~990 Mbps goodput...
+        assert!(bytes_per_sec_to_mbps(pc.pci_effective_bps()) < 950.0);
+        // ...while the DS20 64-bit slot does not.
+        assert!(bytes_per_sec_to_mbps(ds20.pci_effective_bps()) > 990.0);
+    }
+
+    #[test]
+    fn only_giganet_uses_a_switch() {
+        assert_eq!(pcs_giganet().switch_hops, 1);
+        for c in [pcs_ga620(), pcs_trendnet(), pcs_myrinet(), ds20s_syskonnect_jumbo()] {
+            assert_eq!(c.switch_hops, 0, "{}", c.name);
+        }
+    }
+
+    #[test]
+    fn path_latency_small_but_positive() {
+        for c in [pcs_ga620(), pcs_giganet()] {
+            assert!(c.path_latency_us() > 0.0);
+            assert!(c.path_latency_us() < 2.0);
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Preset invariants: cluster configurations must stay internally
+//! consistent as presets evolve (cloning is lossless; every rate is
+//! physical; latency terms are sane).
+
+use hwmodel::presets::*;
+
+#[test]
+fn specs_are_cloneable_and_stable() {
+    for spec in [
+        pcs_ga620(),
+        pcs_ga620_dual(),
+        pcs_trendnet(),
+        ds20s_syskonnect_jumbo(),
+        pcs_myrinet(),
+        pcs_giganet(),
+        pcs_mvia_syskonnect(),
+        pcs_fast_ethernet_dual(),
+    ] {
+        let copy = spec.clone();
+        assert_eq!(copy.name, spec.name);
+        assert_eq!(copy.nic.name, spec.nic.name);
+        assert_eq!(copy.nic_count, spec.nic_count);
+        assert_eq!(copy.kernel.name, spec.kernel.name);
+        assert_eq!(copy.pci_effective_bps(), spec.pci_effective_bps());
+    }
+}
+
+#[test]
+fn every_preset_has_positive_rates() {
+    for spec in [
+        pcs_ga620(),
+        pcs_trendnet(),
+        ds20s_ga622(),
+        pcs_syskonnect(),
+        pcs_syskonnect_jumbo(),
+        ds20s_syskonnect_jumbo(),
+        pcs_myrinet(),
+        pcs_giganet(),
+        pcs_mvia_syskonnect(),
+        pcs_fast_ethernet(),
+    ] {
+        assert!(spec.nic.wire_bps > 0.0, "{}", spec.name);
+        assert!(spec.pci_effective_bps() > 0.0, "{}", spec.name);
+        assert!(spec.host.cpu.memcpy_bps > 0.0, "{}", spec.name);
+        assert!(spec.kernel.sockbuf_max >= spec.kernel.default_sockbuf, "{}", spec.name);
+        assert!(spec.nic_count >= 1, "{}", spec.name);
+        assert!(spec.nic.mss(hwmodel::nic::TCPIP_HEADERS) > 0, "{}", spec.name);
+    }
+}
+
+#[test]
+fn latency_terms_are_nonnegative_everywhere() {
+    for nic in all_ethernet() {
+        assert!(nic.rx_coalesce_us >= 0.0, "{}", nic.name);
+        assert!(nic.ack_delay_us >= 0.0, "{}", nic.name);
+        assert!(nic.nic_pkt_us >= 0.0, "{}", nic.name);
+        assert!((0.0..=1.0).contains(&nic.dma_eff), "{}", nic.name);
+    }
+}

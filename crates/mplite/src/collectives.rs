@@ -1,0 +1,607 @@
+//! Collective operations over the point-to-point layer.
+//!
+//! MP_Lite supported "many common global operations" (§3.4); this module
+//! provides the same set: barrier, broadcast, reduce / allreduce over
+//! numeric slices, gather / allgather, scatter and all-to-all.
+//!
+//! All collectives use reserved negative tags derived from a per-job
+//! sequence number, so they never collide with user traffic and
+//! back-to-back collectives never collide with each other. As in MPI,
+//! every rank must call the same collectives in the same order.
+
+use std::sync::atomic::Ordering;
+
+use bytes::Bytes;
+
+use crate::comm::Comm;
+use crate::error::{MpError, Result};
+
+/// Reduction operators for [`Comm::reduce`] / [`Comm::allreduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Elementwise sum.
+    Sum,
+    /// Elementwise minimum.
+    Min,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise product.
+    Prod,
+}
+
+/// Element types usable in reductions.
+pub trait ReduceElem: Copy + Send + 'static {
+    /// Serialized size of one element.
+    const WIDTH: usize;
+    /// Append the little-endian encoding of `self`.
+    fn write(self, out: &mut Vec<u8>);
+    /// Decode one element.
+    fn read(bytes: &[u8]) -> Self;
+    /// Combine two elements under `op`.
+    fn combine(self, other: Self, op: ReduceOp) -> Self;
+}
+
+macro_rules! impl_reduce_elem {
+    ($t:ty) => {
+        impl ReduceElem for $t {
+            const WIDTH: usize = std::mem::size_of::<$t>();
+            fn write(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read(bytes: &[u8]) -> Self {
+                <$t>::from_le_bytes(bytes[..Self::WIDTH].try_into().unwrap())
+            }
+            fn combine(self, other: Self, op: ReduceOp) -> Self {
+                match op {
+                    ReduceOp::Sum => self + other,
+                    ReduceOp::Min => if other < self { other } else { self },
+                    ReduceOp::Max => if other > self { other } else { self },
+                    ReduceOp::Prod => self * other,
+                }
+            }
+        }
+    };
+}
+
+impl_reduce_elem!(f64);
+impl_reduce_elem!(f32);
+impl_reduce_elem!(i64);
+impl_reduce_elem!(i32);
+impl_reduce_elem!(u64);
+
+fn encode_slice<T: ReduceElem>(xs: &[T]) -> Bytes {
+    let mut out = Vec::with_capacity(xs.len() * T::WIDTH);
+    for &x in xs {
+        x.write(&mut out);
+    }
+    Bytes::from(out)
+}
+
+fn decode_slice<T: ReduceElem>(bytes: &[u8]) -> Result<Vec<T>> {
+    if bytes.len() % T::WIDTH != 0 {
+        return Err(MpError::Truncated {
+            got: bytes.len(),
+            want: bytes.len() / T::WIDTH * T::WIDTH,
+        });
+    }
+    Ok(bytes.chunks_exact(T::WIDTH).map(T::read).collect())
+}
+
+impl Comm {
+    /// Reserve a fresh block of collective tags; all ranks call the
+    /// collectives in the same order, so the sequence numbers agree.
+    fn coll_tag(&self) -> i32 {
+        let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
+        // Tags below -2 are reserved: leave room for 2^20 in-flight rounds.
+        -1_000_000 + (seq % 1_000_000)
+    }
+
+    /// Block until every rank has entered the barrier (dissemination
+    /// algorithm: ⌈log₂ n⌉ rounds).
+    pub fn barrier(&self) -> Result<()> {
+        let tag = self.coll_tag();
+        let n = self.nprocs();
+        if n == 1 {
+            return Ok(());
+        }
+        let mut step = 1usize;
+        while step < n {
+            let to = (self.rank() + step) % n;
+            let from = (self.rank() + n - step % n) % n;
+            let send = self.isend_internal(to, tag, Bytes::new())?;
+            let (_, _) = self.recv_internal(from as i32, tag)?;
+            send.wait()?;
+            step <<= 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `data` from `root`; every rank returns the payload.
+    /// Binomial tree: ⌈log₂ n⌉ rounds.
+    pub fn bcast(&self, root: usize, data: Option<Bytes>) -> Result<Bytes> {
+        let tag = self.coll_tag();
+        let n = self.nprocs();
+        if root >= n {
+            return Err(MpError::BadRank { rank: root, nprocs: n });
+        }
+        let vrank = (self.rank() + n - root) % n;
+        let payload = if vrank == 0 {
+            data.expect("root must supply the broadcast payload")
+        } else {
+            // Receive from the parent: clear the highest set bit.
+            let high = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
+            let parent = (vrank - high + root) % n;
+            let (bytes, _) = self.recv_internal(parent as i32, tag)?;
+            bytes
+        };
+        // Forward to children: add each power of two above our highest bit.
+        let mut bit = if vrank == 0 {
+            1
+        } else {
+            1usize << (usize::BITS - vrank.leading_zeros())
+        };
+        let mut sends = Vec::new();
+        while vrank + bit < n {
+            let child = (vrank + bit + root) % n;
+            sends.push(self.isend_internal(child, tag, payload.clone())?);
+            bit <<= 1;
+        }
+        for s in sends {
+            s.wait()?;
+        }
+        Ok(payload)
+    }
+
+    /// Elementwise reduction to `root`. Returns `Some(result)` on root,
+    /// `None` elsewhere. All ranks must pass equal-length slices.
+    pub fn reduce<T: ReduceElem>(
+        &self,
+        root: usize,
+        data: &[T],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<T>>> {
+        let tag = self.coll_tag();
+        let n = self.nprocs();
+        if root >= n {
+            return Err(MpError::BadRank { rank: root, nprocs: n });
+        }
+        let vrank = (self.rank() + n - root) % n;
+        let mut acc: Vec<T> = data.to_vec();
+        // Binomial tree, mirrored from bcast: children send up.
+        let mut bit = 1usize;
+        while bit < n {
+            if vrank & bit != 0 {
+                // Send to the parent and leave.
+                let parent = ((vrank & !bit) + root) % n;
+                self.isend_internal(parent, tag, encode_slice(&acc))?.wait()?;
+                return Ok(None);
+            }
+            if vrank + bit < n {
+                let child = (vrank + bit + root) % n;
+                let (bytes, _) = self.recv_internal(child as i32, tag)?;
+                let theirs: Vec<T> = decode_slice(&bytes)?;
+                assert_eq!(theirs.len(), acc.len(), "reduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(theirs) {
+                    *a = a.combine(b, op);
+                }
+            }
+            bit <<= 1;
+        }
+        Ok(Some(acc))
+    }
+
+    /// Reduction delivered to every rank (reduce to rank 0 + broadcast).
+    pub fn allreduce<T: ReduceElem>(&self, data: &[T], op: ReduceOp) -> Result<Vec<T>> {
+        let reduced = self.reduce(0, data, op)?;
+        let bytes = self.bcast(0, reduced.map(|v| encode_slice(&v)))?;
+        decode_slice(&bytes)
+    }
+
+    /// Allreduce by recursive doubling: log₂ n rounds of pairwise
+    /// exchange, each rank combining as it goes — half the rounds of
+    /// reduce+bcast for latency-bound sizes. Non-power-of-two jobs fold
+    /// the excess ranks into the power-of-two core first (the standard
+    /// construction).
+    pub fn allreduce_rd<T: ReduceElem>(&self, data: &[T], op: ReduceOp) -> Result<Vec<T>> {
+        let tag = self.coll_tag();
+        let n = self.nprocs();
+        let me = self.rank();
+        let mut acc: Vec<T> = data.to_vec();
+        if n == 1 {
+            return Ok(acc);
+        }
+        // Largest power of two <= n.
+        let core = 1usize << (usize::BITS - 1 - n.leading_zeros());
+        let excess = n - core;
+        // Phase 1: ranks >= core send their data into the core.
+        if me >= core {
+            let partner = me - core;
+            self.isend_internal(partner, tag, encode_slice(&acc))?.wait()?;
+        } else if me < excess {
+            let partner = me + core;
+            let (bytes, _) = self.recv_internal(partner as i32, tag)?;
+            let theirs: Vec<T> = decode_slice(&bytes)?;
+            assert_eq!(theirs.len(), acc.len(), "allreduce length mismatch");
+            for (a, b) in acc.iter_mut().zip(theirs) {
+                *a = a.combine(b, op);
+            }
+        }
+        // Phase 2: recursive doubling inside the core.
+        if me < core {
+            let mut bit = 1usize;
+            while bit < core {
+                let partner = me ^ bit;
+                // Symmetric exchange; post receive first to avoid ordering
+                // sensitivity.
+                let rx = self.post_internal(partner as i32, tag + 1);
+                self.isend_internal(partner, tag + 1, encode_slice(&acc))?.wait()?;
+                let msg = rx.wait()?;
+                let theirs: Vec<T> = decode_slice(&msg.data)?;
+                assert_eq!(theirs.len(), acc.len(), "allreduce length mismatch");
+                for (a, b) in acc.iter_mut().zip(theirs) {
+                    *a = a.combine(b, op);
+                }
+                bit <<= 1;
+            }
+        }
+        // Phase 3: results flow back out to the excess ranks.
+        if me >= core {
+            let partner = me - core;
+            let (bytes, _) = self.recv_internal(partner as i32, tag + 2)?;
+            acc = decode_slice(&bytes)?;
+        } else if me < excess {
+            let partner = me + core;
+            self.isend_internal(partner, tag + 2, encode_slice(&acc))?.wait()?;
+        }
+        // Recursive doubling consumed three tags; keep the global
+        // collective ordering consistent across ranks.
+        let _ = self.coll_tag();
+        let _ = self.coll_tag();
+        Ok(acc)
+    }
+
+    /// Ring allgather: n−1 rounds, each rank forwarding the block it just
+    /// received — bandwidth-optimal for large payloads where the
+    /// gather+bcast tree retransmits everything through rank 0.
+    pub fn allgather_ring(&self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let tag = self.coll_tag();
+        let n = self.nprocs();
+        let me = self.rank();
+        let mut parts: Vec<Vec<u8>> = vec![Vec::new(); n];
+        parts[me] = data.to_vec();
+        if n == 1 {
+            return Ok(parts);
+        }
+        let right = (me + 1) % n;
+        let left = (me + n - 1) % n;
+        // Round k: send the block that originated at (me - k), receive the
+        // block that originated at (me - k - 1).
+        let mut outgoing = me;
+        for _ in 0..n - 1 {
+            let rx = self.post_internal(left as i32, tag);
+            self.isend_internal(right, tag, Bytes::from(parts[outgoing].clone()))?
+                .wait()?;
+            let msg = rx.wait()?;
+            let incoming = (outgoing + n - 1) % n;
+            parts[incoming] = msg.data.to_vec();
+            outgoing = incoming;
+        }
+        Ok(parts)
+    }
+
+    /// Gather every rank's payload at `root` (rank order). Returns
+    /// `Some(parts)` on root, `None` elsewhere.
+    pub fn gather(&self, root: usize, data: &[u8]) -> Result<Option<Vec<Vec<u8>>>> {
+        let tag = self.coll_tag();
+        let n = self.nprocs();
+        if root >= n {
+            return Err(MpError::BadRank { rank: root, nprocs: n });
+        }
+        if self.rank() == root {
+            let mut parts: Vec<Vec<u8>> = vec![Vec::new(); n];
+            parts[root] = data.to_vec();
+            for _ in 0..n - 1 {
+                let (bytes, st) = self.recv_internal(crate::message::ANY_SOURCE, tag)?;
+                parts[st.src] = bytes.to_vec();
+            }
+            Ok(Some(parts))
+        } else {
+            self.isend_internal(root, tag, Bytes::copy_from_slice(data))?
+                .wait()?;
+            Ok(None)
+        }
+    }
+
+    /// Gather every rank's payload everywhere (gather at 0 + broadcast of
+    /// the concatenation with a length prefix table).
+    pub fn allgather(&self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let gathered = self.gather(0, data)?;
+        let packed = gathered.map(|parts| {
+            let mut out = Vec::new();
+            out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
+            for p in &parts {
+                out.extend_from_slice(&(p.len() as u64).to_le_bytes());
+            }
+            for p in &parts {
+                out.extend_from_slice(p);
+            }
+            Bytes::from(out)
+        });
+        let bytes = self.bcast(0, packed)?;
+        // Unpack.
+        let count = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let mut lens = Vec::with_capacity(count);
+        let mut off = 4;
+        for _ in 0..count {
+            lens.push(u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize);
+            off += 8;
+        }
+        let mut parts = Vec::with_capacity(count);
+        for len in lens {
+            parts.push(bytes[off..off + len].to_vec());
+            off += len;
+        }
+        Ok(parts)
+    }
+
+    /// Distribute one slice per rank from `root`. On root, `parts` must
+    /// have exactly `nprocs` entries; elsewhere pass `None`.
+    pub fn scatter(&self, root: usize, parts: Option<Vec<Bytes>>) -> Result<Bytes> {
+        let tag = self.coll_tag();
+        let n = self.nprocs();
+        if root >= n {
+            return Err(MpError::BadRank { rank: root, nprocs: n });
+        }
+        if self.rank() == root {
+            let parts = parts.expect("root must supply scatter parts");
+            assert_eq!(parts.len(), n, "scatter needs one part per rank");
+            let mine = parts[root].clone();
+            let mut sends = Vec::new();
+            for (dst, part) in parts.into_iter().enumerate() {
+                if dst != root {
+                    sends.push(self.isend_internal(dst, tag, part)?);
+                }
+            }
+            for s in sends {
+                s.wait()?;
+            }
+            Ok(mine)
+        } else {
+            let (bytes, _) = self.recv_internal(root as i32, tag)?;
+            Ok(bytes)
+        }
+    }
+
+    /// Personalized all-to-all exchange: `parts[j]` goes to rank `j`;
+    /// returns what every rank sent to this one, in rank order.
+    pub fn alltoall(&self, parts: Vec<Bytes>) -> Result<Vec<Vec<u8>>> {
+        let tag = self.coll_tag();
+        let n = self.nprocs();
+        assert_eq!(parts.len(), n, "alltoall needs one part per rank");
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); n];
+        out[self.rank()] = parts[self.rank()].to_vec();
+        let mut sends = Vec::new();
+        for (dst, part) in parts.into_iter().enumerate() {
+            if dst != self.rank() {
+                sends.push(self.isend_internal(dst, tag, part)?);
+            }
+        }
+        for _ in 0..n - 1 {
+            let (bytes, st) = self.recv_internal(crate::message::ANY_SOURCE, tag)?;
+            out[st.src] = bytes.to_vec();
+        }
+        for s in sends {
+            s.wait()?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn barrier_synchronizes_all_sizes() {
+        for n in [1, 2, 3, 4, 5, 8] {
+            Universe::run(n, |comm| {
+                for _ in 0..5 {
+                    comm.barrier().unwrap();
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn bcast_from_every_root() {
+        for n in [2, 3, 5, 8] {
+            for root in 0..n {
+                Universe::run(n, move |comm| {
+                    let data = (comm.rank() == root)
+                        .then(|| Bytes::from(format!("payload-from-{root}")));
+                    let got = comm.bcast(root, data).unwrap();
+                    assert_eq!(&got[..], format!("payload-from-{root}").as_bytes());
+                })
+                .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_sum_matches_reference() {
+        for n in [2, 3, 4, 7] {
+            Universe::run(n, move |comm| {
+                let mine: Vec<f64> = (0..8).map(|i| (comm.rank() * 8 + i) as f64).collect();
+                let got = comm.reduce(0, &mine, ReduceOp::Sum).unwrap();
+                if comm.rank() == 0 {
+                    let got = got.unwrap();
+                    for (i, &v) in got.iter().enumerate() {
+                        let expect: f64 = (0..n).map(|r| (r * 8 + i) as f64).sum();
+                        assert_eq!(v, expect, "n={n} elem {i}");
+                    }
+                } else {
+                    assert!(got.is_none());
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn allreduce_min_max_prod() {
+        Universe::run(4, |comm| {
+            let r = comm.rank() as i64 + 1;
+            let mine = [r, -r, 2 * r];
+            let min = comm.allreduce(&mine, ReduceOp::Min).unwrap();
+            assert_eq!(min, vec![1, -4, 2]);
+            let max = comm.allreduce(&mine, ReduceOp::Max).unwrap();
+            assert_eq!(max, vec![4, -1, 8]);
+            let prod = comm.allreduce(&[r], ReduceOp::Prod).unwrap();
+            assert_eq!(prod, vec![24]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        Universe::run(4, |comm| {
+            let mine = vec![comm.rank() as u8; comm.rank() + 1];
+            let got = comm.gather(2, &mine).unwrap();
+            if comm.rank() == 2 {
+                let parts = got.unwrap();
+                for (r, p) in parts.iter().enumerate() {
+                    assert_eq!(p, &vec![r as u8; r + 1]);
+                }
+            } else {
+                assert!(got.is_none());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn allgather_everyone_sees_everything() {
+        Universe::run(3, |comm| {
+            let mine = format!("rank{}", comm.rank());
+            let got = comm.allgather(mine.as_bytes()).unwrap();
+            assert_eq!(got.len(), 3);
+            for (r, p) in got.iter().enumerate() {
+                assert_eq!(p, format!("rank{r}").as_bytes());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn scatter_distributes_parts() {
+        Universe::run(4, |comm| {
+            let parts = (comm.rank() == 1).then(|| {
+                (0..4)
+                    .map(|i| Bytes::from(vec![i as u8; 4]))
+                    .collect::<Vec<_>>()
+            });
+            let mine = comm.scatter(1, parts).unwrap();
+            assert_eq!(&mine[..], &[comm.rank() as u8; 4]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn alltoall_transposes() {
+        Universe::run(3, |comm| {
+            let parts: Vec<Bytes> = (0..3)
+                .map(|dst| Bytes::from(format!("{}->{}", comm.rank(), dst)))
+                .collect();
+            let got = comm.alltoall(parts).unwrap();
+            for (src, p) in got.iter().enumerate() {
+                assert_eq!(p, format!("{}->{}", src, comm.rank()).as_bytes());
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn allreduce_rd_matches_tree_allreduce() {
+        // Both algorithms must produce identical results for every job
+        // size, including non-powers-of-two.
+        for n in [1, 2, 3, 4, 5, 6, 8] {
+            Universe::run(n, move |comm| {
+                let mine: Vec<f64> = (0..16)
+                    .map(|i| (comm.rank() * 31 + i * 7) as f64 * 0.5)
+                    .collect();
+                let tree = comm.allreduce(&mine, ReduceOp::Sum).unwrap();
+                let rd = comm.allreduce_rd(&mine, ReduceOp::Sum).unwrap();
+                for (a, b) in tree.iter().zip(&rd) {
+                    assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+                }
+                let tree_max = comm.allreduce(&mine, ReduceOp::Max).unwrap();
+                let rd_max = comm.allreduce_rd(&mine, ReduceOp::Max).unwrap();
+                assert_eq!(tree_max, rd_max, "n={n}");
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn allgather_ring_matches_tree_allgather() {
+        for n in [1, 2, 3, 5, 7] {
+            Universe::run(n, move |comm| {
+                let mine = format!("payload-from-rank-{}", comm.rank());
+                let tree = comm.allgather(mine.as_bytes()).unwrap();
+                let ring = comm.allgather_ring(mine.as_bytes()).unwrap();
+                assert_eq!(tree, ring, "n={n}");
+                for (r, p) in ring.iter().enumerate() {
+                    assert_eq!(p, format!("payload-from-rank-{r}").as_bytes());
+                }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn mixed_algorithm_sequences_stay_in_sync() {
+        // Interleaving the algorithm families must not desynchronize the
+        // collective tag sequence.
+        Universe::run(4, |comm| {
+            for round in 0..10i64 {
+                let a = comm.allreduce(&[round], ReduceOp::Sum).unwrap();
+                let b = comm.allreduce_rd(&[round], ReduceOp::Sum).unwrap();
+                assert_eq!(a, b);
+                let g = comm.allgather_ring(&round.to_le_bytes()).unwrap();
+                assert_eq!(g.len(), 4);
+                comm.barrier().unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collectives_interleave_with_p2p() {
+        Universe::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            comm.send(peer, 1, b"before").unwrap();
+            comm.barrier().unwrap();
+            let sum = comm.allreduce(&[1i64], ReduceOp::Sum).unwrap();
+            assert_eq!(sum, vec![2]);
+            let (data, _) = comm.recv(peer as i32, 1).unwrap();
+            assert_eq!(&data[..], b"before");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn single_rank_collectives_are_identity() {
+        Universe::run(1, |comm| {
+            comm.barrier().unwrap();
+            let b = comm.bcast(0, Some(Bytes::from_static(b"solo"))).unwrap();
+            assert_eq!(&b[..], b"solo");
+            let r = comm.allreduce(&[5.0f64], ReduceOp::Sum).unwrap();
+            assert_eq!(r, vec![5.0]);
+            let g = comm.allgather(b"x").unwrap();
+            assert_eq!(g, vec![b"x".to_vec()]);
+        })
+        .unwrap();
+    }
+}

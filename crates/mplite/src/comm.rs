@@ -1,0 +1,458 @@
+//! The communicator: ranks, tagged point-to-point messaging, requests.
+//!
+//! Architecture (after MP_Lite's SIGIO design, §3.4 of the paper —
+//! "message progress is therefore maintained at all times"):
+//!
+//! * one **reader thread per peer** drains that peer's socket as soon as
+//!   bytes arrive and hands messages to the [`MatchEngine`];
+//! * one **writer thread** per communicator serializes outgoing messages,
+//!   so `isend` returns immediately and progress never depends on the
+//!   application re-entering the library;
+//! * the application threads only touch the matching engine and the
+//!   writer queue — never the sockets.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{MpError, Result};
+use crate::message::{
+    decode_header, encode_header, InMsg, MatchEngine, RecvSlot, ANY_SOURCE, ANY_TAG, HEADER_LEN,
+};
+
+/// Delivery status of a completed receive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: i32,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// Completion state shared between an `isend` and the writer thread.
+#[derive(Debug)]
+pub struct SendSlot {
+    state: Mutex<SendState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+enum SendState {
+    Pending,
+    Ok,
+    Err(String),
+}
+
+impl SendSlot {
+    fn new() -> Arc<SendSlot> {
+        Arc::new(SendSlot {
+            state: Mutex::new(SendState::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn complete(&self, result: std::result::Result<(), String>) {
+        let mut st = self.state.lock();
+        *st = match result {
+            Ok(()) => SendState::Ok,
+            Err(e) => SendState::Err(e),
+        };
+        self.cv.notify_all();
+    }
+
+    fn wait(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        loop {
+            match &*st {
+                SendState::Pending => self.cv.wait(&mut st),
+                SendState::Ok => return Ok(()),
+                SendState::Err(e) => return Err(MpError::Io(std::io::Error::other(e.clone()))),
+            }
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        !matches!(*self.state.lock(), SendState::Pending)
+    }
+}
+
+/// Handle for an asynchronous send.
+#[must_use = "wait on the request to guarantee completion"]
+pub struct SendRequest {
+    slot: Arc<SendSlot>,
+}
+
+impl SendRequest {
+    /// Block until the message has been handed to the kernel.
+    pub fn wait(self) -> Result<()> {
+        self.slot.wait()
+    }
+
+    /// Non-blocking completion test.
+    pub fn test(&self) -> bool {
+        self.slot.is_done()
+    }
+}
+
+/// Handle for an asynchronous receive.
+#[must_use = "wait on the request to obtain the message"]
+pub struct RecvRequest {
+    slot: Arc<RecvSlot>,
+}
+
+impl RecvRequest {
+    /// Block until a matching message arrives; returns payload and status.
+    pub fn wait(self) -> Result<(Bytes, Status)> {
+        let msg = self.slot.wait()?;
+        Ok((
+            msg.data.clone(),
+            Status {
+                src: msg.src,
+                tag: msg.tag,
+                len: msg.data.len(),
+            },
+        ))
+    }
+
+    /// Non-blocking test; returns the message if it has arrived.
+    pub fn test(&self) -> Option<Result<(Bytes, Status)>> {
+        self.slot.try_take().map(|r| {
+            r.map(|msg| {
+                (
+                    msg.data.clone(),
+                    Status {
+                        src: msg.src,
+                        tag: msg.tag,
+                        len: msg.data.len(),
+                    },
+                )
+            })
+        })
+    }
+}
+
+enum SendJob {
+    Msg {
+        dst: usize,
+        tag: i32,
+        data: Bytes,
+        slot: Arc<SendSlot>,
+    },
+    Quit,
+}
+
+/// A member of a message-passing job: rank `rank` of `nprocs`.
+pub struct Comm {
+    rank: usize,
+    nprocs: usize,
+    engine: Arc<MatchEngine>,
+    tx: Sender<SendJob>,
+    writer: Option<JoinHandle<()>>,
+    readers: Vec<JoinHandle<()>>,
+    /// Read-halves kept so `Drop` can unblock the reader threads.
+    streams: Vec<Option<TcpStream>>,
+    shutting_down: Arc<AtomicBool>,
+    pub(crate) coll_seq: AtomicI32,
+}
+
+impl Comm {
+    /// Assemble a communicator from an established full mesh:
+    /// `streams[p]` is the socket to peer `p` (`None` at index `rank`).
+    pub fn from_mesh(rank: usize, streams: Vec<Option<TcpStream>>) -> Result<Comm> {
+        let nprocs = streams.len();
+        assert!(rank < nprocs, "rank out of range");
+        assert!(streams[rank].is_none(), "no self-connection expected");
+        let engine = Arc::new(MatchEngine::new());
+        let shutting_down = Arc::new(AtomicBool::new(false));
+
+        // Reader thread per peer.
+        let mut readers = Vec::new();
+        for (peer, s) in streams.iter().enumerate() {
+            let Some(s) = s else { continue };
+            s.set_nodelay(true).ok();
+            // MP_Lite's §3.4 behaviour: raise the socket buffers toward
+            // the system maximum (tunable via MPLITE_SOCKBUF; the kernel
+            // clamps to net.core.{r,w}mem_max exactly as the paper
+            // describes).
+            let _ = raise_socket_buffers(s, sockbuf_request());
+            let stream = s.try_clone()?;
+            let engine = Arc::clone(&engine);
+            let down = Arc::clone(&shutting_down);
+            readers.push(
+                std::thread::Builder::new()
+                    .name(format!("mplite-r{rank}<-{peer}"))
+                    .spawn(move || reader_loop(stream, peer, engine, down))?,
+            );
+        }
+
+        // Single writer thread owning the write halves.
+        let mut write_halves: Vec<Option<TcpStream>> = Vec::with_capacity(nprocs);
+        for s in &streams {
+            write_halves.push(match s {
+                Some(s) => Some(s.try_clone()?),
+                None => None,
+            });
+        }
+        let (tx, rx) = unbounded::<SendJob>();
+        let my_rank = rank as u32;
+        let writer = std::thread::Builder::new()
+            .name(format!("mplite-w{rank}"))
+            .spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    match job {
+                        SendJob::Quit => break,
+                        SendJob::Msg { dst, tag, data, slot } => {
+                            let result = (|| -> std::io::Result<()> {
+                                let s = write_halves[dst]
+                                    .as_mut()
+                                    .expect("no socket to destination");
+                                let hdr = encode_header(my_rank, tag, data.len() as u64);
+                                s.write_all(&hdr)?;
+                                s.write_all(&data)?;
+                                Ok(())
+                            })();
+                            slot.complete(result.map_err(|e| e.to_string()));
+                        }
+                    }
+                }
+            })?;
+
+        Ok(Comm {
+            rank,
+            nprocs,
+            engine,
+            tx,
+            writer: Some(writer),
+            readers,
+            streams,
+            shutting_down,
+            coll_seq: AtomicI32::new(0),
+        })
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the job.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn check_rank(&self, r: usize) -> Result<()> {
+        if r >= self.nprocs || r == self.rank {
+            return Err(MpError::BadRank {
+                rank: r,
+                nprocs: self.nprocs,
+            });
+        }
+        Ok(())
+    }
+
+    /// Asynchronous tagged send. The returned request completes once the
+    /// writer thread has handed the bytes to the kernel.
+    pub fn isend(&self, dst: usize, tag: i32, data: impl Into<Bytes>) -> Result<SendRequest> {
+        self.check_rank(dst)?;
+        assert!(tag >= 0, "negative tags are reserved for collectives");
+        let slot = SendSlot::new();
+        self.tx
+            .send(SendJob::Msg {
+                dst,
+                tag,
+                data: data.into(),
+                slot: Arc::clone(&slot),
+            })
+            .map_err(|_| MpError::Finalized)?;
+        Ok(SendRequest { slot })
+    }
+
+    /// Blocking tagged send.
+    pub fn send(&self, dst: usize, tag: i32, data: &[u8]) -> Result<()> {
+        self.isend(dst, tag, Bytes::copy_from_slice(data))?.wait()
+    }
+
+    /// Asynchronous tagged receive; `src`/`tag` may be [`ANY_SOURCE`] /
+    /// [`ANY_TAG`].
+    pub fn irecv(&self, src: i32, tag: i32) -> RecvRequest {
+        RecvRequest {
+            slot: self.engine.post(src, tag),
+        }
+    }
+
+    /// Blocking tagged receive.
+    pub fn recv(&self, src: i32, tag: i32) -> Result<(Bytes, Status)> {
+        self.irecv(src, tag).wait()
+    }
+
+    /// Non-destructive probe for a queued message.
+    pub fn probe(&self, src: i32, tag: i32) -> Option<Status> {
+        self.engine
+            .probe(src, tag)
+            .map(|(src, tag, len)| Status { src, tag, len })
+    }
+
+    pub(crate) fn isend_internal(
+        &self,
+        dst: usize,
+        tag: i32,
+        data: Bytes,
+    ) -> Result<SendRequest> {
+        self.check_rank(dst)?;
+        let slot = SendSlot::new();
+        self.tx
+            .send(SendJob::Msg {
+                dst,
+                tag,
+                data,
+                slot: Arc::clone(&slot),
+            })
+            .map_err(|_| MpError::Finalized)?;
+        Ok(SendRequest { slot })
+    }
+
+    /// Post an internal receive (reserved tags) and return the raw slot —
+    /// lets collectives post-then-send for deadlock-free symmetric
+    /// exchanges.
+    pub(crate) fn post_internal(&self, src: i32, tag: i32) -> std::sync::Arc<crate::message::RecvSlot> {
+        self.engine.post(src, tag)
+    }
+
+    pub(crate) fn recv_internal(&self, src: i32, tag: i32) -> Result<(Bytes, Status)> {
+        let msg = self.engine.post(src, tag).wait()?;
+        Ok((
+            msg.data.clone(),
+            Status {
+                src: msg.src,
+                tag: msg.tag,
+                len: msg.data.len(),
+            },
+        ))
+    }
+}
+
+/// Requested per-socket buffer size: `MPLITE_SOCKBUF` or a 1 MiB default
+/// (MP_Lite "increases the TCP socket buffer sizes up to the maximum
+/// level allowed", §3.4).
+fn sockbuf_request() -> u32 {
+    std::env::var("MPLITE_SOCKBUF")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1 << 20)
+}
+
+// Linux socket-option constants (see <sys/socket.h>).
+const SOL_SOCKET: i32 = 1;
+const SO_SNDBUF: i32 = 7;
+const SO_RCVBUF: i32 = 8;
+
+extern "C" {
+    fn setsockopt(
+        fd: i32,
+        level: i32,
+        optname: i32,
+        optval: *const core::ffi::c_void,
+        optlen: u32,
+    ) -> i32;
+}
+
+/// Best-effort `SO_SNDBUF`/`SO_RCVBUF` raise; the kernel clamps to its
+/// sysctl ceiling, exactly the behaviour the paper tunes around.
+pub(crate) fn raise_socket_buffers(stream: &TcpStream, bytes: u32) -> std::io::Result<()> {
+    use std::os::fd::AsRawFd;
+    let fd = stream.as_raw_fd();
+    let v = bytes as i32;
+    unsafe {
+        for opt in [SO_SNDBUF, SO_RCVBUF] {
+            if setsockopt(
+                fd,
+                SOL_SOCKET,
+                opt,
+                (&v as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            ) != 0
+            {
+                return Err(std::io::Error::last_os_error());
+            }
+        }
+    }
+    Ok(())
+}
+
+fn reader_loop(
+    mut stream: TcpStream,
+    peer: usize,
+    engine: Arc<MatchEngine>,
+    shutting_down: Arc<AtomicBool>,
+) {
+    loop {
+        // Read the header byte-by-byte so a clean EOF *between* messages
+        // (the peer finished its work and dropped its Comm — every byte it
+        // sent is already in our kernel buffer or delivered) is
+        // distinguishable from a connection dying mid-message.
+        let mut hdr = [0u8; HEADER_LEN];
+        let mut got = 0usize;
+        while got < HEADER_LEN {
+            match stream.read(&mut hdr[got..]) {
+                Ok(0) if got == 0 => return, // clean end-of-job teardown
+                Ok(0) => {
+                    if !shutting_down.load(Ordering::Acquire) {
+                        engine.poison(&format!("peer {peer} disconnected mid-header"));
+                    }
+                    return;
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    if !shutting_down.load(Ordering::Acquire) && got > 0 {
+                        engine.poison(&format!("peer {peer} disconnected mid-header"));
+                    }
+                    return;
+                }
+            }
+        }
+        let (src, tag, len) = decode_header(&hdr);
+        let mut buf = vec![0u8; len as usize];
+        if stream.read_exact(&mut buf).is_err() {
+            if !shutting_down.load(Ordering::Acquire) {
+                engine.poison(&format!("peer {peer} disconnected mid-message"));
+            }
+            return;
+        }
+        engine.deliver(InMsg {
+            src: src as usize,
+            tag,
+            data: Bytes::from(buf),
+        });
+    }
+}
+
+impl Drop for Comm {
+    fn drop(&mut self) {
+        self.shutting_down.store(true, Ordering::Release);
+        let _ = self.tx.send(SendJob::Quit);
+        if let Some(w) = self.writer.take() {
+            let _ = w.join();
+        }
+        // Shut the sockets down so reader threads unblock.
+        for s in self.streams.iter().flatten() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+        for r in self.readers.drain(..) {
+            let _ = r.join();
+        }
+        self.engine.poison("communicator finalized");
+    }
+}
+
+// Silence unused-import warnings for wildcard constants used only by
+// callers of the public API.
+const _: (i32, i32) = (ANY_SOURCE, ANY_TAG);

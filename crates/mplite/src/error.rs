@@ -1,0 +1,81 @@
+//! Error types.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the message-passing API.
+#[derive(Debug)]
+pub enum MpError {
+    /// An underlying socket operation failed.
+    Io(io::Error),
+    /// A peer closed its connection while traffic was still expected.
+    Disconnected {
+        /// The peer whose link dropped.
+        peer: usize,
+    },
+    /// An argument referenced a rank outside the job.
+    BadRank {
+        /// The offending rank.
+        rank: usize,
+        /// Number of ranks in the job.
+        nprocs: usize,
+    },
+    /// A receive matched a message longer than the provided buffer.
+    Truncated {
+        /// Bytes available in the matched message.
+        got: usize,
+        /// Capacity of the receive buffer.
+        want: usize,
+    },
+    /// The communicator has been shut down.
+    Finalized,
+}
+
+impl fmt::Display for MpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpError::Io(e) => write!(f, "socket error: {e}"),
+            MpError::Disconnected { peer } => write!(f, "peer {peer} disconnected"),
+            MpError::BadRank { rank, nprocs } => {
+                write!(f, "rank {rank} out of range (nprocs={nprocs})")
+            }
+            MpError::Truncated { got, want } => {
+                write!(f, "message of {got} bytes truncated to buffer of {want}")
+            }
+            MpError::Finalized => write!(f, "communicator already finalized"),
+        }
+    }
+}
+
+impl std::error::Error for MpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for MpError {
+    fn from(e: io::Error) -> Self {
+        MpError::Io(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = MpError::BadRank { rank: 9, nprocs: 4 };
+        assert!(e.to_string().contains("rank 9"));
+        let e = MpError::Truncated { got: 10, want: 4 };
+        assert!(e.to_string().contains("10"));
+        let io = MpError::from(io::Error::new(io::ErrorKind::BrokenPipe, "x"));
+        assert!(matches!(io, MpError::Io(_)));
+    }
+}

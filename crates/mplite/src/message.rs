@@ -1,0 +1,351 @@
+//! Wire format and tag matching.
+//!
+//! Every message carries a fixed 16-byte header — source rank, tag,
+//! payload length — followed by the payload. The matching engine pairs
+//! incoming messages with posted receives the way MP_Lite (and MPI) do:
+//! a receive may name a specific source or [`ANY_SOURCE`], a specific tag
+//! or [`ANY_TAG`]; unmatched arrivals queue as *unexpected* messages and
+//! are consumed in arrival order.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+
+use crate::error::{MpError, Result};
+
+/// Wildcard source for receives.
+pub const ANY_SOURCE: i32 = -1;
+/// Wildcard tag for receives.
+pub const ANY_TAG: i32 = -1;
+
+/// Size of the wire header.
+pub const HEADER_LEN: usize = 16;
+
+/// Encode a message header.
+pub fn encode_header(src: u32, tag: i32, len: u64) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[0..4].copy_from_slice(&src.to_le_bytes());
+    h[4..8].copy_from_slice(&tag.to_le_bytes());
+    h[8..16].copy_from_slice(&len.to_le_bytes());
+    h
+}
+
+/// Decode a message header into `(src, tag, len)`.
+pub fn decode_header(h: &[u8; HEADER_LEN]) -> (u32, i32, u64) {
+    let src = u32::from_le_bytes(h[0..4].try_into().unwrap());
+    let tag = i32::from_le_bytes(h[4..8].try_into().unwrap());
+    let len = u64::from_le_bytes(h[8..16].try_into().unwrap());
+    (src, tag, len)
+}
+
+/// A delivered message.
+#[derive(Debug, Clone)]
+pub struct InMsg {
+    /// Sending rank.
+    pub src: usize,
+    /// Message tag.
+    pub tag: i32,
+    /// Payload.
+    pub data: Bytes,
+}
+
+/// Completion slot shared between a posted receive and the reader threads.
+#[derive(Debug)]
+pub struct RecvSlot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Waiting,
+    Done(InMsg),
+    Failed(String),
+}
+
+impl RecvSlot {
+    fn new() -> Arc<RecvSlot> {
+        Arc::new(RecvSlot {
+            state: Mutex::new(SlotState::Waiting),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Fulfil the slot with a message.
+    pub fn fulfil(&self, msg: InMsg) {
+        let mut st = self.state.lock();
+        *st = SlotState::Done(msg);
+        self.cv.notify_all();
+    }
+
+    /// Fail the slot (peer disconnected, shutdown).
+    pub fn fail(&self, why: String) {
+        let mut st = self.state.lock();
+        if matches!(*st, SlotState::Waiting) {
+            *st = SlotState::Failed(why);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Non-blocking completion test.
+    pub fn try_take(&self) -> Option<Result<InMsg>> {
+        let mut st = self.state.lock();
+        match std::mem::replace(&mut *st, SlotState::Waiting) {
+            SlotState::Waiting => None,
+            SlotState::Done(m) => Some(Ok(m)),
+            SlotState::Failed(w) => Some(Err(MpError::Io(std::io::Error::other(w)))),
+        }
+    }
+
+    /// Block until the slot completes.
+    pub fn wait(&self) -> Result<InMsg> {
+        let mut st = self.state.lock();
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Waiting) {
+                SlotState::Waiting => self.cv.wait(&mut st),
+                SlotState::Done(m) => return Ok(m),
+                SlotState::Failed(w) => return Err(MpError::Io(std::io::Error::other(w))),
+            }
+        }
+    }
+}
+
+/// A receive posted before its message arrived.
+struct PostedRecv {
+    src: i32,
+    tag: i32,
+    slot: Arc<RecvSlot>,
+}
+
+/// MPI-style matching: posted receives vs. unexpected messages.
+///
+/// Thread-safe: reader threads call [`MatchEngine::deliver`], application
+/// threads call [`MatchEngine::post`].
+pub struct MatchEngine {
+    inner: Mutex<MatchInner>,
+}
+
+#[derive(Default)]
+struct MatchInner {
+    unexpected: VecDeque<InMsg>,
+    posted: VecDeque<PostedRecv>,
+    dead: bool,
+}
+
+fn matches(want_src: i32, want_tag: i32, msg: &InMsg) -> bool {
+    (want_src == ANY_SOURCE || want_src as usize == msg.src)
+        && (want_tag == ANY_TAG || want_tag == msg.tag)
+}
+
+impl MatchEngine {
+    /// An empty matching engine.
+    pub fn new() -> MatchEngine {
+        MatchEngine {
+            inner: Mutex::new(MatchInner::default()),
+        }
+    }
+
+    /// Reader-thread entry: route an arrived message to a posted receive
+    /// or queue it as unexpected.
+    pub fn deliver(&self, msg: InMsg) {
+        let slot = {
+            let mut inner = self.inner.lock();
+            match inner
+                .posted
+                .iter()
+                .position(|p| matches(p.src, p.tag, &msg))
+            {
+                Some(i) => Some(inner.posted.remove(i).expect("index valid").slot),
+                None => {
+                    inner.unexpected.push_back(msg.clone());
+                    None
+                }
+            }
+        };
+        if let Some(slot) = slot {
+            slot.fulfil(msg);
+        }
+    }
+
+    /// Post a receive for `(src, tag)`; returns a slot that completes when
+    /// a matching message is (or already was) available.
+    pub fn post(&self, src: i32, tag: i32) -> Arc<RecvSlot> {
+        let slot = RecvSlot::new();
+        let ready = {
+            let mut inner = self.inner.lock();
+            if inner.dead {
+                slot.fail("communicator shut down".into());
+                None
+            } else if let Some(i) = inner
+                .unexpected
+                .iter()
+                .position(|m| matches(src, tag, m))
+            {
+                inner.unexpected.remove(i)
+            } else {
+                inner.posted.push_back(PostedRecv {
+                    src,
+                    tag,
+                    slot: Arc::clone(&slot),
+                });
+                None
+            }
+        };
+        if let Some(msg) = ready {
+            slot.fulfil(msg);
+        }
+        slot
+    }
+
+    /// Probe without consuming: is a matching message queued?
+    pub fn probe(&self, src: i32, tag: i32) -> Option<(usize, i32, usize)> {
+        let inner = self.inner.lock();
+        inner
+            .unexpected
+            .iter()
+            .find(|m| matches(src, tag, m))
+            .map(|m| (m.src, m.tag, m.data.len()))
+    }
+
+    /// Fail every posted receive and refuse future posts (shutdown path).
+    pub fn poison(&self, why: &str) {
+        let posted: Vec<Arc<RecvSlot>> = {
+            let mut inner = self.inner.lock();
+            inner.dead = true;
+            inner.posted.drain(..).map(|p| p.slot).collect()
+        };
+        for slot in posted {
+            slot.fail(why.to_string());
+        }
+    }
+
+    /// Number of unexpected messages held (diagnostics).
+    pub fn unexpected_len(&self) -> usize {
+        self.inner.lock().unexpected.len()
+    }
+}
+
+impl Default for MatchEngine {
+    fn default() -> Self {
+        MatchEngine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(src: usize, tag: i32, data: &[u8]) -> InMsg {
+        InMsg {
+            src,
+            tag,
+            data: Bytes::copy_from_slice(data),
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = encode_header(7, -3, 123_456_789);
+        assert_eq!(decode_header(&h), (7, -3, 123_456_789));
+    }
+
+    #[test]
+    fn unexpected_then_post() {
+        let m = MatchEngine::new();
+        m.deliver(msg(1, 5, b"hello"));
+        let slot = m.post(1, 5);
+        let got = slot.wait().unwrap();
+        assert_eq!(&got.data[..], b"hello");
+        assert_eq!(m.unexpected_len(), 0);
+    }
+
+    #[test]
+    fn post_then_deliver() {
+        let m = MatchEngine::new();
+        let slot = m.post(0, 9);
+        assert!(slot.try_take().is_none());
+        m.deliver(msg(0, 9, b"x"));
+        assert_eq!(&slot.wait().unwrap().data[..], b"x");
+    }
+
+    #[test]
+    fn wildcards_match_anything() {
+        let m = MatchEngine::new();
+        m.deliver(msg(3, 42, b"w"));
+        let got = m.post(ANY_SOURCE, ANY_TAG).wait().unwrap();
+        assert_eq!(got.src, 3);
+        assert_eq!(got.tag, 42);
+    }
+
+    #[test]
+    fn specific_recv_skips_nonmatching() {
+        let m = MatchEngine::new();
+        m.deliver(msg(0, 1, b"a"));
+        m.deliver(msg(0, 2, b"b"));
+        let got = m.post(0, 2).wait().unwrap();
+        assert_eq!(&got.data[..], b"b");
+        // "a" is still there for a wildcard.
+        let got = m.post(ANY_SOURCE, ANY_TAG).wait().unwrap();
+        assert_eq!(&got.data[..], b"a");
+    }
+
+    #[test]
+    fn arrival_order_preserved_for_same_match() {
+        let m = MatchEngine::new();
+        m.deliver(msg(0, 1, b"first"));
+        m.deliver(msg(0, 1, b"second"));
+        assert_eq!(&m.post(0, 1).wait().unwrap().data[..], b"first");
+        assert_eq!(&m.post(0, 1).wait().unwrap().data[..], b"second");
+    }
+
+    #[test]
+    fn posted_order_preserved_for_same_match() {
+        let m = MatchEngine::new();
+        let s1 = m.post(0, 1);
+        let s2 = m.post(0, 1);
+        m.deliver(msg(0, 1, b"first"));
+        m.deliver(msg(0, 1, b"second"));
+        assert_eq!(&s1.wait().unwrap().data[..], b"first");
+        assert_eq!(&s2.wait().unwrap().data[..], b"second");
+    }
+
+    #[test]
+    fn probe_does_not_consume() {
+        let m = MatchEngine::new();
+        m.deliver(msg(2, 7, b"xyz"));
+        assert_eq!(m.probe(ANY_SOURCE, ANY_TAG), Some((2, 7, 3)));
+        assert_eq!(m.probe(ANY_SOURCE, ANY_TAG), Some((2, 7, 3)));
+        assert_eq!(m.probe(1, ANY_TAG), None);
+        assert_eq!(m.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn poison_fails_posted_and_future() {
+        let m = MatchEngine::new();
+        let slot = m.post(0, 0);
+        m.poison("bye");
+        assert!(slot.wait().is_err());
+        assert!(m.post(0, 0).wait().is_err());
+    }
+
+    #[test]
+    fn concurrent_deliver_and_post() {
+        let m = Arc::new(MatchEngine::new());
+        let m2 = Arc::clone(&m);
+        let producer = std::thread::spawn(move || {
+            for i in 0..1000u32 {
+                m2.deliver(msg(0, 1, &i.to_le_bytes()));
+            }
+        });
+        let mut seen = Vec::new();
+        for _ in 0..1000 {
+            let got = m.post(0, 1).wait().unwrap();
+            seen.push(u32::from_le_bytes(got.data[..].try_into().unwrap()));
+        }
+        producer.join().unwrap();
+        let expect: Vec<u32> = (0..1000).collect();
+        assert_eq!(seen, expect, "FIFO per (src, tag) must hold");
+    }
+}

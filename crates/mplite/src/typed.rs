@@ -1,0 +1,189 @@
+//! Typed convenience layer: send/receive numeric slices without manual
+//! byte packing, and request combinators.
+//!
+//! MP_Lite's C API shipped `MP_Send`/`MP_dSend`/`MP_iSend` variants per
+//! element type; Rust gets the same ergonomics from one generic over the
+//! element encoding already defined for reductions
+//! ([`ReduceElem`](crate::ReduceElem)).
+
+use bytes::Bytes;
+
+use crate::collectives::ReduceElem;
+use crate::comm::{Comm, RecvRequest, SendRequest, Status};
+use crate::error::{MpError, Result};
+
+fn encode<T: ReduceElem>(xs: &[T]) -> Bytes {
+    let mut out = Vec::with_capacity(xs.len() * T::WIDTH);
+    for &x in xs {
+        x.write(&mut out);
+    }
+    Bytes::from(out)
+}
+
+fn decode<T: ReduceElem>(bytes: &[u8]) -> Result<Vec<T>> {
+    if bytes.len() % T::WIDTH != 0 {
+        return Err(MpError::Truncated {
+            got: bytes.len(),
+            want: bytes.len() / T::WIDTH * T::WIDTH,
+        });
+    }
+    Ok(bytes.chunks_exact(T::WIDTH).map(T::read).collect())
+}
+
+impl Comm {
+    /// Blocking send of a numeric slice.
+    pub fn send_slice<T: ReduceElem>(&self, dst: usize, tag: i32, data: &[T]) -> Result<()> {
+        self.isend(dst, tag, encode(data))?.wait()
+    }
+
+    /// Asynchronous send of a numeric slice.
+    pub fn isend_slice<T: ReduceElem>(
+        &self,
+        dst: usize,
+        tag: i32,
+        data: &[T],
+    ) -> Result<SendRequest> {
+        self.isend(dst, tag, encode(data))
+    }
+
+    /// Blocking receive of a numeric vector.
+    pub fn recv_vec<T: ReduceElem>(&self, src: i32, tag: i32) -> Result<(Vec<T>, Status)> {
+        let (bytes, st) = self.recv(src, tag)?;
+        Ok((decode(&bytes)?, st))
+    }
+
+    /// Combined send-to-`dst` and receive-from-`src` with the same tag —
+    /// the halo-exchange workhorse. Posts the receive first, so the
+    /// symmetric exchange `a.sendrecv(b) || b.sendrecv(a)` cannot
+    /// deadlock.
+    pub fn sendrecv(
+        &self,
+        dst: usize,
+        src: i32,
+        tag: i32,
+        data: &[u8],
+    ) -> Result<(Bytes, Status)> {
+        let rx = self.irecv(src, tag);
+        let tx = self.isend(dst, tag, Bytes::copy_from_slice(data))?;
+        let got = rx.wait()?;
+        tx.wait()?;
+        Ok(got)
+    }
+}
+
+/// Wait on every send request, surfacing the first error.
+pub fn wait_all_sends(reqs: Vec<SendRequest>) -> Result<()> {
+    for r in reqs {
+        r.wait()?;
+    }
+    Ok(())
+}
+
+/// Wait on every receive request, returning payloads in posting order.
+pub fn wait_all_recvs(reqs: Vec<RecvRequest>) -> Result<Vec<(Bytes, Status)>> {
+    reqs.into_iter().map(|r| r.wait()).collect()
+}
+
+/// Poll a set of receive requests until one completes; returns its index
+/// and payload alongside the survivors (an `MPI_Waitany` analogue built
+/// on the non-blocking `test`).
+pub fn wait_any_recv(
+    mut reqs: Vec<RecvRequest>,
+) -> Result<(usize, Bytes, Status, Vec<RecvRequest>)> {
+    assert!(!reqs.is_empty(), "wait_any on an empty set");
+    loop {
+        for i in 0..reqs.len() {
+            if let Some(done) = reqs[i].test() {
+                let (bytes, st) = done?;
+                let _completed = reqs.remove(i); // already drained by test()
+                return Ok((i, bytes, st, reqs));
+            }
+        }
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn typed_slices_round_trip() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_slice(1, 1, &[1.5f64, -2.25, 1e300]).unwrap();
+                comm.send_slice(1, 2, &[-7i64, i64::MAX]).unwrap();
+            } else {
+                let (f, st) = comm.recv_vec::<f64>(0, 1).unwrap();
+                assert_eq!(f, vec![1.5, -2.25, 1e300]);
+                assert_eq!(st.len, 24);
+                let (i, _) = comm.recv_vec::<i64>(0, 2).unwrap();
+                assert_eq!(i, vec![-7, i64::MAX]);
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn decode_rejects_misaligned_payloads() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, &[0u8; 10]).unwrap(); // not a multiple of 8
+            } else {
+                let r = comm.recv_vec::<f64>(0, 1);
+                assert!(matches!(r, Err(MpError::Truncated { .. })));
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn symmetric_sendrecv_does_not_deadlock() {
+        Universe::run(2, |comm| {
+            let peer = 1 - comm.rank();
+            let mine = vec![comm.rank() as u8; 100_000];
+            let (theirs, st) = comm.sendrecv(peer, peer as i32, 5, &mine).unwrap();
+            assert_eq!(st.src, peer);
+            assert_eq!(&theirs[..], &vec![peer as u8; 100_000][..]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn wait_all_and_wait_any() {
+        Universe::run(3, |comm| {
+            if comm.rank() == 0 {
+                // Two outstanding receives; the senders race.
+                let reqs = vec![comm.irecv(1, 7), comm.irecv(2, 7)];
+                let (_, bytes, st, rest) = wait_any_recv(reqs).unwrap();
+                assert_eq!(bytes.len(), 4);
+                assert!(st.src == 1 || st.src == 2);
+                let remaining = wait_all_recvs(rest).unwrap();
+                assert_eq!(remaining.len(), 1);
+                assert_ne!(remaining[0].1.src, st.src);
+            } else {
+                let sends =
+                    vec![comm.isend(0, 7, (comm.rank() as u32).to_le_bytes().to_vec()).unwrap()];
+                wait_all_sends(sends).unwrap();
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn typed_all_widths() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send_slice(1, 1, &[1.5f32, 2.5]).unwrap();
+                comm.send_slice(1, 2, &[3i32, -4]).unwrap();
+                comm.send_slice(1, 3, &[5u64]).unwrap();
+            } else {
+                assert_eq!(comm.recv_vec::<f32>(0, 1).unwrap().0, vec![1.5, 2.5]);
+                assert_eq!(comm.recv_vec::<i32>(0, 2).unwrap().0, vec![3, -4]);
+                assert_eq!(comm.recv_vec::<u64>(0, 3).unwrap().0, vec![5]);
+            }
+        })
+        .unwrap();
+    }
+}

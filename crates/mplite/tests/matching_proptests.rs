@@ -1,0 +1,114 @@
+//! Property tests for the MPI-style matching engine: for any interleaving
+//! of posted receives and arriving messages, matching must be complete
+//! (nothing lost), exclusive (nothing double-delivered), and FIFO per
+//! (source, tag) pair.
+
+use bytes::Bytes;
+use mplite::message::{InMsg, MatchEngine, ANY_SOURCE, ANY_TAG};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Deliver a message (src, tag, seq payload).
+    Deliver(u8, u8),
+    /// Post a receive with optional wildcards.
+    Post(Option<u8>, Option<u8>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..3, 0u8..3).prop_map(|(s, t)| Op::Deliver(s, t)),
+        (proptest::option::of(0u8..3), proptest::option::of(0u8..3))
+            .prop_map(|(s, t)| Op::Post(s, t)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matching_is_complete_exclusive_and_fifo(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let engine = MatchEngine::new();
+        let mut seq = 0u32;
+        let mut delivered = 0u32;
+        let mut slots = Vec::new();
+        for op in &ops {
+            match *op {
+                Op::Deliver(src, tag) => {
+                    engine.deliver(InMsg {
+                        src: src as usize,
+                        tag: i32::from(tag),
+                        data: Bytes::from(seq.to_le_bytes().to_vec()),
+                    });
+                    seq += 1;
+                    delivered += 1;
+                }
+                Op::Post(src, tag) => {
+                    slots.push((
+                        engine.post(
+                            src.map_or(ANY_SOURCE, i32::from),
+                            tag.map_or(ANY_TAG, i32::from),
+                        ),
+                        src,
+                        tag,
+                    ));
+                }
+            }
+        }
+        // Count completions; each completed slot's message must match its
+        // pattern, and no payload may appear twice.
+        let mut seen = std::collections::HashSet::new();
+        let mut completed = 0u32;
+        let mut per_pair_last: std::collections::HashMap<(usize, i32, Option<u8>, Option<u8>), u32> =
+            std::collections::HashMap::new();
+        for (slot, want_src, want_tag) in &slots {
+            if let Some(Ok(msg)) = slot.try_take() {
+                completed += 1;
+                let payload = u32::from_le_bytes(msg.data[..4].try_into().unwrap());
+                prop_assert!(seen.insert(payload), "payload {payload} delivered twice");
+                if let Some(s) = want_src {
+                    prop_assert_eq!(msg.src, *s as usize);
+                }
+                if let Some(t) = want_tag {
+                    prop_assert_eq!(msg.tag, i32::from(*t));
+                }
+                // FIFO per (src, tag, pattern): for slots with the same
+                // fully-specified pattern, payload sequence must ascend.
+                if want_src.is_some() && want_tag.is_some() {
+                    let key = (msg.src, msg.tag, *want_src, *want_tag);
+                    if let Some(&prev) = per_pair_last.get(&key) {
+                        prop_assert!(payload > prev, "FIFO violated: {payload} after {prev}");
+                    }
+                    per_pair_last.insert(key, payload);
+                }
+            }
+        }
+        // Conservation: completions + still-queued unexpected == delivered
+        // (a completed slot consumed exactly one message).
+        prop_assert_eq!(completed + engine.unexpected_len() as u32, delivered);
+    }
+
+    /// Probe never changes state and agrees with a subsequent post.
+    #[test]
+    fn probe_is_pure(srcs in proptest::collection::vec(0u8..3, 1..20)) {
+        let engine = MatchEngine::new();
+        for (i, &s) in srcs.iter().enumerate() {
+            engine.deliver(InMsg {
+                src: s as usize,
+                tag: 1,
+                data: Bytes::from(vec![i as u8]),
+            });
+        }
+        let before = engine.unexpected_len();
+        let p1 = engine.probe(ANY_SOURCE, ANY_TAG);
+        let p2 = engine.probe(ANY_SOURCE, ANY_TAG);
+        prop_assert_eq!(p1, p2);
+        prop_assert_eq!(engine.unexpected_len(), before);
+        // The probed message is what a wildcard post receives next.
+        let (src, tag, len) = p1.unwrap();
+        let got = engine.post(ANY_SOURCE, ANY_TAG).wait().unwrap();
+        prop_assert_eq!(got.src, src);
+        prop_assert_eq!(got.tag, tag);
+        prop_assert_eq!(got.data.len(), len);
+    }
+}

@@ -1,0 +1,203 @@
+//! The driver abstraction: anything that can bounce a message.
+//!
+//! NetPIPE's original "modules" (MPI, PVM, TCGMSG, TCP, GM, …) map to
+//! implementations of [`Driver`]. This crate ships three families:
+//!
+//! * [`SimDriver`] — any `mpsim` library model on any `hwmodel` cluster
+//!   (regenerates the paper's figures);
+//! * [`crate::real_tcp::RealTcpDriver`] — actual kernel TCP over
+//!   loopback, with tunable socket buffers;
+//! * [`crate::mplite_driver::MpliteDriver`] — the real `mplite` library.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+use hwmodel::ClusterSpec;
+use mpsim::{MpLib, Session};
+use protosim::Fabric;
+
+/// Measurement errors.
+#[derive(Debug)]
+pub enum DriverError {
+    /// The transfer never completed (model deadlock or peer failure).
+    Stalled,
+    /// An I/O error from a real-socket driver.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::Stalled => write!(f, "transfer did not complete"),
+            DriverError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<std::io::Error> for DriverError {
+    fn from(e: std::io::Error) -> Self {
+        DriverError::Io(e)
+    }
+}
+
+/// Something that can bounce a message of a given size and report the
+/// round-trip time in seconds.
+pub trait Driver {
+    /// Display name used in reports and figure legends.
+    fn name(&self) -> String;
+
+    /// Perform one ping-pong round trip of `bytes` and return the elapsed
+    /// time in seconds.
+    fn roundtrip(&mut self, bytes: u64) -> Result<f64, DriverError>;
+
+    /// Stream `count` one-way messages of `bytes` back-to-back and return
+    /// the elapsed time until the last is delivered (NetPIPE's `-s`
+    /// streaming mode). The default approximates it with half round
+    /// trips; transports that can pipeline override it.
+    fn burst(&mut self, bytes: u64, count: u32) -> Result<f64, DriverError> {
+        let mut total = 0.0;
+        for _ in 0..count {
+            total += self.roundtrip(bytes)? / 2.0;
+        }
+        Ok(total)
+    }
+
+    /// True when timings are exact (simulated) — the runner then skips
+    /// repeated trials.
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+/// Drives an `mpsim` library model over a simulated cluster.
+///
+/// Each round trip runs in a fresh deterministic [`Fabric`], so
+/// measurements are independent and exactly reproducible.
+pub struct SimDriver {
+    spec: ClusterSpec,
+    lib: MpLib,
+}
+
+impl SimDriver {
+    /// Measure `lib` on `spec`.
+    pub fn new(spec: ClusterSpec, lib: MpLib) -> SimDriver {
+        SimDriver { spec, lib }
+    }
+
+    /// The cluster configuration being simulated.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+}
+
+impl Driver for SimDriver {
+    fn name(&self) -> String {
+        self.lib.name().to_string()
+    }
+
+    fn roundtrip(&mut self, bytes: u64) -> Result<f64, DriverError> {
+        let mut eng = Fabric::engine(self.spec.clone());
+        let session = Session::establish(&mut eng.world, &self.lib);
+        let out = Rc::new(Cell::new(None));
+        let out2 = Rc::clone(&out);
+        mpsim::pingpong(
+            &session,
+            &mut eng,
+            bytes,
+            1,
+            Box::new(move |_, t| out2.set(Some(t))),
+        );
+        eng.run();
+        out.get().ok_or(DriverError::Stalled)
+    }
+
+    fn is_deterministic(&self) -> bool {
+        true
+    }
+
+    /// True streaming: all `count` messages are queued at once and
+    /// pipeline through the fabric.
+    fn burst(&mut self, bytes: u64, count: u32) -> Result<f64, DriverError> {
+        let mut eng = Fabric::engine(self.spec.clone());
+        let session = Session::establish(&mut eng.world, &self.lib);
+        let out = Rc::new(Cell::new(None));
+        let left = Rc::new(Cell::new(count));
+        for _ in 0..count {
+            let out = Rc::clone(&out);
+            let left = Rc::clone(&left);
+            session.send(
+                &mut eng,
+                0,
+                bytes,
+                Box::new(move |e| {
+                    left.set(left.get() - 1);
+                    if left.get() == 0 {
+                        out.set(Some(e.now().as_secs_f64()));
+                    }
+                }),
+            );
+        }
+        eng.run();
+        out.get().ok_or(DriverError::Stalled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwmodel::presets::pcs_ga620;
+    use mpsim::libs::raw_tcp;
+    use simcore::units::{kib, mib, throughput_mbps};
+
+    #[test]
+    fn sim_driver_reports_name_and_time() {
+        let mut d = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
+        assert_eq!(d.name(), "raw TCP");
+        assert!(d.is_deterministic());
+        let t = d.roundtrip(1000).unwrap();
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn sim_driver_roundtrips_are_reproducible() {
+        let mut d = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
+        let a = d.roundtrip(100_000).unwrap();
+        let b = d.roundtrip(100_000).unwrap();
+        assert_eq!(a, b, "fresh deterministic fabric each time");
+    }
+
+    #[test]
+    fn burst_streams_faster_than_pingpong_for_small_messages() {
+        // Streaming amortizes the per-message latency that dominates
+        // small-message ping-pong.
+        let mut d = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
+        let pp: f64 = (0..32)
+            .map(|_| d.roundtrip(1024).unwrap() / 2.0)
+            .sum();
+        let stream = d.burst(1024, 32).unwrap();
+        assert!(
+            stream < pp / 2.0,
+            "stream {stream} should beat ping-pong {pp} by 2x+"
+        );
+    }
+
+    #[test]
+    fn burst_total_time_scales_with_count() {
+        let mut d = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
+        let t8 = d.burst(100_000, 8).unwrap();
+        let t32 = d.burst(100_000, 32).unwrap();
+        let ratio = t32 / t8;
+        assert!((3.2..4.8).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn sim_driver_throughput_sane() {
+        let mut d = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
+        let t = d.roundtrip(mib(4)).unwrap() / 2.0;
+        let mbps = throughput_mbps(mib(4), t);
+        assert!((400.0..700.0).contains(&mbps), "{mbps}");
+    }
+}

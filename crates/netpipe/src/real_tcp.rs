@@ -1,0 +1,261 @@
+//! A real NetPIPE TCP module: actual kernel sockets over loopback.
+//!
+//! This is the genuine article, not a simulation — it exercises the same
+//! code path the paper measures (socket buffers, Nagle, kernel copies) on
+//! the machine the suite runs on. An echo server thread bounces every
+//! message back; the driver times the full round trip with
+//! `std::time::Instant`.
+//!
+//! Socket buffers are set through `setsockopt(SOL_SOCKET, SO_SNDBUF/
+//! SO_RCVBUF)` exactly as NetPIPE's `-b` option does. `std::net` does not
+//! expose these, so the calls go straight to libc (Linux-only constants).
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::driver::{Driver, DriverError};
+
+// Linux socket-option constants (see <sys/socket.h>).
+const SOL_SOCKET: i32 = 1;
+const SO_SNDBUF: i32 = 7;
+const SO_RCVBUF: i32 = 8;
+
+extern "C" {
+    fn setsockopt(
+        fd: i32,
+        level: i32,
+        optname: i32,
+        optval: *const core::ffi::c_void,
+        optlen: u32,
+    ) -> i32;
+    fn getsockopt(
+        fd: i32,
+        level: i32,
+        optname: i32,
+        optval: *mut core::ffi::c_void,
+        optlen: *mut u32,
+    ) -> i32;
+}
+
+/// Set a socket's send/receive buffer sizes (0 = leave the kernel
+/// default). Returns the effective (sndbuf, rcvbuf) the kernel granted —
+/// Linux doubles the requested value for bookkeeping, and clamps to
+/// `net.core.{w,r}mem_max`, the very ceiling the paper tunes.
+pub fn set_socket_buffers(stream: &TcpStream, sndbuf: u32, rcvbuf: u32) -> std::io::Result<(u32, u32)> {
+    use std::os::fd::AsRawFd;
+    let fd = stream.as_raw_fd();
+    unsafe {
+        if sndbuf > 0 {
+            let v = sndbuf as i32;
+            if setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_SNDBUF,
+                (&v as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            ) != 0
+            {
+                return Err(std::io::Error::last_os_error());
+            }
+        }
+        if rcvbuf > 0 {
+            let v = rcvbuf as i32;
+            if setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_RCVBUF,
+                (&v as *const i32).cast(),
+                std::mem::size_of::<i32>() as u32,
+            ) != 0
+            {
+                return Err(std::io::Error::last_os_error());
+            }
+        }
+        let mut snd: i32 = 0;
+        let mut rcv: i32 = 0;
+        let mut len = std::mem::size_of::<i32>() as u32;
+        if getsockopt(fd, SOL_SOCKET, SO_SNDBUF, (&mut snd as *mut i32).cast(), &mut len) != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let mut len = std::mem::size_of::<i32>() as u32;
+        if getsockopt(fd, SOL_SOCKET, SO_RCVBUF, (&mut rcv as *mut i32).cast(), &mut len) != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok((snd.max(0) as u32, rcv.max(0) as u32))
+    }
+}
+
+/// Configuration for the real TCP module.
+#[derive(Debug, Clone)]
+pub struct RealTcpOptions {
+    /// Requested socket buffer size each side, bytes (0 = kernel default).
+    pub sockbuf: u32,
+    /// Disable Nagle's algorithm (NetPIPE default: yes).
+    pub nodelay: bool,
+}
+
+impl Default for RealTcpOptions {
+    fn default() -> Self {
+        RealTcpOptions {
+            sockbuf: 0,
+            nodelay: true,
+        }
+    }
+}
+
+/// NetPIPE over real kernel TCP on loopback.
+pub struct RealTcpDriver {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    effective_bufs: (u32, u32),
+    opts: RealTcpOptions,
+    server: Option<JoinHandle<()>>,
+}
+
+impl RealTcpDriver {
+    /// Start the echo server thread and connect to it.
+    pub fn new(opts: RealTcpOptions) -> Result<RealTcpDriver, DriverError> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let server_opts = opts.clone();
+        let server = std::thread::Builder::new()
+            .name("netpipe-echo".into())
+            .spawn(move || {
+                if let Ok((mut s, _)) = listener.accept() {
+                    let _ = s.set_nodelay(server_opts.nodelay);
+                    let _ = set_socket_buffers(&s, server_opts.sockbuf, server_opts.sockbuf);
+                    echo_loop(&mut s);
+                }
+            })
+            .map_err(DriverError::Io)?;
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(opts.nodelay)?;
+        let effective_bufs = set_socket_buffers(&stream, opts.sockbuf, opts.sockbuf)?;
+        Ok(RealTcpDriver {
+            stream,
+            buf: Vec::new(),
+            effective_bufs,
+            opts,
+            server: Some(server),
+        })
+    }
+
+    /// The (sndbuf, rcvbuf) the kernel actually granted on the client
+    /// socket — useful to observe the `wmem_max` clamp.
+    pub fn effective_buffers(&self) -> (u32, u32) {
+        self.effective_bufs
+    }
+}
+
+/// Echo protocol: 8-byte length header, then the payload, echoed verbatim.
+fn echo_loop(s: &mut TcpStream) {
+    let mut hdr = [0u8; 8];
+    let mut buf = Vec::new();
+    loop {
+        if s.read_exact(&mut hdr).is_err() {
+            return;
+        }
+        let len = u64::from_le_bytes(hdr) as usize;
+        if len == u64::MAX as usize {
+            return; // shutdown sentinel
+        }
+        buf.resize(len, 0);
+        if s.read_exact(&mut buf).is_err() {
+            return;
+        }
+        if s.write_all(&hdr).is_err() || s.write_all(&buf).is_err() {
+            return;
+        }
+    }
+}
+
+impl Driver for RealTcpDriver {
+    fn name(&self) -> String {
+        if self.opts.sockbuf == 0 {
+            "real TCP (default buffers)".to_string()
+        } else {
+            format!("real TCP ({}k buffers)", self.opts.sockbuf / 1024)
+        }
+    }
+
+    fn roundtrip(&mut self, bytes: u64) -> Result<f64, DriverError> {
+        let n = bytes as usize;
+        if self.buf.len() < n {
+            // Deterministic non-trivial payload for integrity checks.
+            self.buf = (0..n).map(|i| (i % 251) as u8).collect();
+        }
+        let start = Instant::now();
+        self.stream.write_all(&(bytes).to_le_bytes())?;
+        self.stream.write_all(&self.buf[..n])?;
+        let mut hdr = [0u8; 8];
+        self.stream.read_exact(&mut hdr)?;
+        let len = u64::from_le_bytes(hdr) as usize;
+        let mut got = vec![0u8; len];
+        self.stream.read_exact(&mut got)?;
+        let elapsed = start.elapsed().as_secs_f64();
+        if len != n || got != self.buf[..n] {
+            return Err(DriverError::Io(std::io::Error::other(
+                "echo payload corrupted",
+            )));
+        }
+        Ok(elapsed)
+    }
+}
+
+impl Drop for RealTcpDriver {
+    fn drop(&mut self) {
+        let _ = self.stream.write_all(&u64::MAX.to_le_bytes());
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        if let Some(h) = self.server.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{run, RunOptions};
+
+    #[test]
+    fn echo_roundtrip_works() {
+        let mut d = RealTcpDriver::new(RealTcpOptions::default()).unwrap();
+        let t = d.roundtrip(1024).unwrap();
+        assert!(t > 0.0 && t < 1.0);
+    }
+
+    #[test]
+    fn buffer_request_is_applied() {
+        let d = RealTcpDriver::new(RealTcpOptions {
+            sockbuf: 256 * 1024,
+            nodelay: true,
+        })
+        .unwrap();
+        let (snd, rcv) = d.effective_buffers();
+        // Linux at least doubles the request internally; it must not be
+        // smaller than asked (modulo wmem_max clamping on tiny systems).
+        assert!(snd >= 128 * 1024, "sndbuf {snd}");
+        assert!(rcv >= 128 * 1024, "rcvbuf {rcv}");
+    }
+
+    #[test]
+    fn loopback_signature_has_sane_shape() {
+        let mut d = RealTcpDriver::new(RealTcpOptions::default()).unwrap();
+        let sig = run(&mut d, &RunOptions::quick(256 * 1024)).unwrap();
+        assert!(sig.latency_us > 0.5, "latency {} us", sig.latency_us);
+        assert!(sig.latency_us < 2000.0, "latency {} us", sig.latency_us);
+        // Loopback should move at least a gigabit for 256 kB messages.
+        assert!(sig.max_mbps > 1000.0, "peak {} Mbps", sig.max_mbps);
+        // Throughput at 256 kB must dwarf throughput at 1 byte.
+        assert!(sig.final_mbps() > 100.0 * sig.points[0].mbps);
+    }
+
+    #[test]
+    fn zero_byte_roundtrip() {
+        let mut d = RealTcpDriver::new(RealTcpOptions::default()).unwrap();
+        let t = d.roundtrip(0).unwrap();
+        assert!(t > 0.0);
+    }
+}

@@ -1,0 +1,276 @@
+//! Output writers: CSV, the classic NetPIPE plotfile, markdown tables,
+//! and an ASCII rendition of the paper's log-x throughput figures.
+
+use std::fmt::Write as _;
+
+use crate::runner::Signature;
+
+/// CSV with one row per point: `library,bytes,seconds,mbps`.
+pub fn to_csv(sigs: &[Signature]) -> String {
+    let mut out = String::from("library,bytes,seconds,mbps\n");
+    for sig in sigs {
+        for p in &sig.points {
+            let _ = writeln!(out, "{},{},{:.9},{:.3}", sig.name, p.bytes, p.seconds, p.mbps);
+        }
+    }
+    out
+}
+
+/// The classic NetPIPE `.np` plotfile for one signature: three columns —
+/// `bytes  throughput_mbps  time_seconds` (gnuplot-ready).
+pub fn to_plotfile(sig: &Signature) -> String {
+    let mut out = format!("# NetPIPE signature: {}\n# bytes  Mbps  seconds\n", sig.name);
+    for p in &sig.points {
+        let _ = writeln!(out, "{:>10} {:>12.3} {:>14.9}", p.bytes, p.mbps, p.seconds);
+    }
+    out
+}
+
+/// Summary markdown table: one row per library.
+pub fn summary_table(sigs: &[Signature]) -> String {
+    let mut out = String::new();
+    out.push_str("| library | latency (us) | max throughput (Mbps) | at 8MB (Mbps) |\n");
+    out.push_str("|---|---:|---:|---:|\n");
+    for sig in sigs {
+        let _ = writeln!(
+            out,
+            "| {} | {:.1} | {:.0} | {:.0} |",
+            sig.name,
+            sig.latency_us,
+            sig.max_mbps,
+            sig.final_mbps()
+        );
+    }
+    out
+}
+
+/// An ASCII throughput-vs-size chart in the style of the paper's figures:
+/// log-scaled x (message size), linear y (Mbps), one letter per curve.
+pub fn ascii_figure(title: &str, sigs: &[Signature], width: usize, height: usize) -> String {
+    assert!(width >= 30 && height >= 8, "chart too small to read");
+    let max_y = sigs
+        .iter()
+        .map(|s| s.max_mbps)
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let (min_x, max_x) = sigs
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.bytes))
+        .fold((u64::MAX, 1u64), |(lo, hi), b| (lo.min(b), hi.max(b)));
+    let min_lx = (min_x.max(1) as f64).ln();
+    let max_lx = (max_x.max(2) as f64).ln();
+
+    let mut grid = vec![vec![b' '; width]; height];
+    let marks: &[u8] = b"TMLPVGCI*#@%";
+    for (si, sig) in sigs.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for p in &sig.points {
+            let fx = ((p.bytes.max(1) as f64).ln() - min_lx) / (max_lx - min_lx).max(1e-9);
+            let fy = p.mbps / max_y;
+            let x = ((fx * (width - 1) as f64).round() as usize).min(width - 1);
+            let y = height - 1 - ((fy * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[y][x] = mark;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{:>7.0} Mbps", max_y);
+    for row in &grid {
+        let _ = writeln!(out, "  |{}", String::from_utf8_lossy(row));
+    }
+    let _ = writeln!(out, "  +{}", "-".repeat(width));
+    let _ = writeln!(
+        out,
+        "   {}B{}{}B (log scale)",
+        min_x,
+        " ".repeat(width.saturating_sub(12)),
+        max_x
+    );
+    for (si, sig) in sigs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "   {} = {} (lat {:.0} us, max {:.0} Mbps)",
+            marks[si % marks.len()] as char,
+            sig.name,
+            sig.latency_us,
+            sig.max_mbps
+        );
+    }
+    out
+}
+
+/// An SVG rendition of a paper figure: log-x message size, linear-y Mbps,
+/// one colored polyline per library, with a legend — the shape of the
+/// paper's figures 1–5, regenerable into `results/`.
+pub fn svg_figure(title: &str, sigs: &[Signature], width: u32, height: u32) -> String {
+    const COLORS: [&str; 10] = [
+        "#000000", "#d62728", "#1f77b4", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#e377c2",
+        "#7f7f7f", "#17becf",
+    ];
+    let (ml, mr, mt, mb) = (64.0, 16.0, 34.0, 46.0);
+    let pw = f64::from(width) - ml - mr;
+    let ph = f64::from(height) - mt - mb;
+    let max_y = sigs.iter().map(|s| s.max_mbps).fold(1.0f64, f64::max) * 1.05;
+    let (min_x, max_x) = sigs
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.bytes))
+        .fold((u64::MAX, 2u64), |(lo, hi), b| (lo.min(b.max(1)), hi.max(b)));
+    let (lx0, lx1) = ((min_x as f64).ln(), (max_x as f64).ln());
+    let x = |bytes: u64| ml + ((bytes.max(1) as f64).ln() - lx0) / (lx1 - lx0).max(1e-9) * pw;
+    let y = |mbps: f64| mt + (1.0 - mbps / max_y) * ph;
+
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" font-family="sans-serif" font-size="11">"#
+    );
+    let _ = write!(
+        out,
+        r#"<rect width="{width}" height="{height}" fill="white"/><text x="{}" y="18" text-anchor="middle" font-size="13">{title}</text>"#,
+        f64::from(width) / 2.0
+    );
+    // Axes and gridlines.
+    for i in 0..=5 {
+        let v = max_y * f64::from(i) / 5.0;
+        let gy = y(v);
+        let _ = write!(
+            out,
+            r##"<line x1="{ml}" y1="{gy:.1}" x2="{:.1}" y2="{gy:.1}" stroke="#ddd"/><text x="{:.1}" y="{:.1}" text-anchor="end">{v:.0}</text>"##,
+            ml + pw,
+            ml - 4.0,
+            gy + 4.0
+        );
+    }
+    let mut bytes = min_x.max(1);
+    while bytes <= max_x {
+        let gx = x(bytes);
+        let label = if bytes >= 1 << 20 {
+            format!("{}M", bytes >> 20)
+        } else if bytes >= 1024 {
+            format!("{}k", bytes >> 10)
+        } else {
+            format!("{bytes}")
+        };
+        let _ = write!(
+            out,
+            r##"<line x1="{gx:.1}" y1="{mt}" x2="{gx:.1}" y2="{:.1}" stroke="#eee"/><text x="{gx:.1}" y="{:.1}" text-anchor="middle">{label}</text>"##,
+            mt + ph,
+            mt + ph + 14.0
+        );
+        bytes = bytes.saturating_mul(16);
+    }
+    let _ = write!(
+        out,
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle">message size (bytes)</text><text x="14" y="{:.1}" transform="rotate(-90 14 {:.1})" text-anchor="middle">throughput (Mbps)</text>"#,
+        ml + pw / 2.0,
+        mt + ph + 32.0,
+        mt + ph / 2.0,
+        mt + ph / 2.0
+    );
+    // Curves + legend.
+    for (i, sig) in sigs.iter().enumerate() {
+        let color = COLORS[i % COLORS.len()];
+        let pts: Vec<String> = sig
+            .points
+            .iter()
+            .map(|p| format!("{:.1},{:.1}", x(p.bytes), y(p.mbps)))
+            .collect();
+        let _ = write!(
+            out,
+            r#"<polyline points="{}" fill="none" stroke="{color}" stroke-width="1.6"/>"#,
+            pts.join(" ")
+        );
+        let ly = mt + 6.0 + 14.0 * i as f64;
+        let _ = write!(
+            out,
+            r#"<line x1="{:.1}" y1="{ly:.1}" x2="{:.1}" y2="{ly:.1}" stroke="{color}" stroke-width="2"/><text x="{:.1}" y="{:.1}">{}</text>"#,
+            ml + 8.0,
+            ml + 28.0,
+            ml + 32.0,
+            ly + 4.0,
+            sig.name
+        );
+    }
+    out.push_str("</svg>");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Point;
+
+    fn fake_sig(name: &str, mbps: f64) -> Signature {
+        let points = (0..10)
+            .map(|i| {
+                let bytes = 1u64 << (2 * i);
+                Point {
+                    bytes,
+                    seconds: bytes as f64 * 8.0 / (mbps * 1e6),
+                    mbps: mbps * (i as f64 + 1.0) / 10.0,
+                    jitter: 0.0,
+                }
+            })
+            .collect();
+        Signature {
+            name: name.into(),
+            points,
+            latency_us: 42.0,
+            max_mbps: mbps,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = to_csv(&[fake_sig("a", 100.0), fake_sig("b", 200.0)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "library,bytes,seconds,mbps");
+        assert_eq!(lines.len(), 1 + 20);
+        assert!(lines[1].starts_with("a,1,"));
+    }
+
+    #[test]
+    fn plotfile_is_three_columns() {
+        let pf = to_plotfile(&fake_sig("x", 500.0));
+        let data_lines: Vec<&str> = pf.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(data_lines.len(), 10);
+        assert_eq!(data_lines[0].split_whitespace().count(), 3);
+    }
+
+    #[test]
+    fn summary_table_one_row_per_library() {
+        let t = summary_table(&[fake_sig("a", 100.0), fake_sig("b", 200.0)]);
+        assert_eq!(t.lines().count(), 4);
+        assert!(t.contains("| a |"));
+        assert!(t.contains("42.0"));
+    }
+
+    #[test]
+    fn ascii_figure_renders_all_curves() {
+        let fig = ascii_figure("Figure 1", &[fake_sig("a", 100.0), fake_sig("b", 50.0)], 60, 12);
+        assert!(fig.contains("Figure 1"));
+        assert!(fig.contains('T'), "first curve mark present");
+        assert!(fig.contains('M'), "second curve mark present");
+        assert!(fig.contains("= a"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ascii_figure_rejects_tiny_canvas() {
+        let _ = ascii_figure("t", &[fake_sig("a", 1.0)], 10, 2);
+    }
+
+    #[test]
+    fn svg_figure_is_wellformed_with_all_curves() {
+        let svg = svg_figure("Fig X", &[fake_sig("a", 100.0), fake_sig("b", 50.0)], 640, 420);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(svg.contains("Fig X"));
+        assert!(svg.contains(">a</text>"));
+        assert!(svg.contains(">b</text>"));
+        // Balanced tags (crude well-formedness).
+        assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+    }
+}

@@ -1,0 +1,317 @@
+//! The measurement loop: run a [`Driver`] over a size schedule and build
+//! its latency/throughput signature.
+
+use serde::{Deserialize, Serialize};
+use simcore::units::throughput_mbps;
+use simcore::OnlineStats;
+
+use crate::driver::{Driver, DriverError};
+use crate::schedule::{sizes, ScheduleOptions};
+
+/// Runner configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Message-size schedule.
+    pub schedule: ScheduleOptions,
+    /// Trials per point for nondeterministic drivers (NetPIPE repeats
+    /// each test "to provide an accurate timing"); the minimum is kept,
+    /// the spread recorded. Deterministic (simulated) drivers run once.
+    pub trials: u32,
+    /// Warm-up round trips before the timed trials (real drivers only).
+    pub warmup: u32,
+    /// Sizes at or below this bound define the reported latency
+    /// (the paper: "round trip time divided by two for messages smaller
+    /// than 64 bytes").
+    pub latency_bound: u64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            schedule: ScheduleOptions::default(),
+            trials: 7,
+            warmup: 2,
+            latency_bound: 64,
+        }
+    }
+}
+
+impl RunOptions {
+    /// Fast settings for unit tests.
+    pub fn quick(max: u64) -> RunOptions {
+        RunOptions {
+            schedule: ScheduleOptions::quick(max),
+            trials: 3,
+            warmup: 1,
+            ..Default::default()
+        }
+    }
+}
+
+/// One measured point of a signature.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Point {
+    /// Message size, bytes.
+    pub bytes: u64,
+    /// One-way transfer time, seconds (best trial).
+    pub seconds: f64,
+    /// Throughput, decimal megabits per second.
+    pub mbps: f64,
+    /// Relative spread across trials (max/min − 1); 0 for deterministic
+    /// drivers.
+    pub jitter: f64,
+}
+
+/// A full NetPIPE signature for one driver.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Signature {
+    /// Driver display name.
+    pub name: String,
+    /// Measured points, in increasing size.
+    pub points: Vec<Point>,
+    /// Small-message one-way latency, microseconds.
+    pub latency_us: f64,
+    /// Peak throughput over the curve, Mbps.
+    pub max_mbps: f64,
+}
+
+impl Signature {
+    /// Throughput at the largest measured size, Mbps.
+    pub fn final_mbps(&self) -> f64 {
+        self.points.last().map_or(0.0, |p| p.mbps)
+    }
+
+    /// Linear interpolation of throughput at `bytes` (Mbps).
+    pub fn mbps_at(&self, bytes: u64) -> f64 {
+        let ps = &self.points;
+        if ps.is_empty() {
+            return 0.0;
+        }
+        if bytes <= ps[0].bytes {
+            return ps[0].mbps;
+        }
+        for w in ps.windows(2) {
+            if bytes <= w[1].bytes {
+                let f = (bytes - w[0].bytes) as f64 / (w[1].bytes - w[0].bytes) as f64;
+                return w[0].mbps + f * (w[1].mbps - w[0].mbps);
+            }
+        }
+        ps.last().unwrap().mbps
+    }
+
+    /// The "dip" around a protocol threshold: throughput just above the
+    /// threshold relative to just below (1.0 = no dip; 0.7 = 30 % dip).
+    pub fn dip_ratio(&self, threshold: u64) -> f64 {
+        let below = self.mbps_at(threshold.saturating_sub(threshold / 16).max(1));
+        let above = self.mbps_at(threshold + threshold / 16);
+        if below <= 0.0 {
+            return 1.0;
+        }
+        above / below
+    }
+}
+
+/// Run `driver` over the schedule and build its signature.
+pub fn run(driver: &mut dyn Driver, opts: &RunOptions) -> Result<Signature, DriverError> {
+    let deterministic = driver.is_deterministic();
+    let trials = if deterministic { 1 } else { opts.trials.max(1) };
+    let warmup = if deterministic { 0 } else { opts.warmup };
+
+    for _ in 0..warmup {
+        driver.roundtrip(64)?;
+    }
+
+    let mut points = Vec::new();
+    let mut lat = OnlineStats::new();
+    for bytes in sizes(&opts.schedule) {
+        let mut stats = OnlineStats::new();
+        for _ in 0..trials {
+            let rt = driver.roundtrip(bytes)?;
+            stats.push(rt / 2.0);
+        }
+        let best = stats.min();
+        let jitter = if stats.min() > 0.0 {
+            stats.max() / stats.min() - 1.0
+        } else {
+            0.0
+        };
+        if bytes <= opts.latency_bound {
+            lat.push(best);
+        }
+        points.push(Point {
+            bytes,
+            seconds: best,
+            mbps: throughput_mbps(bytes, best),
+            jitter,
+        });
+    }
+    let max_mbps = points.iter().map(|p| p.mbps).fold(0.0, f64::max);
+    Ok(Signature {
+        name: driver.name(),
+        points,
+        latency_us: lat.mean() * 1e6,
+        max_mbps,
+    })
+}
+
+/// NetPIPE's `-s` streaming mode: instead of ping-pong, `burst_count`
+/// messages flow one way per point; throughput amortizes per-message
+/// latency and reveals the sustainable injection rate.
+pub fn run_streaming(
+    driver: &mut dyn Driver,
+    opts: &RunOptions,
+    burst_count: u32,
+) -> Result<Signature, DriverError> {
+    assert!(burst_count > 0);
+    let deterministic = driver.is_deterministic();
+    let trials = if deterministic { 1 } else { opts.trials.max(1) };
+    let mut points = Vec::new();
+    let mut lat = OnlineStats::new();
+    for bytes in sizes(&opts.schedule) {
+        let mut stats = OnlineStats::new();
+        for _ in 0..trials {
+            let total = driver.burst(bytes, burst_count)?;
+            stats.push(total / f64::from(burst_count));
+        }
+        let per_msg = stats.min();
+        if bytes <= opts.latency_bound {
+            lat.push(per_msg);
+        }
+        let jitter = if stats.min() > 0.0 {
+            stats.max() / stats.min() - 1.0
+        } else {
+            0.0
+        };
+        points.push(Point {
+            bytes,
+            seconds: per_msg,
+            mbps: throughput_mbps(bytes, per_msg),
+            jitter,
+        });
+    }
+    let max_mbps = points.iter().map(|p| p.mbps).fold(0.0, f64::max);
+    Ok(Signature {
+        name: format!("{} [stream x{burst_count}]", driver.name()),
+        points,
+        latency_us: lat.mean() * 1e6,
+        max_mbps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic fake: fixed latency plus rate-limited payload.
+    struct FakeDriver {
+        lat_s: f64,
+        rate_bps: f64,
+    }
+
+    impl Driver for FakeDriver {
+        fn name(&self) -> String {
+            "fake".into()
+        }
+        fn roundtrip(&mut self, bytes: u64) -> Result<f64, DriverError> {
+            Ok(2.0 * (self.lat_s + bytes as f64 / self.rate_bps))
+        }
+        fn is_deterministic(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn signature_reports_latency_and_peak() {
+        let mut d = FakeDriver {
+            lat_s: 100e-6,
+            rate_bps: 125e6 / 2.0,
+        };
+        let sig = run(&mut d, &RunOptions::quick(1 << 20)).unwrap();
+        assert!((sig.latency_us - 100.0).abs() < 2.0, "{}", sig.latency_us);
+        // Peak approaches the 500 Mbps (62.5 MB/s) asymptote.
+        assert!(sig.max_mbps > 400.0, "{}", sig.max_mbps);
+        assert!(sig.max_mbps < 500.0);
+        // Monotone for this model.
+        for w in sig.points.windows(2) {
+            assert!(w[1].mbps >= w[0].mbps);
+        }
+    }
+
+    #[test]
+    fn interpolation_brackets_measured_points() {
+        let mut d = FakeDriver {
+            lat_s: 50e-6,
+            rate_bps: 1e8,
+        };
+        let sig = run(&mut d, &RunOptions::quick(1 << 16)).unwrap();
+        let exact = sig.points[5].mbps;
+        assert_eq!(sig.mbps_at(sig.points[5].bytes), exact);
+        let mid = sig.mbps_at((sig.points[5].bytes + sig.points[6].bytes) / 2);
+        assert!(mid >= exact.min(sig.points[6].mbps));
+        assert!(mid <= exact.max(sig.points[6].mbps));
+    }
+
+    #[test]
+    fn deterministic_driver_has_zero_jitter() {
+        let mut d = FakeDriver {
+            lat_s: 10e-6,
+            rate_bps: 1e8,
+        };
+        let sig = run(&mut d, &RunOptions::quick(4096)).unwrap();
+        assert!(sig.points.iter().all(|p| p.jitter == 0.0));
+    }
+
+    #[test]
+    fn streaming_signature_amortizes_latency() {
+        // With the default burst() (half round trips), streaming equals
+        // ping-pong; a pipelining driver must beat it. Use a fake that
+        // models a pipeline: burst costs one latency plus n transfers.
+        struct Pipelined;
+        impl Driver for Pipelined {
+            fn name(&self) -> String {
+                "pipe".into()
+            }
+            fn roundtrip(&mut self, bytes: u64) -> Result<f64, DriverError> {
+                Ok(2.0 * (100e-6 + bytes as f64 / 1e8))
+            }
+            fn burst(&mut self, bytes: u64, count: u32) -> Result<f64, DriverError> {
+                Ok(100e-6 + f64::from(count) * bytes as f64 / 1e8)
+            }
+            fn is_deterministic(&self) -> bool {
+                true
+            }
+        }
+        let opts = RunOptions::quick(1 << 16);
+        let pp = run(&mut Pipelined, &opts).unwrap();
+        let st = run_streaming(&mut Pipelined, &opts, 16).unwrap();
+        assert!(st.name.contains("stream"));
+        // Small messages: streaming >> ping-pong.
+        assert!(st.points[0].mbps > 5.0 * pp.points[0].mbps);
+        // Large messages converge to the same asymptote.
+        let ratio = st.final_mbps() / pp.final_mbps();
+        assert!((0.9..1.6).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn dip_ratio_flags_discontinuities() {
+        /// Fake with a 30% throughput dip above 64 kB.
+        struct Dippy;
+        impl Driver for Dippy {
+            fn name(&self) -> String {
+                "dippy".into()
+            }
+            fn roundtrip(&mut self, bytes: u64) -> Result<f64, DriverError> {
+                let rate = if bytes > 65536 { 0.7e8 } else { 1e8 };
+                Ok(2.0 * (1e-6 + bytes as f64 / rate))
+            }
+            fn is_deterministic(&self) -> bool {
+                true
+            }
+        }
+        let sig = run(&mut Dippy, &RunOptions::quick(1 << 20)).unwrap();
+        let dip = sig.dip_ratio(65536);
+        assert!((0.6..0.85).contains(&dip), "dip {dip}");
+        let flat = sig.dip_ratio(32768);
+        assert!(flat > 0.9, "no dip expected at 32k: {flat}");
+    }
+}

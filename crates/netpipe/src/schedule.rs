@@ -1,0 +1,164 @@
+//! The NetPIPE message-size schedule.
+//!
+//! §2 of the paper: "bouncing messages of increasing size between two
+//! processors. Message sizes are chosen at regular intervals, and also
+//! with slight perturbations, to provide a complete test of the system."
+//!
+//! Like the original NetPIPE, the schedule walks powers of two and tests
+//! each target at `n - delta`, `n`, `n + delta` so that protocol
+//! discontinuities (MSS boundaries, socket-buffer sizes, rendezvous
+//! thresholds) cannot hide between sample points.
+
+use serde::{Deserialize, Serialize};
+
+/// Schedule parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScheduleOptions {
+    /// Smallest message tested, bytes.
+    pub start: u64,
+    /// Largest message tested, bytes.
+    pub max: u64,
+    /// Perturbation offset around each target (NetPIPE default 3).
+    pub perturbation: u64,
+    /// Extra mid-points between powers of two (0 = classic NetPIPE;
+    /// 1 adds the 1.5x point, improving curve resolution).
+    pub midpoints: u32,
+}
+
+impl Default for ScheduleOptions {
+    fn default() -> Self {
+        ScheduleOptions {
+            start: 1,
+            max: 8 * 1024 * 1024,
+            perturbation: 3,
+            midpoints: 1,
+        }
+    }
+}
+
+impl ScheduleOptions {
+    /// A fast schedule for tests: fewer points, smaller maximum.
+    pub fn quick(max: u64) -> ScheduleOptions {
+        ScheduleOptions {
+            start: 1,
+            max,
+            perturbation: 3,
+            midpoints: 0,
+        }
+    }
+}
+
+/// Generate the ordered, deduplicated list of message sizes.
+pub fn sizes(opts: &ScheduleOptions) -> Vec<u64> {
+    assert!(opts.start >= 1, "messages start at one byte");
+    assert!(opts.max >= opts.start, "max below start");
+    let mut out = Vec::new();
+    // The small fixed sizes NetPIPE always probes (latency region).
+    for s in [1u64, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64] {
+        if s >= opts.start && s <= opts.max {
+            out.push(s);
+        }
+    }
+    // Powers of two with perturbations, plus optional midpoints.
+    let mut target = 128u64;
+    while target <= opts.max {
+        push_perturbed(&mut out, target, opts);
+        if opts.midpoints >= 1 {
+            let mid = target + target / 2;
+            if mid <= opts.max {
+                push_perturbed(&mut out, mid, opts);
+            }
+        }
+        target = target.saturating_mul(2);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out.retain(|&s| s >= opts.start && s <= opts.max);
+    out
+}
+
+fn push_perturbed(out: &mut Vec<u64>, target: u64, opts: &ScheduleOptions) {
+    let p = opts.perturbation;
+    if p > 0 && target > p {
+        out.push(target - p);
+    }
+    out.push(target);
+    if p > 0 && target + p <= opts.max {
+        out.push(target + p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_schedule_spans_one_byte_to_8mb() {
+        let s = sizes(&ScheduleOptions::default());
+        assert_eq!(*s.first().unwrap(), 1);
+        // The +3 perturbation above the maximum is clipped.
+        assert_eq!(*s.last().unwrap(), 8 * 1024 * 1024);
+        assert!(s.len() > 80, "default schedule has {} points", s.len());
+    }
+
+    #[test]
+    fn sorted_and_unique() {
+        let s = sizes(&ScheduleOptions::default());
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(s, sorted);
+    }
+
+    #[test]
+    fn perturbations_bracket_powers_of_two() {
+        let s = sizes(&ScheduleOptions::default());
+        for target in [128u64, 1024, 65536, 1 << 20] {
+            assert!(s.contains(&(target - 3)), "{target}-3 missing");
+            assert!(s.contains(&target), "{target} missing");
+            assert!(s.contains(&(target + 3)), "{target}+3 missing");
+        }
+    }
+
+    #[test]
+    fn quick_schedule_is_small() {
+        let s = sizes(&ScheduleOptions::quick(65536));
+        assert!(s.len() < 45, "quick schedule has {} points", s.len());
+        assert!(*s.last().unwrap() <= 65536 + 3);
+    }
+
+    #[test]
+    fn zero_perturbation_hits_exact_targets_only() {
+        let opts = ScheduleOptions {
+            perturbation: 0,
+            midpoints: 0,
+            ..ScheduleOptions::default()
+        };
+        let s = sizes(&opts);
+        assert!(s.contains(&1024));
+        assert!(!s.contains(&1021));
+        assert!(!s.contains(&1027));
+    }
+
+    #[test]
+    fn respects_start_bound() {
+        let opts = ScheduleOptions {
+            start: 1000,
+            max: 10_000,
+            ..ScheduleOptions::default()
+        };
+        let s = sizes(&opts);
+        assert!(s.iter().all(|&x| (1000..=10_000).contains(&x)));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_inverted_bounds() {
+        let _ = sizes(&ScheduleOptions {
+            start: 100,
+            max: 10,
+            ..ScheduleOptions::default()
+        });
+    }
+}

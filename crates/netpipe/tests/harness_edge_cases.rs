@@ -1,0 +1,130 @@
+//! Edge cases of the measurement harness itself.
+
+use netpipe::{
+    analyze, run, run_streaming, sizes, to_plotfile, Driver, DriverError, RunOptions,
+    ScheduleOptions, SimDriver,
+};
+
+/// A driver with controllable noise, to exercise the repeated-trial path.
+struct NoisyDriver {
+    calls: u32,
+}
+
+impl Driver for NoisyDriver {
+    fn name(&self) -> String {
+        "noisy".into()
+    }
+    fn roundtrip(&mut self, bytes: u64) -> Result<f64, DriverError> {
+        self.calls += 1;
+        // Deterministic pseudo-noise: +0..20% depending on call parity.
+        let jitter = 1.0 + 0.2 * f64::from(self.calls % 3) / 2.0;
+        Ok(2.0 * (50e-6 + bytes as f64 / 1e8) * jitter)
+    }
+    fn is_deterministic(&self) -> bool {
+        false
+    }
+}
+
+#[test]
+fn nondeterministic_drivers_get_repeated_trials_and_min() {
+    let mut d = NoisyDriver { calls: 0 };
+    let opts = RunOptions {
+        schedule: ScheduleOptions::quick(4096),
+        trials: 6,
+        warmup: 2,
+        ..Default::default()
+    };
+    let n_points = sizes(&opts.schedule).len() as u32;
+    let sig = run(&mut d, &opts).unwrap();
+    // warmup + trials * points calls.
+    assert_eq!(d.calls, 2 + 6 * n_points);
+    // Jitter recorded (max/min - 1 should be ~0.2).
+    assert!(sig.points.iter().any(|p| p.jitter > 0.05));
+    // The best (minimum) trial defines the curve: latency near the
+    // noise-free 50 us.
+    assert!((45.0..60.0).contains(&sig.latency_us), "{}", sig.latency_us);
+}
+
+#[test]
+fn failing_driver_propagates_errors() {
+    struct Failing;
+    impl Driver for Failing {
+        fn name(&self) -> String {
+            "failing".into()
+        }
+        fn roundtrip(&mut self, _bytes: u64) -> Result<f64, DriverError> {
+            Err(DriverError::Stalled)
+        }
+        fn is_deterministic(&self) -> bool {
+            true
+        }
+    }
+    assert!(run(&mut Failing, &RunOptions::quick(1024)).is_err());
+    assert!(run_streaming(&mut Failing, &RunOptions::quick(1024), 4).is_err());
+}
+
+#[test]
+fn plotfile_parses_back_numerically() {
+    let mut d = SimDriver::new(
+        hwmodel::presets::pcs_ga620(),
+        mpsim::libs::raw_tcp(512 * 1024),
+    );
+    let sig = run(&mut d, &RunOptions::quick(65536)).unwrap();
+    let pf = to_plotfile(&sig);
+    let mut parsed = 0;
+    for line in pf.lines().filter(|l| !l.starts_with('#')) {
+        let cols: Vec<f64> = line
+            .split_whitespace()
+            .map(|c| c.parse().expect("numeric column"))
+            .collect();
+        assert_eq!(cols.len(), 3);
+        // mbps == bytes*8/seconds/1e6 within rounding.
+        let expect = cols[0] * 8.0 / cols[2] / 1e6;
+        assert!((cols[1] - expect).abs() / expect < 0.01, "{line}");
+        parsed += 1;
+    }
+    assert_eq!(parsed, sig.points.len());
+}
+
+#[test]
+fn analysis_of_simulated_curves_is_consistent() {
+    let mut d = SimDriver::new(
+        hwmodel::presets::pcs_ga620(),
+        mpsim::libs::raw_tcp(512 * 1024),
+    );
+    let sig = run(&mut d, &RunOptions::default()).unwrap();
+    let a = analyze(&sig);
+    // The fitted asymptote is within 20% of the observed plateau.
+    let plateau_bps = sig.final_mbps() * 1e6 / 8.0;
+    assert!(
+        (a.r_inf_bps / plateau_bps - 1.0).abs() < 0.2,
+        "fit {} vs plateau {}",
+        a.r_inf_bps,
+        plateau_bps
+    );
+    // The fitted startup time is of the latency's order.
+    assert!(a.t0_s * 1e6 < 3.0 * sig.latency_us);
+    // n_half sits between the latency floor and the saturation point.
+    assert!(a.n_half > 64);
+    assert!(a.n_half <= a.saturation_bytes);
+}
+
+#[test]
+fn single_point_schedule_runs() {
+    let opts = RunOptions {
+        schedule: ScheduleOptions {
+            start: 1024,
+            max: 1024,
+            perturbation: 0,
+            midpoints: 0,
+        },
+        ..Default::default()
+    };
+    let mut d = SimDriver::new(
+        hwmodel::presets::pcs_ga620(),
+        mpsim::libs::raw_tcp(512 * 1024),
+    );
+    let sig = run(&mut d, &opts).unwrap();
+    assert_eq!(sig.points.len(), 1);
+    assert_eq!(sig.points[0].bytes, 1024);
+}

@@ -1,0 +1,189 @@
+//! The simulated two-node fabric: runtime resources + open connections.
+//!
+//! A [`Fabric`] is the discrete-event *world* for one cluster
+//! configuration. It instantiates [`simcore::Resource`]s for each host's
+//! protocol CPU, PCI bus and NIC processor, and for the two wire
+//! directions, then tracks every open connection. The transport modules
+//! ([`crate::tcp`], [`crate::raw`], [`crate::local`]) drive messages
+//! through these shared resources, so contention (e.g. a daemon copying
+//! while the kernel processes packets on the same CPU) emerges from the
+//! event schedule rather than from closed-form formulas.
+
+use hwmodel::ClusterSpec;
+use simcore::{Engine, Resource, SimDuration};
+
+use crate::local::LocalConn;
+use crate::raw::RawConn;
+use crate::tcp::TcpConn;
+
+/// Runtime state for one host.
+pub struct HostRt {
+    /// Protocol-processing CPU. Reserved with explicit durations
+    /// (`serve_for`) computed from the host's [`hwmodel::CpuModel`].
+    pub cpu: Resource,
+    /// The PCI bus the NIC(s) DMA across (shared by all channels — the
+    /// reason channel bonding does not scale linearly on 32-bit PCI).
+    pub pci: Resource,
+    /// The NIC + driver per-frame processing engines (firmware on the
+    /// GigE cards, the LANai RISC processor on Myrinet), one per
+    /// installed card (`ClusterSpec::nic_count`).
+    pub nics: Vec<Resource>,
+}
+
+/// Index of an open connection within a [`Fabric`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConnId(pub usize);
+
+/// An open connection of any transport type.
+pub enum Conn {
+    /// Kernel TCP between the two hosts.
+    Tcp(TcpConn),
+    /// OS-bypass message transport (GM or VIA) between the two hosts.
+    Raw(RawConn),
+    /// Same-host pipe/loopback channel (daemon hops).
+    Local(LocalConn),
+}
+
+/// The discrete-event world: one two-node cluster.
+pub struct Fabric {
+    /// The hardware/kernel configuration being simulated.
+    pub spec: ClusterSpec,
+    /// Host runtime state; index 0 and 1.
+    pub hosts: [HostRt; 2],
+    /// Directional wire resources per channel: `wires[ch][0]` carries
+    /// host0→host1 on channel `ch`.
+    pub wires: Vec<[Resource; 2]>,
+    /// All open connections.
+    pub conns: Vec<Conn>,
+}
+
+/// Shorthand for the engine type every transport event runs on.
+pub type Net = Engine<Fabric>;
+
+/// A message-completion continuation.
+pub type Continuation = Box<dyn FnOnce(&mut Net)>;
+
+impl Fabric {
+    /// Build the runtime world for a cluster configuration.
+    pub fn new(spec: ClusterSpec) -> Fabric {
+        let channels = spec.nic_count.max(1) as usize;
+        let mk_host = || HostRt {
+            cpu: Resource::new("cpu", spec.host.cpu.kernel_copy_bps),
+            pci: Resource::with_overhead(
+                "pci",
+                spec.pci_effective_bps(),
+                SimDuration::from_micros_f64(spec.host.pci.per_txn_us),
+            ),
+            nics: (0..channels)
+                .map(|_| {
+                    Resource::with_overhead(
+                        "nic",
+                        spec.nic.nic_byte_rate,
+                        SimDuration::from_micros_f64(spec.nic.nic_pkt_us),
+                    )
+                })
+                .collect(),
+        };
+        // An immature driver caps the whole path (GA622, §7): model as a
+        // reduced wire rate, the stage every byte must cross.
+        let wire_rate = match spec.nic.driver_cap_bps {
+            Some(cap) => cap.min(spec.nic.wire_bps),
+            None => spec.nic.wire_bps,
+        };
+        Fabric {
+            hosts: [mk_host(), mk_host()],
+            wires: (0..channels)
+                .map(|_| {
+                    [
+                        Resource::new("wire->", wire_rate),
+                        Resource::new("wire<-", wire_rate),
+                    ]
+                })
+                .collect(),
+            conns: Vec::new(),
+            spec,
+        }
+    }
+
+    /// Create an engine over a fresh fabric for `spec`.
+    pub fn engine(spec: ClusterSpec) -> Net {
+        Engine::new(Fabric::new(spec))
+    }
+
+    /// Register a connection and return its id.
+    pub fn push_conn(&mut self, conn: Conn) -> ConnId {
+        let id = ConnId(self.conns.len());
+        self.conns.push(conn);
+        id
+    }
+
+    /// One-way path propagation + switching delay.
+    pub fn path_latency(&self) -> SimDuration {
+        SimDuration::from_micros_f64(self.spec.path_latency_us())
+    }
+}
+
+/// Dispatch a message send on any connection type.
+///
+/// `from` is the sending endpoint (0 or 1; for [`Conn::Local`] both
+/// endpoints live on the connection's host). `on_delivered` runs when the
+/// last byte has reached the receiving application.
+pub fn send(eng: &mut Net, conn: ConnId, from: usize, bytes: u64, on_delivered: Continuation) {
+    assert!(from < 2, "endpoint index must be 0 or 1");
+    match &eng.world.conns[conn.0] {
+        Conn::Tcp(_) => crate::tcp::send(eng, conn, from, bytes, on_delivered),
+        Conn::Raw(_) => crate::raw::send(eng, conn, from, bytes, on_delivered),
+        Conn::Local(_) => crate::local::send(eng, conn, bytes, on_delivered),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwmodel::presets::{pcs_ga620, pcs_myrinet};
+
+    #[test]
+    fn fabric_builds_resources_from_spec() {
+        let fab = Fabric::new(pcs_ga620());
+        assert_eq!(fab.conns.len(), 0);
+        assert_eq!(fab.wires.len(), 1);
+        assert!(fab.wires[0][0].rate() > 1e8);
+        assert!(fab.hosts[0].pci.rate() < fab.wires[0][0].rate());
+    }
+
+    #[test]
+    fn dual_nic_spec_builds_two_channels() {
+        use hwmodel::presets::pcs_ga620_dual;
+        let fab = Fabric::new(pcs_ga620_dual());
+        assert_eq!(fab.wires.len(), 2);
+        assert_eq!(fab.hosts[0].nics.len(), 2);
+        // One shared PCI bus and CPU per host.
+        assert_eq!(fab.hosts.len(), 2);
+    }
+
+    #[test]
+    fn driver_cap_reduces_wire_rate() {
+        use hwmodel::presets::ds20s_ga622;
+        let capped = Fabric::new(ds20s_ga622());
+        let free = Fabric::new(pcs_ga620());
+        assert!(capped.wires[0][0].rate() < free.wires[0][0].rate());
+    }
+
+    #[test]
+    fn myrinet_nic_resource_is_rate_limited() {
+        let fab = Fabric::new(pcs_myrinet());
+        // The LANai processor has a finite streaming rate.
+        assert!(fab.hosts[0].nics[0].rate().is_finite());
+        let ge = Fabric::new(pcs_ga620());
+        assert!(ge.hosts[0].nics[0].rate().is_infinite());
+    }
+
+    #[test]
+    fn conn_ids_are_sequential() {
+        let mut fab = Fabric::new(pcs_ga620());
+        let a = fab.push_conn(Conn::Local(crate::local::LocalConn::loopback(0)));
+        let b = fab.push_conn(Conn::Local(crate::local::LocalConn::loopback(1)));
+        assert_eq!(a, ConnId(0));
+        assert_eq!(b, ConnId(1));
+    }
+}

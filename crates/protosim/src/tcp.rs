@@ -1,0 +1,509 @@
+//! The Linux 2.4 TCP path as a discrete-event pipeline.
+//!
+//! Each message is segmented at the MSS and every segment crosses the
+//! stages the paper's §1 describes ("the operating system and driver often
+//! add to the message latency and decrease the maximum bandwidth by doing
+//! many memory-to-memory copies … as each message is packetized"):
+//!
+//! ```text
+//! send():  syscall → kernel tx work + copy → PCI DMA → NIC engine → wire
+//! recv():  → PCI DMA → interrupt coalescing → kernel rx work + copy
+//!          → process wakeup → recv() returns
+//! ```
+//!
+//! Two flow-control mechanisms shape the throughput curves:
+//!
+//! * **Window-fill stall.** The sender may keep `W = min(sndbuf, rcvbuf)`
+//!   bytes outstanding. When it fills the window it sleeps; the kernel
+//!   wakes it only after the outstanding data has drained *and* the
+//!   coalesced window update arrives (`nic.ack_delay_us`). Sustained
+//!   throughput is then `W / (W/R + latency + stall)` — the mechanism
+//!   behind the TrendNet cards flattening at ~290 Mbps with default
+//!   buffers (§4) and the hardwired 32 kB TCGMSG buffer capping the
+//!   DS20/jumbo configuration at ~600 Mbps (§7).
+//!
+//! * **Delayed-ACK stall.** A library that performs its own user-level
+//!   block flow control (MPICH's p4 writes in `P4_SOCKBUFSIZE` blocks and
+//!   waits for each to drain) strands a sub-MSS tail each block; the
+//!   receiver acknowledges it only on the delayed-ACK timer. With blocks
+//!   under the kernel's `delack_window_bytes` this dominates — MPICH's
+//!   default 32 kB collapses to ~75 Mbps until `P4_SOCKBUFSIZE=256kB`
+//!   gives the paper's five-fold improvement (§4.1). Enabled per
+//!   connection with [`TcpParams::block_sync_writes`].
+
+use std::collections::VecDeque;
+
+use hwmodel::nic::TCPIP_HEADERS;
+use simcore::{SimDuration, SimTime};
+
+use crate::fabric::{Conn, ConnId, Continuation, Fabric, Net};
+
+/// Per-connection TCP tuning, the knobs the paper turns.
+#[derive(Debug, Clone)]
+pub struct TcpParams {
+    /// `SO_SNDBUF` requested by the application, bytes.
+    pub sndbuf: u64,
+    /// `SO_RCVBUF` requested by the application, bytes.
+    pub rcvbuf: u64,
+    /// True when the library layers its own block-synchronous flow control
+    /// over the socket (MPICH/p4), exposing the delayed-ACK pathology for
+    /// small buffers.
+    pub block_sync_writes: bool,
+}
+
+impl TcpParams {
+    /// Symmetric socket buffers of `bytes` each.
+    pub fn with_bufs(bytes: u64) -> TcpParams {
+        TcpParams {
+            sndbuf: bytes,
+            rcvbuf: bytes,
+            block_sync_writes: false,
+        }
+    }
+}
+
+/// One in-progress message transfer.
+struct TcpJob {
+    /// Bytes not yet handed to the stack.
+    remaining: u64,
+    /// Bytes delivered to the receiving application.
+    delivered: u64,
+    /// Message size.
+    total: u64,
+    /// Whether the first segment has been dispatched (syscall charged).
+    started: bool,
+    on_delivered: Option<Continuation>,
+}
+
+/// Per-direction stream state.
+#[derive(Default)]
+struct TcpDir {
+    jobs: VecDeque<TcpJob>,
+    /// Bytes charged against the window (reset on window reopen).
+    in_flight: u64,
+    /// Bytes dispatched but not yet delivered.
+    undelivered: u64,
+    /// Sender is blocked on a full window.
+    stalled: bool,
+}
+
+/// A TCP connection between host 0 and host 1.
+pub struct TcpConn {
+    /// Effective (kernel-clamped) parameters.
+    pub params: TcpParams,
+    /// Effective window: `min(sndbuf, rcvbuf)` after clamping.
+    pub window: u64,
+    /// Whether acking is *smooth* for this window (see [`open`]): smooth
+    /// connections recycle window space continuously (ack every other
+    /// segment); rough ones batch-stall on every window fill.
+    pub smooth: bool,
+    /// Which NIC/wire pair this connection is routed over (channel
+    /// bonding installs one connection per card).
+    pub channel: usize,
+    dirs: [TcpDir; 2],
+    /// Total bytes delivered on this connection (both directions).
+    pub bytes_delivered: u64,
+}
+
+/// Open a TCP connection between the two hosts. Requested buffer sizes are
+/// clamped to the kernel's `net.core.{r,w}mem_max`, exactly the ceiling
+/// MP_Lite raises via `/etc/sysctl.conf` (§3.4).
+pub fn open(fabric: &mut Fabric, params: TcpParams) -> ConnId {
+    open_on_channel(fabric, params, 0)
+}
+
+/// Open a TCP connection routed over NIC/wire pair `channel` (channel
+/// bonding). Panics if the cluster has fewer cards than that.
+pub fn open_on_channel(fabric: &mut Fabric, mut params: TcpParams, channel: usize) -> ConnId {
+    assert!(
+        channel < fabric.wires.len(),
+        "channel {channel} out of range ({} installed)",
+        fabric.wires.len()
+    );
+    params.sndbuf = fabric.spec.kernel.clamp_sockbuf(params.sndbuf);
+    params.rcvbuf = fabric.spec.kernel.clamp_sockbuf(params.rcvbuf);
+    let window = params.sndbuf.min(params.rcvbuf).max(1);
+    // Ack smoothness: Linux acks every other full segment, so window
+    // space recycles continuously as long as (a) the window holds a
+    // healthy number of segments and (b) it spans the NIC's ack-burst
+    // period (interrupt coalescing delivers acks in clumps of
+    // `R * ack_delay` bytes). Below either bound the sender repeatedly
+    // fills the window and sleeps — the flattening the paper measures on
+    // the TrendNet cards (default buffers) and on the 9000-byte-MTU
+    // SysKonnect configuration (32-64 kB buffers: only a handful of jumbo
+    // segments fit). A library doing its own block-synchronous flow
+    // control (MPICH/p4) forfeits smoothness below the delayed-ACK bound
+    // no matter what.
+    let spec = &fabric.spec;
+    let mss = u64::from(spec.nic.mss(TCPIP_HEADERS));
+    let mut payload_rate = spec.nic.wire_payload_rate(TCPIP_HEADERS);
+    if let Some(cap) = spec.nic.driver_cap_bps {
+        payload_rate = payload_rate.min(cap);
+    }
+    let burst_bytes = (2.0 * payload_rate * spec.nic.ack_delay_us * 1e-6) as u64;
+    let min_smooth = (8 * mss).max(burst_bytes);
+    let p4_rough = params.block_sync_writes && window < spec.kernel.delack_window_bytes;
+    let smooth = !p4_rough && window >= min_smooth;
+    fabric.push_conn(Conn::Tcp(TcpConn {
+        params,
+        window,
+        smooth,
+        channel,
+        dirs: [TcpDir::default(), TcpDir::default()],
+        bytes_delivered: 0,
+    }))
+}
+
+/// Open a TCP connection with the kernel's default socket buffers — what
+/// an application gets when it does not tune anything (§4: "the default
+/// OS tuning levels have not kept pace").
+pub fn open_default(fabric: &mut Fabric) -> ConnId {
+    let bufs = fabric.spec.kernel.default_sockbuf;
+    open(fabric, TcpParams::with_bufs(bufs))
+}
+
+/// Queue `bytes` from endpoint `from`; `on_delivered` fires when the
+/// receiving process returns from its final `recv()`.
+pub fn send(eng: &mut Net, conn: ConnId, from: usize, bytes: u64, on_delivered: Continuation) {
+    {
+        let tcp = tcp_mut(&mut eng.world, conn);
+        tcp.dirs[from].jobs.push_back(TcpJob {
+            remaining: bytes.max(1),
+            delivered: 0,
+            total: bytes.max(1),
+            started: false,
+            on_delivered: Some(on_delivered),
+        });
+    }
+    pump(eng, conn, from);
+}
+
+fn tcp_mut(fabric: &mut Fabric, conn: ConnId) -> &mut TcpConn {
+    match &mut fabric.conns[conn.0] {
+        Conn::Tcp(t) => t,
+        _ => panic!("connection {conn:?} is not TCP"),
+    }
+}
+
+/// Dispatch as many segments as the window allows.
+fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
+    let now = eng.now();
+    // (delivery_time, segment_bytes) pairs to schedule.
+    let mut deliveries: Vec<(SimTime, u64)> = Vec::new();
+    {
+        let Fabric {
+            spec,
+            hosts,
+            wires,
+            conns,
+        } = &mut eng.world;
+        let tcp = match &mut conns[conn.0] {
+            Conn::Tcp(t) => t,
+            _ => panic!("connection {conn:?} is not TCP"),
+        };
+        let window = tcp.window;
+        let channel = tcp.channel;
+        let d = &mut tcp.dirs[dir];
+        if d.stalled {
+            return;
+        }
+        let (sender, receiver) = (dir, 1 - dir);
+        let mss = u64::from(spec.nic.mss(TCPIP_HEADERS));
+        let cpu = &spec.host.cpu;
+        let kernel_copy = cpu.kernel_copy_bps;
+        let coalesce = SimDuration::from_micros_f64(spec.nic.rx_coalesce_us);
+        let path = SimDuration::from_micros_f64(spec.path_latency_us());
+
+        'jobs: for job in d.jobs.iter_mut() {
+            while job.remaining > 0 {
+                // Sender-side silly-window avoidance (RFC 1122 §4.2.3.4):
+                // send a full segment, or a partial of at least MSS/2 —
+                // never shave slivers off the window (that death-spirals
+                // into sub-100-byte segments whose per-packet costs
+                // dominate). An idle window always makes progress, so
+                // tiny windows cannot deadlock.
+                let want = job.remaining.min(mss);
+                let avail = window - d.in_flight;
+                let half_seg = mss.min(window).div_ceil(2);
+                if d.in_flight > 0 && want > avail && avail < half_seg {
+                    d.stalled = true;
+                    break 'jobs;
+                }
+                let seg = want.min(avail.max(1)).min(window);
+                // --- sender side ---
+                let mut tx = SimDuration::from_micros_f64(cpu.kernel_pkt_tx_us)
+                    + SimDuration::for_bytes(seg, kernel_copy);
+                if !job.started {
+                    tx += SimDuration::from_micros_f64(cpu.syscall_us);
+                    job.started = true;
+                }
+                let t1 = hosts[sender].cpu.serve_for(now, tx, seg);
+                let on_bus = seg + u64::from(TCPIP_HEADERS);
+                let t2 = hosts[sender].pci.serve(t1, on_bus);
+                let frame = seg + u64::from(TCPIP_HEADERS) + u64::from(spec.nic.framing_bytes);
+                let t3 = hosts[sender].nics[channel].serve(t2, frame);
+                let t4 = wires[channel][dir].serve(t3, frame);
+                // --- receiver side ---
+                let t5 = hosts[receiver].pci.serve(t4 + path, on_bus);
+                let rx = SimDuration::from_micros_f64(cpu.kernel_pkt_rx_us)
+                    + SimDuration::for_bytes(seg, kernel_copy);
+                let t6 = hosts[receiver].cpu.serve_for(t5 + coalesce, rx, seg);
+                deliveries.push((t6, seg));
+                d.in_flight += seg;
+                d.undelivered += seg;
+                job.remaining -= seg;
+            }
+        }
+    }
+    for (t, seg) in deliveries {
+        eng.schedule_at(t, move |e| on_deliver(e, conn, dir, seg));
+    }
+}
+
+/// A segment reached the receiver's socket buffer and was copied out.
+fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
+    let now = eng.now();
+    enum Next {
+        Reopen(SimDuration),
+        Pump,
+        Complete(Continuation, SimDuration),
+    }
+    let mut actions: Vec<Next> = Vec::new();
+    {
+        let Fabric { spec, conns, .. } = &mut eng.world;
+        let tcp = match &mut conns[conn.0] {
+            Conn::Tcp(t) => t,
+            _ => unreachable!(),
+        };
+        tcp.bytes_delivered += seg;
+        let window = tcp.window;
+        let block_sync = tcp.params.block_sync_writes;
+        let smooth = tcp.smooth;
+        let d = &mut tcp.dirs[dir];
+        d.undelivered -= seg;
+        if smooth {
+            // Continuous acking: window space recycles per delivery.
+            d.in_flight = d.in_flight.saturating_sub(seg);
+            if d.stalled && d.in_flight < window {
+                d.stalled = false;
+                actions.push(Next::Pump);
+            }
+        } else if d.stalled {
+            if d.undelivered == 0 {
+                // Whole outstanding window drained; the sender wakes after
+                // the (coalesced) window update arrives.
+                let stall = if block_sync && window < spec.kernel.delack_window_bytes {
+                    spec.kernel.delack_stall_us
+                } else {
+                    spec.nic.ack_delay_us
+                };
+                actions.push(Next::Reopen(SimDuration::from_micros_f64(stall)));
+            }
+        } else {
+            d.in_flight = d.in_flight.saturating_sub(seg);
+        }
+        // Account delivery against the front job.
+        let job = d
+            .jobs
+            .front_mut()
+            .expect("delivery with no in-progress job");
+        job.delivered += seg;
+        debug_assert!(job.delivered <= job.total);
+        if job.delivered == job.total {
+            let mut job = d.jobs.pop_front().expect("front job vanished");
+            let wakeup = SimDuration::from_micros_f64(
+                spec.kernel.rx_extra_us + spec.host.cpu.syscall_us,
+            );
+            if let Some(k) = job.on_delivered.take() {
+                actions.push(Next::Complete(k, wakeup));
+            }
+        }
+    }
+    for a in actions {
+        match a {
+            Next::Pump => pump(eng, conn, dir),
+            Next::Reopen(stall) => {
+                eng.schedule_at(now + stall, move |e| {
+                    {
+                        let tcp = tcp_mut(&mut e.world, conn);
+                        let d = &mut tcp.dirs[dir];
+                        d.in_flight = 0;
+                        d.stalled = false;
+                    }
+                    pump(e, conn, dir);
+                });
+            }
+            Next::Complete(k, wakeup) => {
+                eng.schedule_at(now + wakeup, k);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwmodel::presets::{ds20s_syskonnect_jumbo, pcs_ga620, pcs_trendnet};
+    use simcore::units::{kib, mib, throughput_mbps};
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    /// One-way transfer time of `bytes` with buffers `bufs`.
+    fn one_way(spec: hwmodel::ClusterSpec, bytes: u64, params: TcpParams) -> f64 {
+        let mut eng = Fabric::engine(spec);
+        let conn = open(&mut eng.world, params);
+        let done = Rc::new(Cell::new(None));
+        let done2 = Rc::clone(&done);
+        send(
+            &mut eng,
+            conn,
+            0,
+            bytes,
+            Box::new(move |e| done2.set(Some(e.now()))),
+        );
+        eng.run();
+        done.get().expect("message never delivered").as_secs_f64()
+    }
+
+    #[test]
+    fn small_message_latency_ga620_near_120us() {
+        let t = one_way(pcs_ga620(), 8, TcpParams::with_bufs(kib(512)));
+        let us = t * 1e6;
+        assert!((100.0..140.0).contains(&us), "latency {us} us");
+    }
+
+    #[test]
+    fn large_message_throughput_ga620_near_550mbps() {
+        let t = one_way(pcs_ga620(), mib(4), TcpParams::with_bufs(kib(512)));
+        let mbps = throughput_mbps(mib(4), t);
+        assert!((480.0..640.0).contains(&mbps), "GA620 raw TCP {mbps} Mbps");
+    }
+
+    #[test]
+    fn trendnet_default_buffers_flatten_near_290mbps() {
+        let mut spec = pcs_trendnet();
+        spec.kernel = hwmodel::presets::linux_2_4(); // default sockbuf ceiling
+        let bufs = spec.kernel.default_sockbuf;
+        let t = one_way(spec, mib(4), TcpParams::with_bufs(bufs));
+        let mbps = throughput_mbps(mib(4), t);
+        assert!((230.0..330.0).contains(&mbps), "TrendNet default {mbps} Mbps");
+    }
+
+    #[test]
+    fn trendnet_512k_buffers_restore_rate() {
+        let t = one_way(pcs_trendnet(), mib(4), TcpParams::with_bufs(kib(512)));
+        let mbps = throughput_mbps(mib(4), t);
+        assert!(mbps > 450.0, "TrendNet tuned {mbps} Mbps");
+    }
+
+    #[test]
+    fn ds20_jumbo_reaches_900mbps() {
+        let t = one_way(ds20s_syskonnect_jumbo(), mib(4), TcpParams::with_bufs(kib(512)));
+        let mbps = throughput_mbps(mib(4), t);
+        assert!((850.0..990.0).contains(&mbps), "DS20 jumbo raw {mbps} Mbps");
+    }
+
+    #[test]
+    fn block_sync_small_window_hits_delack_collapse() {
+        // MPICH/p4 with P4_SOCKBUFSIZE=32k: ~75 Mbps (§4.1).
+        let mut params = TcpParams::with_bufs(kib(32));
+        params.block_sync_writes = true;
+        let t = one_way(pcs_ga620(), mib(2), params);
+        let mbps = throughput_mbps(mib(2), t);
+        assert!((50.0..110.0).contains(&mbps), "p4 32k collapse {mbps} Mbps");
+        // Without block-sync writes, 32k does not collapse on the GA620.
+        let t2 = one_way(pcs_ga620(), mib(2), TcpParams::with_bufs(kib(32)));
+        let mbps2 = throughput_mbps(mib(2), t2);
+        assert!(mbps2 > 3.0 * mbps, "plain 32k {mbps2} vs p4 {mbps}");
+    }
+
+    #[test]
+    fn throughput_monotone_in_buffer_size() {
+        let sizes = [kib(16), kib(32), kib(64), kib(128), kib(256), kib(512)];
+        let mut last = 0.0;
+        for &b in &sizes {
+            let t = one_way(pcs_trendnet(), mib(2), TcpParams::with_bufs(b));
+            let mbps = throughput_mbps(mib(2), t);
+            assert!(
+                mbps + 1.0 >= last,
+                "throughput dropped at buf {b}: {mbps} < {last}"
+            );
+            last = mbps;
+        }
+    }
+
+    #[test]
+    fn sockbuf_clamped_by_kernel_ceiling() {
+        let mut eng = Fabric::engine(hwmodel::ClusterSpec {
+            kernel: hwmodel::presets::linux_2_4(),
+            ..pcs_ga620()
+        });
+        let conn = open(&mut eng.world, TcpParams::with_bufs(mib(8)));
+        let tcp = tcp_mut(&mut eng.world, conn);
+        assert_eq!(tcp.window, kib(128)); // 2.4 default rmem_max
+    }
+
+    #[test]
+    fn bidirectional_pingpong_roundtrip() {
+        let mut eng = Fabric::engine(pcs_ga620());
+        let conn = open(&mut eng.world, TcpParams::with_bufs(kib(512)));
+        let done = Rc::new(Cell::new(None));
+        let done2 = Rc::clone(&done);
+        send(
+            &mut eng,
+            conn,
+            0,
+            1000,
+            Box::new(move |e| {
+                // pong
+                send(
+                    e,
+                    conn,
+                    1,
+                    1000,
+                    Box::new(move |e| done2.set(Some(e.now()))),
+                );
+            }),
+        );
+        eng.run();
+        let rtt = done.get().expect("pong missing").as_micros_f64();
+        // Round trip should be roughly 2x the one-way latency.
+        assert!((200.0..400.0).contains(&rtt), "rtt {rtt} us");
+    }
+
+    #[test]
+    fn back_to_back_sends_are_fifo() {
+        let mut eng = Fabric::engine(pcs_ga620());
+        let conn = open(&mut eng.world, TcpParams::with_bufs(kib(512)));
+        let order = Rc::new(std::cell::RefCell::new(Vec::new()));
+        for i in 0..3u32 {
+            let order = Rc::clone(&order);
+            send(
+                &mut eng,
+                conn,
+                0,
+                100_000,
+                Box::new(move |_| order.borrow_mut().push(i)),
+            );
+        }
+        eng.run();
+        assert_eq!(*order.borrow(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn zero_byte_send_still_delivers() {
+        let t = one_way(pcs_ga620(), 0, TcpParams::with_bufs(kib(512)));
+        assert!(t > 0.0);
+    }
+
+    #[test]
+    fn delivered_bytes_accounted() {
+        let mut eng = Fabric::engine(pcs_ga620());
+        let conn = open(&mut eng.world, TcpParams::with_bufs(kib(512)));
+        send(&mut eng, conn, 0, 50_000, Box::new(|_| {}));
+        send(&mut eng, conn, 1, 20_000, Box::new(|_| {}));
+        eng.run();
+        let tcp = tcp_mut(&mut eng.world, conn);
+        assert_eq!(tcp.bytes_delivered, 70_000);
+    }
+}

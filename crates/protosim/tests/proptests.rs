@@ -1,0 +1,123 @@
+//! Property tests on transport-model invariants.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hwmodel::presets::{pcs_ga620, pcs_myrinet, pcs_trendnet};
+use protosim::{local, raw, tcp, Conn, Fabric, RawParams, RecvMode, TcpParams};
+use simcore::units::kib;
+
+/// Run a set of sends on one TCP connection; return (per-send completion
+/// times in seconds, total bytes the connection delivered).
+fn run_tcp(spec: hwmodel::ClusterSpec, params: TcpParams, sends: &[(usize, u64)]) -> (Vec<f64>, u64) {
+    let mut eng = Fabric::engine(spec);
+    let conn = tcp::open(&mut eng.world, params);
+    let done: Rc<RefCell<Vec<(usize, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+    for (i, &(from, bytes)) in sends.iter().enumerate() {
+        let done = Rc::clone(&done);
+        protosim::send(
+            &mut eng,
+            conn,
+            from,
+            bytes,
+            Box::new(move |e| done.borrow_mut().push((i, e.now().as_secs_f64()))),
+        );
+    }
+    eng.run();
+    let mut times = done.borrow().clone();
+    assert_eq!(times.len(), sends.len(), "every send must complete");
+    times.sort_by_key(|&(i, _)| i);
+    let delivered = match &eng.world.conns[conn.0] {
+        Conn::Tcp(t) => t.bytes_delivered,
+        _ => unreachable!(),
+    };
+    (times.into_iter().map(|(_, t)| t).collect(), delivered)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Byte conservation: whatever mix of sends is issued, exactly the
+    /// sum of (max(1, bytes)) crosses the connection.
+    #[test]
+    fn tcp_conserves_bytes(
+        sends in proptest::collection::vec((0usize..2, 1u64..200_000), 1..12),
+    ) {
+        let (_, delivered) = run_tcp(pcs_ga620(), TcpParams::with_bufs(kib(512)), &sends);
+        let expect: u64 = sends.iter().map(|&(_, b)| b.max(1)).sum();
+        prop_assert_eq!(delivered, expect);
+    }
+
+    /// FIFO per direction: same-direction messages complete in issue order.
+    #[test]
+    fn tcp_fifo_per_direction(sizes in proptest::collection::vec(1u64..150_000, 2..10)) {
+        let sends: Vec<(usize, u64)> = sizes.iter().map(|&b| (0usize, b)).collect();
+        let (times, _) = run_tcp(pcs_ga620(), TcpParams::with_bufs(kib(256)), &sends);
+        for w in times.windows(2) {
+            prop_assert!(w[1] >= w[0], "completion order violated: {times:?}");
+        }
+    }
+
+    /// Tiny windows still deliver (the SWS guard cannot deadlock), just
+    /// slowly.
+    #[test]
+    fn tiny_windows_never_deadlock(bytes in 1u64..100_000, window in 1u64..4096) {
+        let (times, delivered) = run_tcp(
+            pcs_ga620(),
+            TcpParams::with_bufs(window),
+            &[(0, bytes)],
+        );
+        prop_assert_eq!(delivered, bytes.max(1));
+        prop_assert!(times[0] > 0.0);
+    }
+
+    /// The TrendNet pathology is monotone: for a fixed large transfer,
+    /// bigger windows never take longer.
+    #[test]
+    fn trendnet_window_monotone(w1 in 13u32..20, w2 in 13u32..20) {
+        let (lo, hi) = (1u64 << w1.min(w2), 1u64 << w1.max(w2));
+        let (t_lo, _) = run_tcp(pcs_trendnet(), TcpParams::with_bufs(lo), &[(0, 2_000_000)]);
+        let (t_hi, _) = run_tcp(pcs_trendnet(), TcpParams::with_bufs(hi), &[(0, 2_000_000)]);
+        prop_assert!(t_hi[0] <= t_lo[0] * 1.0001);
+    }
+
+    /// Raw (OS-bypass) transports conserve bytes and keep FIFO order too.
+    #[test]
+    fn raw_conserves_bytes(sizes in proptest::collection::vec(1u64..500_000, 1..8)) {
+        let mut eng = Fabric::engine(pcs_myrinet());
+        let conn = raw::open(&mut eng.world, RawParams::gm(RecvMode::Polling));
+        let order: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        for (i, &bytes) in sizes.iter().enumerate() {
+            let order = Rc::clone(&order);
+            protosim::send(&mut eng, conn, 0, bytes, Box::new(move |_| order.borrow_mut().push(i)));
+        }
+        eng.run();
+        let expect: u64 = sizes.iter().map(|&b| b.max(1)).sum();
+        let delivered = match &eng.world.conns[conn.0] {
+            Conn::Raw(r) => r.bytes_delivered,
+            _ => unreachable!(),
+        };
+        prop_assert_eq!(delivered, expect);
+        let got: Vec<usize> = order.borrow().clone();
+        let want: Vec<usize> = (0..sizes.len()).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Local pipes: time scales (weakly) with bytes, and the completion
+    /// callback always fires.
+    #[test]
+    fn local_pipe_monotone(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let time_for = |bytes: u64| {
+            let mut eng = Fabric::engine(pcs_ga620());
+            let conn = local::open(&mut eng.world, 0);
+            let out = Rc::new(std::cell::Cell::new(None));
+            let o = Rc::clone(&out);
+            local::send(&mut eng, conn, bytes, Box::new(move |e| o.set(Some(e.now().as_secs_f64()))));
+            eng.run();
+            out.get().unwrap()
+        };
+        prop_assert!(time_for(hi) >= time_for(lo));
+    }
+}

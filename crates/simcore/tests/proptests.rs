@@ -1,0 +1,107 @@
+//! Property tests for the simulation kernel invariants that the rest of
+//! the workspace relies on.
+
+use proptest::prelude::*;
+use simcore::{Engine, OnlineStats, Resource, SimDuration, SimRng, SimTime};
+
+proptest! {
+    /// Events fire in nondecreasing time order regardless of insertion order.
+    #[test]
+    fn event_order_is_total(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut eng: Engine<Vec<u64>> = Engine::new(Vec::new());
+        for &t in &times {
+            eng.schedule_at(SimTime(t), move |e| e.world.push(t));
+        }
+        eng.run();
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&eng.world, &sorted);
+    }
+
+    /// Same schedule → identical execution trace (determinism).
+    #[test]
+    fn runs_are_reproducible(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+        let run = |ts: &[u64]| {
+            let mut eng: Engine<Vec<(u64, u64)>> = Engine::new(Vec::new());
+            for (i, &t) in ts.iter().enumerate() {
+                let i = i as u64;
+                eng.schedule_at(SimTime(t), move |e| {
+                    let now = e.now().as_nanos();
+                    e.world.push((now, i));
+                });
+            }
+            eng.run();
+            eng.world
+        };
+        prop_assert_eq!(run(&times), run(&times));
+    }
+
+    /// A FIFO resource conserves bytes and never overlaps service periods:
+    /// total busy time equals the sum of individual service times, and each
+    /// completion is at least `service_time` after the request.
+    #[test]
+    fn resource_conservation(
+        reqs in proptest::collection::vec((0u64..1_000_000, 1u64..100_000), 1..100),
+        rate_mb in 1u32..10_000,
+    ) {
+        let rate = f64::from(rate_mb) * 1e6;
+        let mut r = Resource::new("r", rate);
+        let mut reqs = reqs;
+        reqs.sort_by_key(|&(t, _)| t); // callers arrive in time order
+        let mut total_bytes = 0u64;
+        let mut expected_busy = SimDuration::ZERO;
+        let mut last_done = SimTime::ZERO;
+        for &(t, bytes) in &reqs {
+            let service = r.service_time(bytes);
+            let done = r.serve(SimTime(t), bytes);
+            // FIFO: completions are nondecreasing.
+            prop_assert!(done >= last_done);
+            // Completion no earlier than request + service time.
+            prop_assert!(done >= SimTime(t) + service);
+            last_done = done;
+            total_bytes += bytes;
+            expected_busy += service;
+        }
+        prop_assert_eq!(r.bytes_served(), total_bytes);
+        prop_assert_eq!(r.busy_time(), expected_busy);
+        // The resource can never have been busy longer than the horizon.
+        prop_assert!(r.busy_time() <= last_done - SimTime::ZERO);
+    }
+
+    /// for_bytes is monotone in bytes and antitone in rate.
+    #[test]
+    fn service_time_monotone(b1 in 0u64..1<<30, b2 in 0u64..1<<30, r in 1.0f64..1e12) {
+        let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
+        prop_assert!(SimDuration::for_bytes(lo, r) <= SimDuration::for_bytes(hi, r));
+        prop_assert!(SimDuration::for_bytes(hi, r * 2.0) <= SimDuration::for_bytes(hi, r));
+    }
+
+    /// OnlineStats::merge is equivalent to pushing everything sequentially,
+    /// for any split point.
+    #[test]
+    fn stats_merge_associative(
+        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split_frac in 0.0f64..1.0,
+    ) {
+        let split = ((xs.len() as f64) * split_frac) as usize;
+        let mut whole = OnlineStats::new();
+        for &x in &xs { whole.push(x); }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &xs[..split] { a.push(x); }
+        for &x in &xs[split..] { b.push(x); }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3);
+    }
+
+    /// SimRng::next_below always respects its bound.
+    #[test]
+    fn rng_bound_respected(seed: u64, bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..100 {
+            prop_assert!(rng.next_below(bound) < bound);
+        }
+    }
+}

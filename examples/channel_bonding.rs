@@ -1,0 +1,50 @@
+//! MP_Lite channel bonding: striping one message across multiple NICs —
+//! the headline feature of the authors' companion MP_Lite paper, rebuilt
+//! on the simulated testbed.
+//!
+//! Two configurations tell the whole story:
+//!
+//! * **dual Fast Ethernet** — two 100 Mb/s wires on an otherwise idle PCI
+//!   bus: bonding buys almost exactly 2x;
+//! * **dual Gigabit Ethernet** — two 1 Gb/s wires behind one shared
+//!   32-bit 33 MHz PCI bus: the bus saturates first and bonding buys
+//!   almost nothing. Hardware balance, not wire count, sets the ceiling.
+//!
+//! ```sh
+//! cargo run --release --example channel_bonding
+//! ```
+
+use netpipe_rs::prelude::*;
+
+fn measure(spec: hwmodel::ClusterSpec, lib: MpLib) -> netpipe::Signature {
+    let mut driver = SimDriver::new(spec, lib);
+    run(&mut driver, &RunOptions::default()).unwrap()
+}
+
+fn main() {
+    println!("MP_Lite channel bonding on the simulated testbed\n");
+    println!("| configuration | single NIC (Mbps) | 2-way bonded (Mbps) | speedup |");
+    println!("|---|---:|---:|---:|");
+
+    for (label, spec) in [
+        ("dual Fast Ethernet (PCs)", pcs_fast_ethernet_dual()),
+        ("dual Netgear GA620 GigE (PCs)", pcs_ga620_dual()),
+    ] {
+        let kernel = spec.kernel.clone();
+        let single = measure(spec.clone(), mp_lite(&kernel));
+        let bonded = measure(spec.clone(), mp_lite_bonded(&kernel, 2));
+        println!(
+            "| {label} | {:.0} | {:.0} | {:.2}x |",
+            single.final_mbps(),
+            bonded.final_mbps(),
+            bonded.final_mbps() / single.final_mbps()
+        );
+    }
+
+    println!(
+        "\nThe 100 Mb/s wires double because the 32-bit PCI bus (~720 Mbps\n\
+         effective) has room for both; the Gigabit wires cannot, because one\n\
+         card already pushes the shared bus near saturation. Exactly the\n\
+         balance §7 of the paper warns about when comparing interconnects."
+    );
+}

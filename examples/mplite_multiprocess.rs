@@ -1,0 +1,73 @@
+//! Multi-process mplite: one OS process per rank, bootstrapped from the
+//! environment exactly like a minimal MP_Lite `.nodes` launch.
+//!
+//! The parent invocation spawns NPROCS copies of itself with
+//! `MPLITE_RANK`/`MPLITE_NPROCS`/`MPLITE_PORT_BASE` set; each child joins
+//! the mesh via [`Universe::from_env`], runs a ring token pass and an
+//! allreduce, and exits. The parent checks every child's exit status.
+//!
+//! ```sh
+//! cargo run --release --example mplite_multiprocess
+//! ```
+
+use netpipe_rs::mplite::{ReduceOp, Universe};
+
+const NPROCS: usize = 4;
+
+fn child() {
+    let comm = Universe::from_env().expect("mesh bootstrap failed");
+    let me = comm.rank();
+    let n = comm.nprocs();
+
+    // Token ring: rank 0 injects, each rank increments and forwards.
+    if me == 0 {
+        comm.send(1 % n, 1, &0u64.to_le_bytes()).unwrap();
+        let (data, _) = comm.recv(((n - 1) % n) as i32, 1).unwrap();
+        let token = u64::from_le_bytes(data[..].try_into().unwrap());
+        assert_eq!(token, (n - 1) as u64, "token accumulated one per hop");
+        println!("rank 0: token returned with value {token}");
+    } else {
+        let (data, _) = comm.recv((me - 1) as i32, 1).unwrap();
+        let token = u64::from_le_bytes(data[..].try_into().unwrap()) + 1;
+        comm.send((me + 1) % n, 1, &token.to_le_bytes()).unwrap();
+    }
+
+    // A collective across processes.
+    let sum = comm.allreduce(&[(me + 1) as i64], ReduceOp::Sum).unwrap()[0];
+    assert_eq!(sum, (n * (n + 1) / 2) as i64);
+    println!("rank {me}: allreduce sum = {sum} (pid {})", std::process::id());
+}
+
+fn main() {
+    if std::env::var("MPLITE_RANK").is_ok() {
+        child();
+        return;
+    }
+
+    // Parent: spawn one process per rank.
+    let exe = std::env::current_exe().expect("own path");
+    // An uncommon base port to avoid collisions on busy machines.
+    let port_base = 28_431u16;
+    println!("spawning {NPROCS} rank processes from {}\n", exe.display());
+    let children: Vec<std::process::Child> = (0..NPROCS)
+        .map(|rank| {
+            std::process::Command::new(&exe)
+                .env("MPLITE_RANK", rank.to_string())
+                .env("MPLITE_NPROCS", NPROCS.to_string())
+                .env("MPLITE_PORT_BASE", port_base.to_string())
+                .spawn()
+                .expect("spawn rank process")
+        })
+        .collect();
+
+    let mut failures = 0;
+    for (rank, child) in children.into_iter().enumerate() {
+        let status = child.wait_with_output().expect("wait for rank");
+        if !status.status.success() {
+            eprintln!("rank {rank} failed: {:?}", status.status);
+            failures += 1;
+        }
+    }
+    assert_eq!(failures, 0, "{failures} ranks failed");
+    println!("\nall {NPROCS} processes joined the mesh, passed the token, and agreed on the allreduce.");
+}

@@ -1,0 +1,51 @@
+//! The §7 hypothesis as an experiment: which libraries keep data flowing
+//! while the application computes?
+//!
+//! The paper: "A message-passing library like MPI/Pro that has a message
+//! progress thread, or MP_Lite that is SIGIO interrupt driven, will keep
+//! data flowing more readily" — predicted, never measured. Here a 1 MB
+//! message races 0–40 ms of receiver-side computation.
+//!
+//! ```sh
+//! cargo run --release --example overlap_study
+//! ```
+
+use netpipe_rs::prelude::*;
+use simcore::SimDuration;
+
+fn main() {
+    let spec = pcs_ga620();
+    let bytes = mib(1);
+    let libs: Vec<MpLib> = vec![
+        raw_tcp(kib(512)),
+        mpich(MpichConfig::tuned()),
+        mpipro(MpiProConfig::tuned()),
+        mp_lite(&spec.kernel),
+        pvm(PvmConfig::tuned()),
+    ];
+
+    println!("total time (ms) for a 1 MB receive vs receiver compute time, GA620 cluster\n");
+    print!("{:<28}", "compute (ms):");
+    let busies = [0u64, 5, 10, 20, 40];
+    for b in busies {
+        print!("{b:>8}");
+    }
+    println!("\n{}", "-".repeat(28 + 8 * busies.len()));
+
+    for lib in &libs {
+        print!("{:<28}", lib.name());
+        for b in busies {
+            let p = clusterlab::measure_overlap(&spec, lib, bytes, SimDuration::from_millis(b));
+            print!("{:>8.1}", p.total_s * 1e3);
+        }
+        let eff = clusterlab::measure_overlap(&spec, lib, bytes, SimDuration::from_millis(20))
+            .efficiency();
+        println!("   overlap {:>3.0}%", eff * 100.0);
+    }
+
+    println!(
+        "\nReading the table: with full overlap the totals track max(compute,\n\
+         transfer); in-call libraries (MPICH, PVM) pay compute *plus* most of\n\
+         the transfer — the paper's closing prediction, quantified."
+    );
+}

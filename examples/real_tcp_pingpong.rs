@@ -1,0 +1,47 @@
+//! NetPIPE over *real* kernel TCP on loopback — the measurement the paper
+//! runs, alive on today's machine, including the socket-buffer experiment
+//! of §4.
+//!
+//! ```sh
+//! cargo run --release --example real_tcp_pingpong
+//! ```
+
+use netpipe_rs::prelude::*;
+
+fn main() {
+    println!("NetPIPE over real loopback TCP on this machine\n");
+
+    let mut sigs = Vec::new();
+    for (label, sockbuf) in [("default buffers", 0u32), ("16 kB buffers", 16 * 1024), ("512 kB buffers", 512 * 1024)] {
+        let mut driver = RealTcpDriver::new(RealTcpOptions { sockbuf, nodelay: true })
+            .expect("echo server failed to start");
+        let (snd, rcv) = driver.effective_buffers();
+        let sig = run(
+            &mut driver,
+            &RunOptions {
+                schedule: netpipe::ScheduleOptions {
+                    max: 4 * 1024 * 1024,
+                    ..Default::default()
+                },
+                trials: 5,
+                warmup: 3,
+                ..Default::default()
+            },
+        )
+        .expect("measurement failed");
+        println!(
+            "{label:<16} granted snd/rcv = {snd}/{rcv} B    latency {:>7.1} us    peak {:>8.0} Mbps",
+            sig.latency_us, sig.max_mbps
+        );
+        sigs.push(sig);
+    }
+
+    println!();
+    println!("{}", ascii_figure("real loopback TCP vs socket buffers", &sigs, 88, 18));
+    println!(
+        "Loopback has no NIC, so absolute numbers dwarf the paper's — but the\n\
+         *shape* of the socket-buffer effect survives two decades: the kernel\n\
+         clamps requests to wmem_max exactly as §3.4 describes, and undersized\n\
+         buffers still cost real throughput."
+    );
+}

@@ -1,0 +1,96 @@
+//! The paper's central practical lesson, §4/§8: "It is vital to take the
+//! time to measure and optimize the performance of the OS and
+//! message-passing system when dealing with gigabit speed hardware."
+//!
+//! This example walks a cluster admin's tuning session: start with every
+//! default, watch the throughput, turn one knob at a time.
+//!
+//! ```sh
+//! cargo run --release --example tuning_study
+//! ```
+
+use netpipe_rs::prelude::*;
+
+fn plateau(spec: hwmodel::ClusterSpec, lib: MpLib) -> f64 {
+    let mut driver = SimDriver::new(spec, lib);
+    run(&mut driver, &RunOptions::default()).unwrap().final_mbps()
+}
+
+fn step(n: u32, what: &str, mbps: f64, note: &str) {
+    println!("{n}. {what:<58} {mbps:>7.0} Mbps   {note}");
+}
+
+fn main() {
+    println!("A tuning session on the TrendNet ($55 copper GigE) cluster\n");
+    let spec = pcs_trendnet();
+
+    step(
+        1,
+        "raw TCP, kernel-default 64 kB socket buffers",
+        plateau(spec.clone(), raw_tcp(kib(64))),
+        "the out-of-box experience",
+    );
+    step(
+        2,
+        "raw TCP, 512 kB socket buffers (sysctl + SO_SNDBUF)",
+        plateau(spec.clone(), raw_tcp(kib(512))),
+        "\"doubling the raw throughput\" (§4)",
+    );
+    step(
+        3,
+        "MPICH, default P4_SOCKBUFSIZE=32k",
+        plateau(spec.clone(), mpich(MpichConfig::default())),
+        "the delayed-ACK collapse (§4.1)",
+    );
+    step(
+        4,
+        "MPICH, P4_SOCKBUFSIZE=256k",
+        plateau(spec.clone(), mpich(MpichConfig::tuned())),
+        "the five-fold fix",
+    );
+    step(
+        5,
+        "PVM as shipped (routing via pvmd daemons)",
+        plateau(spec.clone(), pvm(PvmConfig::default())),
+        "stop-and-wait through two daemons (§4.5)",
+    );
+    step(
+        6,
+        "PVM + pvm_setopt(PvmRouteDirect)",
+        plateau(
+            spec.clone(),
+            pvm(PvmConfig { direct_route: true, in_place: false }),
+        ),
+        "bypass the daemons: ~4x",
+    );
+    step(
+        7,
+        "PVM + PvmDataInPlace",
+        plateau(spec.clone(), pvm(PvmConfig::tuned())),
+        "skip the packing copy",
+    );
+    step(
+        8,
+        "LAM/MPI without -O",
+        plateau(spec.clone(), lammpi(LamConfig::default())),
+        "heterogeneous checks on every byte",
+    );
+    step(
+        9,
+        "LAM/MPI with -O (homogeneous)",
+        plateau(spec.clone(), lammpi(LamConfig::tuned())),
+        "still capped by its fixed buffers on this NIC",
+    );
+    step(
+        10,
+        "MP_Lite (system-max buffers, SIGIO progress)",
+        plateau(spec.clone(), mp_lite(&spec.kernel)),
+        "within a few % of raw TCP (§4.4)",
+    );
+
+    println!(
+        "\nMoral (§8): every deficiency above is a default, not a hardware limit; \n\
+         \"tuning a few simple parameters can increase the communication \n\
+         performance by as much as a factor of 5\"."
+    );
+}

@@ -1,0 +1,80 @@
+//! The ablation claims of DESIGN.md §8, enforced as tests: each modeled
+//! mechanism is load-bearing — switch it off and its paper effect
+//! disappears. (The `ablations` binary prints the full table; these run
+//! on a reduced schedule so `cargo test` stays fast.)
+
+use netpipe_rs::prelude::*;
+
+fn plateau(spec: hwmodel::ClusterSpec, lib: MpLib) -> f64 {
+    let mut d = SimDriver::new(spec, lib);
+    run(&mut d, &RunOptions::quick(2 << 20)).unwrap().final_mbps()
+}
+
+#[test]
+fn ack_recycle_stall_is_load_bearing() {
+    let on = plateau(pcs_trendnet(), raw_tcp(kib(64)));
+    let mut spec = pcs_trendnet();
+    spec.nic.ack_delay_us = 0.0;
+    let off = plateau(spec, raw_tcp(kib(64)));
+    assert!(off > 1.5 * on, "stall off {off} vs on {on}");
+}
+
+#[test]
+fn p4_recv_memcpy_is_load_bearing() {
+    let on = plateau(pcs_ga620(), mpich(MpichConfig::tuned()));
+    let mut lib = mpich(MpichConfig::tuned());
+    lib.profile.recv_copies = 0;
+    let off = plateau(pcs_ga620(), lib);
+    assert!(off > 1.15 * on, "memcpy off {off} vs on {on}");
+}
+
+#[test]
+fn rendezvous_handshake_is_load_bearing() {
+    let dip = |lib: MpLib| {
+        let mut d = SimDriver::new(pcs_ga620(), lib);
+        run(&mut d, &RunOptions::quick(1 << 20)).unwrap().dip_ratio(128 * 1024)
+    };
+    let on = dip(mpich(MpichConfig::tuned()));
+    let mut lib = mpich(MpichConfig::tuned());
+    lib.profile.rendezvous_bytes = None;
+    let off = dip(lib);
+    assert!(off > on, "dip must vanish: on {on}, off {off}");
+    assert!(on < 0.95, "dip must exist with the mechanism on: {on}");
+}
+
+#[test]
+fn pvmd_stop_and_wait_is_load_bearing() {
+    let on = plateau(pcs_ga620(), pvm(PvmConfig::default()));
+    let mut lib = pvm(PvmConfig::default());
+    if let Some(f) = &mut lib.profile.fragment {
+        f.stop_and_wait = false;
+    }
+    let off = plateau(pcs_ga620(), lib);
+    assert!(off > 1.5 * on, "stop-and-wait off {off} vs on {on}");
+}
+
+#[test]
+fn p4_block_sync_writes_are_load_bearing() {
+    let on = plateau(pcs_ga620(), mpich(MpichConfig::default()));
+    let mut lib = mpich(MpichConfig::default());
+    if let netpipe_rs::mp::Transport::Tcp(p) = &mut lib.transport {
+        p.block_sync_writes = false;
+    }
+    let off = plateau(pcs_ga620(), lib);
+    assert!(off > 3.0 * on, "block-sync off {off} vs on {on}");
+}
+
+#[test]
+fn serial_copies_and_overheads_compose_monotonically() {
+    // Stacking mechanisms can only slow a library down.
+    let base = plateau(pcs_ga620(), raw_tcp(kib(512)));
+    let mut one_copy = raw_tcp(kib(512));
+    one_copy.profile.recv_copies = 1;
+    let mut copy_and_handshake = raw_tcp(kib(512));
+    copy_and_handshake.profile.recv_copies = 1;
+    copy_and_handshake.profile.rendezvous_bytes = Some(kib(64));
+    let a = plateau(pcs_ga620(), one_copy);
+    let b = plateau(pcs_ga620(), copy_and_handshake);
+    assert!(a < base);
+    assert!(b <= a * 1.001);
+}

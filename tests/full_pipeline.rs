@@ -1,0 +1,114 @@
+//! End-to-end integration: the full stack from cluster preset through
+//! library model, transport simulation, NetPIPE harness and reporting —
+//! plus the real-socket paths — exercised together.
+
+use netpipe_rs::prelude::*;
+
+fn quick() -> RunOptions {
+    RunOptions::quick(1 << 18)
+}
+
+#[test]
+fn fig1_ordering_holds_on_quick_schedule() {
+    let exp = netpipe_rs::lab::presets::fig1();
+    let res = run_experiment(&exp, &quick());
+    let tcp = res.by_name("raw TCP").unwrap();
+    let mpich = res.by_prefix("MPICH").unwrap();
+    let mp_lite = res.by_prefix("MP_Lite").unwrap();
+    // Even on a reduced schedule, the paper's ordering holds.
+    assert!(tcp.max_mbps >= mpich.max_mbps);
+    assert!(mp_lite.max_mbps > mpich.max_mbps);
+    assert!(mpich.latency_us > 100.0);
+}
+
+#[test]
+fn every_experiment_runs_end_to_end_quick() {
+    for exp in all_experiments() {
+        let res = run_experiment(&exp, &quick());
+        assert_eq!(res.signatures.len(), exp.entries.len(), "{}", exp.id);
+        for sig in &res.signatures {
+            assert!(!sig.points.is_empty(), "{}: {} empty", exp.id, sig.name);
+            assert!(sig.latency_us > 0.0, "{}: {} zero latency", exp.id, sig.name);
+            assert!(sig.max_mbps > 1.0, "{}: {} no throughput", exp.id, sig.name);
+            // Times are strictly positive and finite everywhere.
+            assert!(sig.points.iter().all(|p| p.seconds > 0.0 && p.seconds.is_finite()));
+        }
+        let rows = compare(&exp, &res);
+        let md = netpipe_rs::lab::to_markdown(exp.title, &rows);
+        assert!(md.lines().count() > exp.entries.len());
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let exp = netpipe_rs::lab::presets::fig5();
+    let a = run_experiment(&exp, &quick());
+    let b = run_experiment(&exp, &quick());
+    for (sa, sb) in a.signatures.iter().zip(&b.signatures) {
+        assert_eq!(sa.points.len(), sb.points.len());
+        for (pa, pb) in sa.points.iter().zip(&sb.points) {
+            assert_eq!(pa.seconds, pb.seconds, "{}", sa.name);
+        }
+    }
+}
+
+#[test]
+fn real_tcp_through_full_harness() {
+    let mut driver = RealTcpDriver::new(RealTcpOptions::default()).unwrap();
+    let sig = run(&mut driver, &RunOptions::quick(65536)).unwrap();
+    assert!(sig.points.len() > 10);
+    assert!(sig.max_mbps > 50.0, "loopback should not be this slow: {}", sig.max_mbps);
+    let analysis = analyze(&sig);
+    assert!(analysis.t0_s >= 0.0);
+    assert!(analysis.n_half > 0);
+}
+
+#[test]
+fn real_mplite_through_full_harness() {
+    let mut driver = MpliteDriver::new().unwrap();
+    let sig = run(&mut driver, &RunOptions::quick(65536)).unwrap();
+    assert!(sig.points.len() > 10);
+    assert!(sig.max_mbps > 20.0, "mplite loopback too slow: {}", sig.max_mbps);
+}
+
+#[test]
+fn mplite_latency_exceeds_raw_tcp_loopback() {
+    // mplite adds header parsing, matching, and thread handoffs over raw
+    // sockets; its small-message latency must reflect that, and both must
+    // be sane.
+    let mut raw = RealTcpDriver::new(RealTcpOptions::default()).unwrap();
+    let mut lite = MpliteDriver::new().unwrap();
+    let opts = RunOptions::quick(4096);
+    let raw_sig = run(&mut raw, &opts).unwrap();
+    let lite_sig = run(&mut lite, &opts).unwrap();
+    assert!(
+        lite_sig.latency_us > 0.8 * raw_sig.latency_us,
+        "mplite {} us vs raw {} us",
+        lite_sig.latency_us,
+        raw_sig.latency_us
+    );
+}
+
+#[test]
+fn report_writers_roundtrip_on_live_data() {
+    let mut driver = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
+    let sig = run(&mut driver, &quick()).unwrap();
+    let csv = netpipe_rs::pipe::to_csv(std::slice::from_ref(&sig));
+    assert_eq!(csv.lines().count(), sig.points.len() + 1);
+    let svg = netpipe_rs::pipe::svg_figure("t", std::slice::from_ref(&sig), 640, 400);
+    assert!(svg.contains("polyline"));
+    let fig = ascii_figure("t", std::slice::from_ref(&sig), 60, 12);
+    assert!(fig.contains("raw TCP"));
+}
+
+#[test]
+fn section7_overlap_panel_is_consistent() {
+    let panel = section7_panel();
+    assert!(panel.len() >= 5);
+    for p in &panel {
+        assert!(p.total_s >= p.busy_s.max(p.transfer_alone_s) * 0.999, "{:?}", p);
+        assert!(p.total_s <= (p.busy_s + p.transfer_alone_s) * 1.05, "{:?}", p);
+        let e = p.efficiency();
+        assert!((0.0..=1.0).contains(&e));
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of cross-crate model invariants: things that must
+//! hold for *any* message size, buffer size, or library configuration —
+//! the physics of the model, not its calibration.
+
+use proptest::prelude::*;
+
+use netpipe_rs::prelude::*;
+
+fn roundtrip_s(spec: hwmodel::ClusterSpec, lib: MpLib, bytes: u64) -> f64 {
+    SimDriver::new(spec, lib).roundtrip(bytes).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Transfer time is monotone nondecreasing in message size.
+    #[test]
+    fn time_monotone_in_size(a in 1u64..4_000_000, b in 1u64..4_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let t_lo = roundtrip_s(pcs_ga620(), raw_tcp(kib(512)), lo);
+        let t_hi = roundtrip_s(pcs_ga620(), raw_tcp(kib(512)), hi);
+        prop_assert!(t_hi >= t_lo, "t({hi})={t_hi} < t({lo})={t_lo}");
+    }
+
+    /// Bigger socket buffers never hurt raw TCP.
+    #[test]
+    fn sockbuf_monotone(
+        bufs_kib in proptest::sample::subsequence(vec![16u64, 32, 64, 128, 256, 512], 2..=2),
+        bytes in 65_536u64..2_000_000,
+    ) {
+        let small = roundtrip_s(pcs_trendnet(), raw_tcp(kib(bufs_kib[0])), bytes);
+        let large = roundtrip_s(pcs_trendnet(), raw_tcp(kib(bufs_kib[1])), bytes);
+        // bufs_kib is ordered (subsequence preserves order).
+        prop_assert!(large <= small * 1.001, "buf {}k: {large}, buf {}k: {small}", bufs_kib[1], bufs_kib[0]);
+    }
+
+    /// A library with extra copies is never faster than the same library
+    /// without them.
+    #[test]
+    fn copies_never_help(bytes in 1u64..2_000_000, copies in 1u32..3) {
+        let mut with = raw_tcp(kib(512));
+        with.profile.recv_copies = copies;
+        let t_with = roundtrip_s(pcs_ga620(), with, bytes);
+        let t_without = roundtrip_s(pcs_ga620(), raw_tcp(kib(512)), bytes);
+        prop_assert!(t_with >= t_without);
+    }
+
+    /// A rendezvous handshake never helps below or at the threshold and
+    /// always costs above it.
+    #[test]
+    fn rendezvous_only_costs_above_threshold(bytes in 1u64..1_000_000) {
+        let threshold = kib(128);
+        let mut rndv = raw_tcp(kib(512));
+        rndv.profile.rendezvous_bytes = Some(threshold);
+        let t_rndv = roundtrip_s(pcs_ga620(), rndv, bytes);
+        let t_eager = roundtrip_s(pcs_ga620(), raw_tcp(kib(512)), bytes);
+        if bytes <= threshold {
+            prop_assert!((t_rndv - t_eager).abs() < 1e-9, "handshake below threshold");
+        } else {
+            prop_assert!(t_rndv > t_eager, "handshake must cost above threshold");
+        }
+    }
+
+    /// Daemon routing is never faster than direct routing for the same
+    /// transport.
+    #[test]
+    fn daemons_never_help(bytes in 1u64..500_000) {
+        let direct = pvm(PvmConfig { direct_route: true, in_place: true });
+        let mut relayed = pvm(PvmConfig { direct_route: true, in_place: true });
+        relayed.profile.routing = netpipe_rs::mp::Routing::Daemon;
+        let t_direct = roundtrip_s(pcs_ga620(), direct, bytes);
+        let t_relayed = roundtrip_s(pcs_ga620(), relayed, bytes);
+        prop_assert!(t_relayed >= t_direct);
+    }
+
+    /// The overlap total always lies between the ideal and the serial sum.
+    #[test]
+    fn overlap_bounded(bytes in 10_000u64..2_000_000, busy_ms in 0u64..30) {
+        let spec = pcs_ga620();
+        let lib = mpich(MpichConfig::tuned());
+        let p = netpipe_rs::lab::measure_overlap(
+            &spec,
+            &lib,
+            bytes,
+            simcore::SimDuration::from_millis(busy_ms),
+        );
+        let ideal = p.busy_s.max(p.transfer_alone_s);
+        let serial = p.busy_s + p.transfer_alone_s;
+        prop_assert!(p.total_s >= ideal * 0.999, "{p:?}");
+        prop_assert!(p.total_s <= serial * 1.05, "{p:?}");
+    }
+
+    /// Streaming a burst is never slower than the same messages sent as
+    /// ping-pong halves, and never faster than the wire allows.
+    #[test]
+    fn burst_bounds(bytes in 1_000u64..200_000, count in 2u32..12) {
+        let mut d = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
+        let stream = d.burst(bytes, count).unwrap();
+        let pp_half = d.roundtrip(bytes).unwrap() / 2.0;
+        prop_assert!(stream <= pp_half * f64::from(count) * 1.001);
+        // Cannot beat the wire: count*bytes at 1 Gbps.
+        let wire_floor = (count as f64) * (bytes as f64) * 8.0 / 1e9;
+        prop_assert!(stream > wire_floor * 0.8, "stream {stream} below wire floor {wire_floor}");
+    }
+}
+
+#[test]
+fn determinism_across_library_matrix() {
+    // Every library preset measured twice gives identical results.
+    let spec = pcs_ga620();
+    let libs = vec![
+        raw_tcp(kib(512)),
+        mpich(MpichConfig::default()),
+        mpich(MpichConfig::tuned()),
+        lammpi(LamConfig::tuned()),
+        lammpi(LamConfig { optimized_o: true, use_lamd: true }),
+        mpipro(MpiProConfig::tuned()),
+        mp_lite(&spec.kernel),
+        pvm(PvmConfig::default()),
+        pvm(PvmConfig::tuned()),
+        tcgmsg_default(),
+    ];
+    for lib in libs {
+        let a = SimDriver::new(spec.clone(), lib.clone()).roundtrip(123_456).unwrap();
+        let b = SimDriver::new(spec.clone(), lib.clone()).roundtrip(123_456).unwrap();
+        assert_eq!(a, b, "{} nondeterministic", lib.name());
+    }
+}

@@ -1,0 +1,163 @@
+//! Stress and failure-injection tests for the real mplite library:
+//! randomized traffic patterns checked against a sequential reference,
+//! and ungraceful-teardown behaviour.
+
+use mplite::{MpError, ReduceOp, Universe, ANY_SOURCE, ANY_TAG};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn randomized_traffic_matches_reference() {
+    // Rank 0 receives a random mix of messages from all peers and checks
+    // source/tag/payload integrity; senders use random sizes and tags.
+    const RANKS: usize = 4;
+    const PER_PEER: usize = 120;
+    Universe::run(RANKS, |comm| {
+        if comm.rank() == 0 {
+            let mut total = 0usize;
+            for _ in 0..(RANKS - 1) * PER_PEER {
+                let (data, st) = comm.recv(ANY_SOURCE, ANY_TAG).unwrap();
+                // Payload encodes (src, tag, len) for verification.
+                assert!(data.len() >= 12, "runt message");
+                let src = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+                let tag = i32::from_le_bytes(data[4..8].try_into().unwrap());
+                let len = u32::from_le_bytes(data[8..12].try_into().unwrap()) as usize;
+                assert_eq!(src, st.src);
+                assert_eq!(tag, st.tag);
+                assert_eq!(len, data.len());
+                // Body is a deterministic fill keyed by tag.
+                for (i, &b) in data[12..].iter().enumerate() {
+                    assert_eq!(b, ((i as i32 + tag) % 251) as u8, "corrupt byte {i}");
+                }
+                total += data.len();
+            }
+            assert!(total > 0);
+        } else {
+            let mut rng = StdRng::seed_from_u64(comm.rank() as u64);
+            for _ in 0..PER_PEER {
+                let tag: i32 = rng.random_range(0..50);
+                let body_len = rng.random_range(0usize..4096);
+                let len = 12 + body_len;
+                let mut msg = Vec::with_capacity(len);
+                msg.extend_from_slice(&(comm.rank() as u32).to_le_bytes());
+                msg.extend_from_slice(&tag.to_le_bytes());
+                msg.extend_from_slice(&(len as u32).to_le_bytes());
+                msg.extend((0..body_len).map(|i| ((i as i32 + tag) % 251) as u8));
+                comm.send(0, tag, &msg).unwrap();
+            }
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn all_collectives_against_reference_under_random_data() {
+    const RANKS: usize = 5;
+    let mut rng = StdRng::seed_from_u64(42);
+    let inputs: Vec<Vec<f64>> = (0..RANKS)
+        .map(|_| (0..64).map(|_| rng.random_range(-100.0..100.0)).collect())
+        .collect();
+    let expect_sum: Vec<f64> = (0..64)
+        .map(|i| inputs.iter().map(|v| v[i]).sum())
+        .collect();
+    let expect_min: Vec<f64> = (0..64)
+        .map(|i| inputs.iter().map(|v| v[i]).fold(f64::MAX, f64::min))
+        .collect();
+
+    let inputs2 = inputs.clone();
+    let results = Universe::run(RANKS, move |comm| {
+        let mine = &inputs2[comm.rank()];
+        let sum = comm.allreduce(mine, ReduceOp::Sum).unwrap();
+        let min = comm.allreduce(mine, ReduceOp::Min).unwrap();
+        (sum, min)
+    })
+    .unwrap();
+    for (sum, min) in results {
+        for i in 0..64 {
+            assert!((sum[i] - expect_sum[i]).abs() < 1e-9);
+            assert_eq!(min[i], expect_min[i]);
+        }
+    }
+}
+
+#[test]
+fn torture_many_interleaved_collectives_and_p2p() {
+    const RANKS: usize = 3;
+    Universe::run(RANKS, |comm| {
+        let right = (comm.rank() + 1) % comm.nprocs();
+        let left = (comm.rank() + comm.nprocs() - 1) % comm.nprocs();
+        for round in 0..60i64 {
+            let tag = (round % 32) as i32;
+            let req = comm.irecv(left as i32, tag);
+            comm.send(right, tag, &round.to_le_bytes()).unwrap();
+            let (data, _) = req.wait().unwrap();
+            assert_eq!(i64::from_le_bytes(data[..].try_into().unwrap()), round);
+            if round % 7 == 0 {
+                comm.barrier().unwrap();
+            }
+            if round % 11 == 0 {
+                let s = comm.allreduce(&[round], ReduceOp::Sum).unwrap();
+                assert_eq!(s, vec![round * RANKS as i64]);
+            }
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn dropping_a_peer_mid_recv_stays_pending_until_own_shutdown() {
+    // The documented teardown contract: a peer's *clean* exit (its Comm
+    // dropped between messages) does NOT fail other ranks' pending
+    // receives — they cannot distinguish "slow" from "gone". The owner
+    // resolves the situation by dropping its own Comm, which poisons
+    // every posted receive with an error instead of hanging.
+    let comms = Universe::local(2).unwrap();
+    let mut comms = comms.into_iter();
+    let c0 = comms.next().unwrap();
+    let c1 = comms.next().unwrap();
+
+    let pending = c0.irecv(1, 99);
+    drop(c1); // rank 1 exits cleanly without ever sending
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    assert!(
+        pending.test().is_none(),
+        "clean peer exit must not complete or fail a pending recv"
+    );
+    drop(c0); // rank 0 finalizes: the posted receive is poisoned
+    match pending.wait() {
+        Err(MpError::Io(_)) => {}
+        other => panic!("expected poisoned recv, got {other:?}"),
+    }
+}
+
+#[test]
+fn sends_to_dead_peer_error_not_panic() {
+    let comms = Universe::local(2).unwrap();
+    let mut comms = comms.into_iter();
+    let c0 = comms.next().unwrap();
+    let c1 = comms.next().unwrap();
+    drop(c1);
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    // The first send may land in kernel buffers; keep pushing until the
+    // broken pipe surfaces. Must never panic.
+    let mut saw_error = false;
+    let payload = vec![0u8; 1 << 20];
+    for _ in 0..64 {
+        if c0.send(1, 0, &payload).is_err() {
+            saw_error = true;
+            break;
+        }
+    }
+    assert!(saw_error, "writes to a dead peer must eventually fail");
+}
+
+#[test]
+fn large_jobs_bootstrap_and_synchronize() {
+    // 12 in-process ranks = 12 listeners + 66 socket pairs + 144 threads.
+    Universe::run(12, |comm| {
+        comm.barrier().unwrap();
+        let n = comm.allreduce(&[1i64], ReduceOp::Sum).unwrap()[0];
+        assert_eq!(n, 12);
+    })
+    .unwrap();
+}

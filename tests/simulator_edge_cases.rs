@@ -1,0 +1,147 @@
+//! Edge-case integration tests: the corners of the model a user hits when
+//! driving the library with unusual parameters.
+
+use netpipe_rs::prelude::*;
+use protosim::{RawParams, RecvMode, TcpParams};
+
+#[test]
+fn one_byte_messages_work_on_every_transport() {
+    for (spec, lib) in [
+        (pcs_ga620(), raw_tcp(kib(512))),
+        (pcs_myrinet(), raw_gm(RecvMode::Polling)),
+        (pcs_giganet(), mp_lite_via(RawParams::giganet())),
+        (pcs_ga620(), pvm(PvmConfig::default())),
+        (pcs_ga620(), lammpi(LamConfig { optimized_o: true, use_lamd: true })),
+    ] {
+        let name = lib.name().to_string();
+        let t = SimDriver::new(spec, lib).roundtrip(1).unwrap();
+        assert!(t > 0.0, "{name}");
+        assert!(t < 0.01, "{name}: 1-byte roundtrip took {t}s");
+    }
+}
+
+#[test]
+fn eight_megabyte_messages_work_on_every_transport() {
+    for (spec, lib) in [
+        (pcs_ga620(), raw_tcp(kib(512))),
+        (pcs_trendnet(), raw_tcp(kib(64))),
+        (pcs_myrinet(), raw_gm(RecvMode::Blocking)),
+        (ds20s_syskonnect_jumbo(), tcgmsg_default()),
+        (pcs_ga620(), pvm(PvmConfig::default())), // stop-and-wait daemons
+    ] {
+        let name = lib.name().to_string();
+        let t = SimDriver::new(spec, lib).roundtrip(mib(8)).unwrap();
+        assert!(t > 0.0 && t.is_finite(), "{name}");
+        assert!(t < 30.0, "{name}: 8 MB roundtrip took {t}s");
+    }
+}
+
+#[test]
+fn asymmetric_socket_buffers_use_the_minimum() {
+    // W = min(sndbuf, rcvbuf): a big send buffer cannot compensate a tiny
+    // receive buffer.
+    let small_rcv = TcpParams {
+        sndbuf: kib(512),
+        rcvbuf: kib(16),
+        block_sync_writes: false,
+    };
+    let both_small = TcpParams::with_bufs(kib(16));
+    let both_big = TcpParams::with_bufs(kib(512));
+    let time = |p: TcpParams| {
+        let mut lib = raw_tcp(kib(512));
+        lib.transport = netpipe_rs::mp::Transport::Tcp(p);
+        SimDriver::new(pcs_trendnet(), lib).roundtrip(mib(1)).unwrap()
+    };
+    let t_asym = time(small_rcv);
+    let t_small = time(both_small);
+    let t_big = time(both_big);
+    assert_eq!(t_asym, t_small, "window is min(snd, rcv)");
+    assert!(t_big < t_asym);
+}
+
+#[test]
+fn window_of_one_byte_still_completes() {
+    let mut lib = raw_tcp(1);
+    lib.transport = netpipe_rs::mp::Transport::Tcp(TcpParams::with_bufs(1));
+    let t = SimDriver::new(pcs_ga620(), lib).roundtrip(4096).unwrap();
+    assert!(t.is_finite() && t > 0.0);
+}
+
+#[test]
+fn all_gm_recv_modes_complete() {
+    for mode in [RecvMode::Polling, RecvMode::Blocking, RecvMode::Hybrid] {
+        let t = SimDriver::new(pcs_myrinet(), raw_gm(mode)).roundtrip(100_000).unwrap();
+        assert!(t > 0.0, "{mode:?}");
+    }
+}
+
+#[test]
+fn fast_ethernet_baseline_is_sane() {
+    // §4: Fast Ethernet "just works" — near wire speed with defaults.
+    let mut d = SimDriver::new(pcs_fast_ethernet(), raw_tcp(kib(64)));
+    let sig = run(&mut d, &RunOptions::quick(1 << 20)).unwrap();
+    assert!(
+        (80.0..98.0).contains(&sig.final_mbps()),
+        "Fast Ethernet plateau {}",
+        sig.final_mbps()
+    );
+}
+
+#[test]
+fn bonded_session_on_bonded_cluster_through_harness() {
+    let kernel = pcs_fast_ethernet_dual().kernel;
+    let mut d = SimDriver::new(pcs_fast_ethernet_dual(), mp_lite_bonded(&kernel, 2));
+    let sig = run(&mut d, &RunOptions::quick(1 << 20)).unwrap();
+    assert!(
+        sig.final_mbps() > 150.0,
+        "bonded Fast Ethernet {}",
+        sig.final_mbps()
+    );
+    // Latency region unaffected by striping.
+    assert!(sig.latency_us < 80.0, "{}", sig.latency_us);
+}
+
+#[test]
+fn mvia_requires_its_kernel_but_runs_on_24() {
+    // M-VIA on its 2.4.2 kernel behaves as on 2.4 for the TCP-free path.
+    let t = SimDriver::new(
+        pcs_mvia_syskonnect(),
+        mvich(MvichConfig::tuned(), RawParams::mvia_sk98lin()),
+    )
+    .roundtrip(65536)
+    .unwrap();
+    assert!(t > 0.0);
+}
+
+#[test]
+fn breakdown_of_window_limited_config_shows_idle_stages() {
+    // TrendNet with default buffers: time goes to stalls, so *no* stage
+    // is near saturation — the signature of a tuning problem rather than
+    // a hardware limit (§7).
+    let b = netpipe_rs::lab::measure_breakdown(&pcs_trendnet(), &raw_tcp(kib(64)), mib(2));
+    for s in &b.stages {
+        let share = s.busy.as_secs_f64() / b.elapsed_s;
+        assert!(share < 0.75, "{}: {share} — nothing should saturate", s.stage);
+    }
+    // Whereas with tuned buffers the NIC saturates.
+    let tuned = netpipe_rs::lab::measure_breakdown(&pcs_trendnet(), &raw_tcp(kib(512)), mib(2));
+    assert!(tuned.share("host0 nic") > 0.8, "{}", tuned.to_table());
+}
+
+#[test]
+fn scaling_model_orders_interconnects_correctly() {
+    use netpipe_rs::lab::{strong_scaling, AppModel};
+    let app = AppModel::stencil_3d();
+    let measure = |spec: hwmodel::ClusterSpec, lib: MpLib| {
+        let mut d = SimDriver::new(spec, lib);
+        run(&mut d, &RunOptions::quick(1 << 20)).unwrap()
+    };
+    let gm = measure(pcs_myrinet(), raw_gm(RecvMode::Polling));
+    let fe = measure(pcs_fast_ethernet(), raw_tcp(kib(64)));
+    let e_gm = strong_scaling(&gm, 0.0, &app, &[64])[0].efficiency;
+    let e_fe = strong_scaling(&fe, 0.0, &app, &[64])[0].efficiency;
+    assert!(
+        e_gm > e_fe + 0.1,
+        "Myrinet must scale far beyond Fast Ethernet: {e_gm} vs {e_fe}"
+    );
+}
