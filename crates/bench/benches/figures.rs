@@ -1,21 +1,17 @@
-//! Criterion benchmarks: one per paper figure/table, each running the
+//! Wall-clock benchmarks: one per paper figure/table, each running the
 //! full experiment sweep on a reduced schedule. These pin the wall-clock
 //! cost of regenerating the paper's evaluation and guard the simulator
 //! against performance regressions (an accidental O(n²) in the event
 //! paths shows up here immediately).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
-use std::time::Duration;
 
+use bench::microbench;
 use clusterlab::{presets, run_experiment};
 use netpipe::RunOptions;
 
-fn bench_experiments(c: &mut Criterion) {
-    let mut group = c.benchmark_group("figures");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
+fn main() {
+    let g = microbench::group("figures");
     let opts = RunOptions::quick(1 << 20);
     let experiments = [
         ("fig1", presets::fig1()),
@@ -29,26 +25,12 @@ fn bench_experiments(c: &mut Criterion) {
         ("t4_kernel_driver", presets::t4_kernel_driver()),
     ];
     for (name, exp) in experiments {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let res = run_experiment(black_box(&exp), black_box(&opts));
-                black_box(res.signatures.len())
-            })
+        g.bench(name, || {
+            let res = run_experiment(black_box(&exp), black_box(&opts));
+            res.signatures.len()
         });
     }
-    group.finish();
-}
 
-fn bench_overlap_panel(c: &mut Criterion) {
-    let mut group = c.benchmark_group("overlap");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(10);
-    group.bench_function("section7_panel", |b| {
-        b.iter(|| black_box(clusterlab::section7_panel().len()))
-    });
-    group.finish();
+    let g = microbench::group("overlap");
+    g.bench("section7_panel", || clusterlab::section7_panel().len());
 }
-
-criterion_group!(benches, bench_experiments, bench_overlap_panel);
-criterion_main!(benches);

@@ -1,75 +1,52 @@
-//! Criterion benchmarks of the real mplite library's operations:
+//! Wall-clock benchmarks of the real mplite library's operations:
 //! point-to-point message rate and collective latencies across job sizes.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-use std::time::Duration;
-
+use bench::microbench;
 use mplite::{ReduceOp, Universe};
 
-fn bench_p2p_message_rate(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mplite_p2p");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(20);
+fn main() {
+    let g = microbench::group("mplite_p2p");
     for size in [8usize, 1024, 65536] {
-        group.throughput(Throughput::Elements(64));
-        group.bench_with_input(BenchmarkId::new("64_msgs", size), &size, |b, &size| {
-            b.iter(|| {
-                let n = Universe::run(2, |comm| {
-                    let payload = vec![7u8; size];
-                    if comm.rank() == 0 {
-                        for _ in 0..64 {
-                            comm.send(1, 1, &payload).unwrap();
-                        }
-                        let (ack, _) = comm.recv(1, 2).unwrap();
-                        ack.len()
-                    } else {
-                        for _ in 0..64 {
-                            let _ = comm.recv(0, 1).unwrap();
-                        }
-                        comm.send(0, 2, b"k").unwrap();
-                        1
+        g.bench(&format!("64_msgs/{size}"), || {
+            let n = Universe::run(2, move |comm| {
+                let payload = vec![7u8; size];
+                if comm.rank() == 0 {
+                    for _ in 0..64 {
+                        comm.send(1, 1, &payload).expect("send");
                     }
-                })
-                .unwrap();
-                black_box(n.len())
+                    let (ack, _) = comm.recv(1, 2).expect("ack");
+                    ack.len()
+                } else {
+                    for _ in 0..64 {
+                        let _ = comm.recv(0, 1).expect("recv");
+                    }
+                    comm.send(0, 2, b"k").expect("ack send");
+                    1
+                }
             })
+            .expect("job");
+            n.len()
         });
     }
-    group.finish();
-}
 
-fn bench_collectives(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mplite_collectives");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(15);
+    let g = microbench::group("mplite_collectives");
     for ranks in [2usize, 4] {
-        group.bench_with_input(BenchmarkId::new("allreduce_1k_f64", ranks), &ranks, |b, &n| {
-            b.iter(|| {
-                let sums = Universe::run(n, |comm| {
-                    let data = vec![comm.rank() as f64; 1024];
-                    comm.allreduce(&data, ReduceOp::Sum).unwrap()[0]
-                })
-                .unwrap();
-                black_box(sums[0])
+        g.bench(&format!("allreduce_1k_f64/{ranks}"), || {
+            let sums = Universe::run(ranks, |comm| {
+                let data = vec![comm.rank() as f64; 1024];
+                comm.allreduce(&data, ReduceOp::Sum).expect("allreduce")[0]
             })
+            .expect("job");
+            sums[0]
         });
-        group.bench_with_input(BenchmarkId::new("barrier_x16", ranks), &ranks, |b, &n| {
-            b.iter(|| {
-                Universe::run(n, |comm| {
-                    for _ in 0..16 {
-                        comm.barrier().unwrap();
-                    }
-                })
-                .unwrap();
-                black_box(n)
+        g.bench(&format!("barrier_x16/{ranks}"), || {
+            Universe::run(ranks, |comm| {
+                for _ in 0..16 {
+                    comm.barrier().expect("barrier");
+                }
             })
+            .expect("job");
+            ranks
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_p2p_message_rate, bench_collectives);
-criterion_main!(benches);

@@ -1,62 +1,38 @@
-//! Criterion benchmarks of the *real* code paths: genuine loopback TCP
+//! Wall-clock benchmarks of the *real* code paths: genuine loopback TCP
 //! round trips (the modern NetPIPE TCP module) and the real mplite
 //! library. These are actual kernel-socket measurements, not simulation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use std::time::Duration;
 
+use bench::microbench;
 use netpipe::{Driver, MpliteDriver, RealTcpDriver, RealTcpOptions};
 
-fn bench_real_tcp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("real_tcp_loopback");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(30);
+fn main() {
+    let g = microbench::group("real_tcp_loopback");
     let mut driver = RealTcpDriver::new(RealTcpOptions::default()).expect("echo server");
     for size in [64u64, 4096, 65536, 1 << 20] {
-        group.throughput(Throughput::Bytes(2 * size));
-        group.bench_with_input(BenchmarkId::new("roundtrip", size), &size, |b, &size| {
-            b.iter(|| black_box(driver.roundtrip(black_box(size)).unwrap()))
+        g.bench_bytes(&format!("roundtrip/{size}"), 2 * size, || {
+            driver.roundtrip(black_box(size)).expect("roundtrip")
         });
     }
-    group.finish();
-}
 
-fn bench_real_tcp_buffer_sizes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("real_tcp_sockbuf");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(30);
+    let g = microbench::group("real_tcp_sockbuf");
     for sockbuf in [16 * 1024u32, 64 * 1024, 512 * 1024] {
         let mut driver = RealTcpDriver::new(RealTcpOptions {
             sockbuf,
             nodelay: true,
         })
         .expect("echo server");
-        group.bench_with_input(
-            BenchmarkId::new("1MB_roundtrip", sockbuf),
-            &sockbuf,
-            |b, _| b.iter(|| black_box(driver.roundtrip(1 << 20).unwrap())),
-        );
-    }
-    group.finish();
-}
-
-fn bench_mplite(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mplite_pingpong");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(30);
-    let mut driver = MpliteDriver::new().expect("mplite job");
-    for size in [64u64, 65536, 1 << 20] {
-        group.throughput(Throughput::Bytes(2 * size));
-        group.bench_with_input(BenchmarkId::new("roundtrip", size), &size, |b, &size| {
-            b.iter(|| black_box(driver.roundtrip(black_box(size)).unwrap()))
+        g.bench(&format!("1MB_roundtrip/{sockbuf}"), || {
+            driver.roundtrip(1 << 20).expect("roundtrip")
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_real_tcp, bench_real_tcp_buffer_sizes, bench_mplite);
-criterion_main!(benches);
+    let g = microbench::group("mplite_pingpong");
+    let mut driver = MpliteDriver::new().expect("mplite job");
+    for size in [64u64, 65536, 1 << 20] {
+        g.bench_bytes(&format!("roundtrip/{size}"), 2 * size, || {
+            driver.roundtrip(black_box(size)).expect("roundtrip")
+        });
+    }
+}

@@ -1,83 +1,57 @@
-//! Criterion microbenchmarks of the simulation kernel itself: event
-//! queue throughput, resource reservations, and RNG — the hot paths every
+//! Microbenchmarks of the simulation kernel itself: event queue
+//! throughput, resource reservations, and RNG — the hot paths every
 //! experiment in the workspace multiplies.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
+use bench::microbench;
 use simcore::{Engine, Resource, SimDuration, SimRng, SimTime};
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut group = c.benchmark_group("event_queue");
+fn main() {
+    let g = microbench::group("event_queue");
     for n in [1_000u64, 10_000, 100_000] {
-        group.throughput(Throughput::Elements(n));
-        group.bench_with_input(BenchmarkId::new("schedule_run", n), &n, |b, &n| {
-            b.iter(|| {
-                let mut eng: Engine<u64> = Engine::new(0);
-                for i in 0..n {
-                    // Reverse order stresses the heap.
-                    eng.schedule_at(SimTime(n - i), |e| e.world += 1);
-                }
-                eng.run();
-                black_box(eng.world)
-            })
+        g.bench(&format!("schedule_run/{n}"), || {
+            let mut eng: Engine<u64> = Engine::new(0);
+            for i in 0..n {
+                // Reverse order stresses the heap.
+                eng.schedule_at(SimTime(n - i), |e| e.world += 1);
+            }
+            eng.run();
+            eng.world
         });
     }
-    group.finish();
-}
 
-fn bench_event_chaining(c: &mut Criterion) {
-    // Self-rescheduling chain: the pattern the transport pumps use.
-    c.bench_function("event_chain_100k", |b| {
-        b.iter(|| {
-            fn tick(e: &mut Engine<u64>) {
-                e.world += 1;
-                if e.world < 100_000 {
-                    e.schedule_in(SimDuration(1), tick);
-                }
+    let g = microbench::group("event_chain");
+    g.bench("event_chain_100k", || {
+        fn tick(e: &mut Engine<u64>) {
+            e.world += 1;
+            if e.world < 100_000 {
+                e.schedule_in(SimDuration(1), tick);
             }
-            let mut eng = Engine::new(0u64);
-            eng.schedule_at(SimTime::ZERO, tick);
-            eng.run();
-            black_box(eng.world)
-        })
+        }
+        let mut eng = Engine::new(0u64);
+        eng.schedule_at(SimTime::ZERO, tick);
+        eng.run();
+        eng.world
+    });
+
+    let g = microbench::group("resource");
+    g.bench("resource_serve_1m", || {
+        let mut r = Resource::new("wire", 125e6);
+        let mut t = SimTime::ZERO;
+        for i in 0..1_000_000u64 {
+            t = r.serve(t, 1500 + (i & 0xff));
+        }
+        t
+    });
+
+    let g = microbench::group("rng");
+    let mut rng = SimRng::new(42);
+    g.bench("next_u64_1m", || {
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc ^= rng.next_u64();
+        }
+        black_box(acc)
     });
 }
-
-fn bench_resource(c: &mut Criterion) {
-    c.bench_function("resource_serve_1m", |b| {
-        b.iter(|| {
-            let mut r = Resource::new("wire", 125e6);
-            let mut t = SimTime::ZERO;
-            for i in 0..1_000_000u64 {
-                t = r.serve(t, 1500 + (i & 0xff));
-            }
-            black_box(t)
-        })
-    });
-}
-
-fn bench_rng(c: &mut Criterion) {
-    let mut group = c.benchmark_group("rng");
-    group.throughput(Throughput::Elements(1_000_000));
-    group.bench_function("next_u64_1m", |b| {
-        let mut rng = SimRng::new(42);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..1_000_000 {
-                acc ^= rng.next_u64();
-            }
-            black_box(acc)
-        })
-    });
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_event_queue,
-    bench_event_chaining,
-    bench_resource,
-    bench_rng
-);
-criterion_main!(benches);

@@ -1,52 +1,47 @@
-//! Criterion benchmarks of single simulated transfers per transport —
+//! Wall-clock benchmarks of single simulated transfers per transport —
 //! the cost of one discrete-event transfer at several message sizes, per
 //! fabric (TCP/GigE, GM, VIA) and per library model.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
-use std::time::Duration;
 
+use bench::microbench;
 use hwmodel::presets::{pcs_ga620, pcs_giganet, pcs_myrinet};
 use mpsim::libs::{mpich, mvich, raw_gm, raw_tcp, MpichConfig, MvichConfig};
 use netpipe::{Driver, SimDriver};
 use protosim::{RawParams, RecvMode};
 use simcore::units::kib;
 
-fn bench_single_transfers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("single_transfer");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_secs(2));
+fn main() {
+    let g = microbench::group("single_transfer");
     let cases: Vec<(&str, SimDriver)> = vec![
         ("tcp_ga620", SimDriver::new(pcs_ga620(), raw_tcp(kib(512)))),
-        ("mpich_ga620", SimDriver::new(pcs_ga620(), mpich(MpichConfig::tuned()))),
-        ("gm_myrinet", SimDriver::new(pcs_myrinet(), raw_gm(RecvMode::Polling))),
+        (
+            "mpich_ga620",
+            SimDriver::new(pcs_ga620(), mpich(MpichConfig::tuned())),
+        ),
+        (
+            "gm_myrinet",
+            SimDriver::new(pcs_myrinet(), raw_gm(RecvMode::Polling)),
+        ),
         (
             "mvich_giganet",
-            SimDriver::new(pcs_giganet(), mvich(MvichConfig::tuned(), RawParams::giganet())),
+            SimDriver::new(
+                pcs_giganet(),
+                mvich(MvichConfig::tuned(), RawParams::giganet()),
+            ),
         ),
     ];
     for (name, mut driver) in cases {
         for size in [1024u64, 65536, 1 << 20] {
-            group.throughput(Throughput::Bytes(size));
-            group.bench_with_input(BenchmarkId::new(name, size), &size, |b, &size| {
-                b.iter(|| black_box(driver.roundtrip(black_box(size)).unwrap()))
+            g.bench_bytes(&format!("{name}/{size}"), size, || {
+                driver.roundtrip(black_box(size)).expect("sim roundtrip")
             });
         }
     }
-    group.finish();
-}
 
-fn bench_streaming(c: &mut Criterion) {
-    let mut group = c.benchmark_group("streaming_burst");
-    group.warm_up_time(Duration::from_millis(400));
-    group.measurement_time(Duration::from_secs(2));
-    group.sample_size(20);
+    let g = microbench::group("streaming_burst");
     let mut driver = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
-    group.bench_function("tcp_64x64k", |b| {
-        b.iter(|| black_box(driver.burst(black_box(65536), 64).unwrap()))
+    g.bench("tcp_64x64k", || {
+        driver.burst(black_box(65536), 64).expect("sim burst")
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_single_transfers, bench_streaming);
-criterion_main!(benches);

@@ -5,7 +5,7 @@
 
 use hwmodel::presets::{pcs_ga620, pcs_trendnet};
 use mpsim::libs::{mpich, pvm, raw_tcp, MpichConfig, PvmConfig};
-use netpipe::{run, RunOptions, SimDriver, Signature};
+use netpipe::{run, RunOptions, Signature, SimDriver};
 use simcore::units::kib;
 
 fn measure(spec: hwmodel::ClusterSpec, lib: mpsim::MpLib) -> Signature {
@@ -38,7 +38,10 @@ fn main() {
             on.final_mbps(),
             off.final_mbps(),
         );
-        assert!(off.final_mbps() > 1.5 * on.final_mbps(), "stall ablation inert");
+        assert!(
+            off.final_mbps() > 1.5 * on.final_mbps(),
+            "stall ablation inert"
+        );
     }
 
     // 2. p4 receive-buffer memcpy: without it, MPICH's 25-30% loss is
@@ -56,7 +59,10 @@ fn main() {
             on.final_mbps(),
             off.final_mbps(),
         );
-        assert!(off.final_mbps() > 1.15 * on.final_mbps(), "memcpy ablation inert");
+        assert!(
+            off.final_mbps() > 1.15 * on.final_mbps(),
+            "memcpy ablation inert"
+        );
     }
 
     // 3. Rendezvous handshake: without it, the 128 kB dip is gone (§4.1).
@@ -96,7 +102,10 @@ fn main() {
             on.final_mbps(),
             off.final_mbps(),
         );
-        assert!(off.final_mbps() > 1.5 * on.final_mbps(), "pvmd ablation inert");
+        assert!(
+            off.final_mbps() > 1.5 * on.final_mbps(),
+            "pvmd ablation inert"
+        );
     }
 
     // 5. Delayed-ACK block-sync interaction: without p4's block-sync
@@ -116,7 +125,10 @@ fn main() {
             on.final_mbps(),
             off.final_mbps(),
         );
-        assert!(off.final_mbps() > 3.0 * on.final_mbps(), "delack ablation inert");
+        assert!(
+            off.final_mbps() > 3.0 * on.final_mbps(),
+            "delack ablation inert"
+        );
     }
 
     println!("\nAll five mechanisms are load-bearing: removing any one removes its paper effect.");

@@ -30,7 +30,11 @@ fn main() {
     for exp in all_experiments() {
         let res = run_experiment(&exp, &opts);
         let rows = compare(&exp, &res);
-        let _ = writeln!(out, "{}", to_markdown(&format!("{} — {}", exp.id, exp.title), &rows));
+        let _ = writeln!(
+            out,
+            "{}",
+            to_markdown(&format!("{} — {}", exp.id, exp.title), &rows)
+        );
         let _ = writeln!(out, "Shape checks:\n");
         for c in evaluate(&res, &checks_for(exp.id)) {
             total += 1;
@@ -57,7 +61,11 @@ fn main() {
          1 MB transfer against 20 ms of receiver computation on the fig-1\n\
          cluster.\n"
     );
-    let _ = writeln!(out, "{}", clusterlab::overlap::to_markdown(&clusterlab::section7_panel()));
+    let _ = writeln!(
+        out,
+        "{}",
+        clusterlab::overlap::to_markdown(&clusterlab::section7_panel())
+    );
 
     // Extension: channel bonding (the authors' MP_Lite companion feature).
     {

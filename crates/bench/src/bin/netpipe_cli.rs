@@ -44,7 +44,13 @@ fn libraries(kernel: &hwmodel::KernelModel) -> Vec<(&'static str, MpLib)> {
         ("mpich", L::mpich(L::MpichConfig::tuned())),
         ("mpich-default", L::mpich(L::MpichConfig::default())),
         ("lam", L::lammpi(L::LamConfig::tuned())),
-        ("lam-lamd", L::lammpi(L::LamConfig { optimized_o: true, use_lamd: true })),
+        (
+            "lam-lamd",
+            L::lammpi(L::LamConfig {
+                optimized_o: true,
+                use_lamd: true,
+            }),
+        ),
         ("mpipro", L::mpipro(L::MpiProConfig::tuned())),
         ("mplite", L::mp_lite(kernel)),
         ("pvm", L::pvm(L::PvmConfig::tuned())),
@@ -52,7 +58,10 @@ fn libraries(kernel: &hwmodel::KernelModel) -> Vec<(&'static str, MpLib)> {
         ("tcgmsg", L::tcgmsg_default()),
         ("raw-gm", L::raw_gm(RecvMode::Polling)),
         ("mpich-gm", L::mpich_gm(RecvMode::Hybrid)),
-        ("mvich", L::mvich(L::MvichConfig::tuned(), RawParams::giganet())),
+        (
+            "mvich",
+            L::mvich(L::MvichConfig::tuned(), RawParams::giganet()),
+        ),
         ("mplite-via", L::mp_lite_via(RawParams::giganet())),
     ]
 }
@@ -69,7 +78,9 @@ struct Args {
 
 fn parse_args() -> Result<Args, String> {
     let mut argv = std::env::args().skip(1);
-    let mode = argv.next().ok_or("missing mode: sim | real | mplite | list")?;
+    let mode = argv
+        .next()
+        .ok_or("missing mode: sim | real | mplite | list")?;
     let mut args = Args {
         mode,
         cluster: "ga620".into(),
@@ -128,7 +139,10 @@ fn report(driver: &mut dyn Driver, max: u64, csv: bool, stream: u32) {
         print!("{}", to_csv(std::slice::from_ref(&sig)));
         return;
     }
-    println!("{}", ascii_figure(&sig.name, std::slice::from_ref(&sig), 92, 20));
+    println!(
+        "{}",
+        ascii_figure(&sig.name, std::slice::from_ref(&sig), 92, 20)
+    );
     println!("{}", summary_table(std::slice::from_ref(&sig)));
     let a = analyze(&sig);
     println!(
@@ -179,7 +193,12 @@ fn main() {
                 })
                 .1;
             println!("# {} on {}\n", lib.name(), spec.name);
-            report(&mut SimDriver::new(spec, lib), args.max, args.csv, args.stream);
+            report(
+                &mut SimDriver::new(spec, lib),
+                args.max,
+                args.csv,
+                args.stream,
+            );
         }
         "real" => {
             let mut d = RealTcpDriver::new(RealTcpOptions {

@@ -6,6 +6,9 @@ fn main() {
     println!("Computation/communication overlap (1 MB transfer vs 20 ms compute, GA620 cluster)\n");
     println!("{}", clusterlab::overlap::to_markdown(&panel));
     let dir = bench::results_dir();
-    std::fs::write(dir.join("overlap.md"), clusterlab::overlap::to_markdown(&panel))
-        .expect("write overlap.md");
+    std::fs::write(
+        dir.join("overlap.md"),
+        clusterlab::overlap::to_markdown(&panel),
+    )
+    .expect("write overlap.md");
 }

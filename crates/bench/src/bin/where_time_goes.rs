@@ -14,7 +14,11 @@ fn main() {
     println!("Per-stage busy time for a {bytes}-byte transfer\n");
 
     let cases = vec![
-        ("GA620 GigE / raw TCP (the NIC firmware limit)", pcs_ga620(), raw_tcp(kib(512))),
+        (
+            "GA620 GigE / raw TCP (the NIC firmware limit)",
+            pcs_ga620(),
+            raw_tcp(kib(512)),
+        ),
         (
             "GA620 GigE / tuned MPICH (the p4 memcpy on host1 cpu)",
             pcs_ga620(),

@@ -8,6 +8,8 @@ use std::path::PathBuf;
 use clusterlab::{checks_for, compare, evaluate, run_experiment, Experiment};
 use netpipe::{ascii_figure, svg_figure, to_csv, to_plotfile, RunOptions};
 
+pub mod microbench;
+
 /// Where regenerated artifacts land (created on demand).
 pub fn results_dir() -> PathBuf {
     let dir = std::env::var("NETPIPE_RESULTS").unwrap_or_else(|_| "results".to_string());
@@ -31,8 +33,7 @@ pub fn regenerate(exp: &Experiment) -> bool {
     println!("{}", clusterlab::to_markdown(exp.title, &rows));
 
     let dir = results_dir();
-    fs::write(dir.join(format!("{}.csv", res.id)), to_csv(&res.signatures))
-        .expect("write csv");
+    fs::write(dir.join(format!("{}.csv", res.id)), to_csv(&res.signatures)).expect("write csv");
     fs::write(
         dir.join(format!("{}.svg", res.id)),
         svg_figure(exp.title, &res.signatures, 840, 520),

@@ -1,0 +1,136 @@
+//! A minimal wall-clock micro-benchmark harness.
+//!
+//! The workspace is dependency-free, so the `[[bench]]` targets use this
+//! instead of Criterion: warm up briefly, run the closure until a time
+//! budget is spent, and report mean/min per-iteration times. Intended
+//! for relative, before/after comparisons on one machine — it makes no
+//! statistical claims beyond printing the spread.
+//!
+//! Tune the per-benchmark budget with `BENCH_MS` (default 500).
+
+use std::time::{Duration, Instant};
+
+/// Default measurement budget per benchmark.
+const DEFAULT_BUDGET_MS: u64 = 500;
+
+fn budget() -> Duration {
+    let ms = std::env::var("BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_BUDGET_MS);
+    Duration::from_millis(ms)
+}
+
+/// A named group of benchmarks (purely cosmetic: prints a header).
+pub struct Group {
+    name: &'static str,
+}
+
+/// Start a benchmark group.
+pub fn group(name: &'static str) -> Group {
+    println!("\n## {name}");
+    Group { name }
+}
+
+impl Group {
+    /// Measure `f`, reporting per-iteration time under `name`.
+    ///
+    /// The closure's return value is passed through `std::hint::black_box`
+    /// so the work cannot be optimized away.
+    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
+        // Warm-up: one untimed call (fills caches, spawns lazy state).
+        std::hint::black_box(f());
+
+        let budget = budget();
+        let mut times_ns: Vec<u128> = Vec::new();
+        let started = Instant::now();
+        while started.elapsed() < budget || times_ns.len() < 3 {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times_ns.push(t0.elapsed().as_nanos());
+            if times_ns.len() >= 100_000 {
+                break;
+            }
+        }
+        let n = times_ns.len() as u128;
+        let mean = times_ns.iter().sum::<u128>() / n;
+        let min = times_ns.iter().min().copied().unwrap_or(0);
+        println!(
+            "{:<40} {:>12}/iter (min {:>12}, {} iters)",
+            format!("{}/{}", self.name, name),
+            fmt_ns(mean),
+            fmt_ns(min),
+            n
+        );
+    }
+
+    /// Like [`Group::bench`] but also reports throughput for `bytes`
+    /// processed per iteration.
+    pub fn bench_bytes<R>(&self, name: &str, bytes: u64, mut f: impl FnMut() -> R) {
+        std::hint::black_box(f());
+        let budget = budget();
+        let mut times_ns: Vec<u128> = Vec::new();
+        let started = Instant::now();
+        while started.elapsed() < budget || times_ns.len() < 3 {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times_ns.push(t0.elapsed().as_nanos());
+            if times_ns.len() >= 100_000 {
+                break;
+            }
+        }
+        let n = times_ns.len() as u128;
+        let mean = times_ns.iter().sum::<u128>() / n;
+        let mbps = if mean > 0 {
+            (bytes as f64) / (mean as f64 / 1e9) / 1e6
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{:<40} {:>12}/iter   {:>10.1} MB/s ({} iters)",
+            format!("{}/{}", self.name, name),
+            fmt_ns(mean),
+            mbps,
+            n
+        );
+    }
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_scale() {
+        assert_eq!(fmt_ns(12), "12 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00 s");
+    }
+
+    #[test]
+    fn bench_runs_closure() {
+        std::env::set_var("BENCH_MS", "1");
+        let g = group("smoke");
+        let mut calls = 0u32;
+        g.bench("noop", || {
+            calls += 1;
+            calls
+        });
+        // Warm-up plus at least three timed iterations.
+        assert!(calls >= 4, "closure ran {calls} times");
+        std::env::remove_var("BENCH_MS");
+    }
+}

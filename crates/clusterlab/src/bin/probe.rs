@@ -11,7 +11,10 @@ fn main() {
     for exp in all_experiments() {
         let res = run_experiment(&exp, &opts);
         let rows = compare(&exp, &res);
-        println!("{}", to_markdown(&format!("{} — {}", exp.id, exp.title), &rows));
+        println!(
+            "{}",
+            to_markdown(&format!("{} — {}", exp.id, exp.title), &rows)
+        );
         // Also evaluate the shape checks and flag failures inline.
         for c in clusterlab::evaluate(&res, &clusterlab::checks_for(exp.id)) {
             println!(

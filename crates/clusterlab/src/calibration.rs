@@ -121,18 +121,32 @@ pub fn evaluate(res: &ExperimentResult, checks: &[Check]) -> Vec<CheckResult> {
                     measured: r,
                 }
             }
-            Check::Dip { lib, threshold, max_ratio } => {
+            Check::Dip {
+                lib,
+                threshold,
+                max_ratio,
+            } => {
                 let r = find(res, lib).dip_ratio(threshold);
                 CheckResult {
-                    desc: format!("{}: {lib} dips at {threshold} B (ratio <= {max_ratio:.2})", res.id),
+                    desc: format!(
+                        "{}: {lib} dips at {threshold} B (ratio <= {max_ratio:.2})",
+                        res.id
+                    ),
                     pass: r <= max_ratio,
                     measured: r,
                 }
             }
-            Check::NoDip { lib, threshold, min_ratio } => {
+            Check::NoDip {
+                lib,
+                threshold,
+                min_ratio,
+            } => {
                 let r = find(res, lib).dip_ratio(threshold);
                 CheckResult {
-                    desc: format!("{}: {lib} smooth at {threshold} B (ratio >= {min_ratio:.2})", res.id),
+                    desc: format!(
+                        "{}: {lib} smooth at {threshold} B (ratio >= {min_ratio:.2})",
+                        res.id
+                    ),
                     pass: r >= min_ratio,
                     measured: r,
                 }
@@ -155,70 +169,252 @@ pub fn checks_for(id: &str) -> Vec<Check> {
     use Check::*;
     match id {
         "fig1" => vec![
-            MaxBand { lib: "raw TCP", lo: 480.0, hi: 620.0 },
-            LatencyBand { lib: "raw TCP", lo: 95.0, hi: 145.0 },
+            MaxBand {
+                lib: "raw TCP",
+                lo: 480.0,
+                hi: 620.0,
+            },
+            LatencyBand {
+                lib: "raw TCP",
+                lo: 95.0,
+                hi: 145.0,
+            },
             // "MPICH and PVM currently suffer about a 25% loss" (§7).
-            RatioBand { lib: "MPICH", vs: "raw TCP", lo: 0.60, hi: 0.84 },
-            RatioBand { lib: "PVM", vs: "raw TCP", lo: 0.60, hi: 0.85 },
+            RatioBand {
+                lib: "MPICH",
+                vs: "raw TCP",
+                lo: 0.60,
+                hi: 0.84,
+            },
+            RatioBand {
+                lib: "PVM",
+                vs: "raw TCP",
+                lo: 0.60,
+                hi: 0.85,
+            },
             // "most message-passing libraries can deliver performance
             // close to raw TCP levels" (§7).
-            RatioBand { lib: "LAM/MPI", vs: "raw TCP", lo: 0.85, hi: 1.01 },
-            RatioBand { lib: "MPI/Pro", vs: "raw TCP", lo: 0.88, hi: 1.01 },
-            RatioBand { lib: "MP_Lite", vs: "raw TCP", lo: 0.93, hi: 1.01 },
-            RatioBand { lib: "TCGMSG", vs: "raw TCP", lo: 0.90, hi: 1.01 },
+            RatioBand {
+                lib: "LAM/MPI",
+                vs: "raw TCP",
+                lo: 0.85,
+                hi: 1.01,
+            },
+            RatioBand {
+                lib: "MPI/Pro",
+                vs: "raw TCP",
+                lo: 0.88,
+                hi: 1.01,
+            },
+            RatioBand {
+                lib: "MP_Lite",
+                vs: "raw TCP",
+                lo: 0.93,
+                hi: 1.01,
+            },
+            RatioBand {
+                lib: "TCGMSG",
+                vs: "raw TCP",
+                lo: 0.90,
+                hi: 1.01,
+            },
             // "The most noticeable feature is the sharp dip at 128 kB" (§4.1).
-            Dip { lib: "MPICH", threshold: 128 * 1024, max_ratio: 0.93 },
-            NoDip { lib: "MP_Lite", threshold: 128 * 1024, min_ratio: 0.95 },
+            Dip {
+                lib: "MPICH",
+                threshold: 128 * 1024,
+                max_ratio: 0.93,
+            },
+            NoDip {
+                lib: "MP_Lite",
+                threshold: 128 * 1024,
+                min_ratio: 0.95,
+            },
         ],
         "fig2" => vec![
-            MaxBand { lib: "raw TCP", lo: 480.0, hi: 620.0 },
+            MaxBand {
+                lib: "raw TCP",
+                lo: 480.0,
+                hi: 620.0,
+            },
             // "Only MP_Lite and MPICH worked well" (§7).
-            RatioBand { lib: "MP_Lite", vs: "raw TCP", lo: 0.90, hi: 1.01 },
-            RatioBand { lib: "MPICH", vs: "raw TCP", lo: 0.55, hi: 0.85 },
+            RatioBand {
+                lib: "MP_Lite",
+                vs: "raw TCP",
+                lo: 0.90,
+                hi: 1.01,
+            },
+            RatioBand {
+                lib: "MPICH",
+                vs: "raw TCP",
+                lo: 0.55,
+                hi: 0.85,
+            },
             // "many message-passing libraries reaching only 250-280" / 50% loss.
-            RatioBand { lib: "LAM/MPI", vs: "raw TCP", lo: 0.35, hi: 0.65 },
-            RatioBand { lib: "MPI/Pro", vs: "raw TCP", lo: 0.35, hi: 0.65 },
-            RatioBand { lib: "TCGMSG", vs: "raw TCP", lo: 0.25, hi: 0.60 },
-            RatioBand { lib: "PVM", vs: "raw TCP", lo: 0.22, hi: 0.55 },
-            FasterThan { lib: "MP_Lite", vs: "LAM/MPI" },
-            FasterThan { lib: "MPICH", vs: "PVM" },
+            RatioBand {
+                lib: "LAM/MPI",
+                vs: "raw TCP",
+                lo: 0.35,
+                hi: 0.65,
+            },
+            RatioBand {
+                lib: "MPI/Pro",
+                vs: "raw TCP",
+                lo: 0.35,
+                hi: 0.65,
+            },
+            RatioBand {
+                lib: "TCGMSG",
+                vs: "raw TCP",
+                lo: 0.25,
+                hi: 0.60,
+            },
+            RatioBand {
+                lib: "PVM",
+                vs: "raw TCP",
+                lo: 0.22,
+                hi: 0.55,
+            },
+            FasterThan {
+                lib: "MP_Lite",
+                vs: "LAM/MPI",
+            },
+            FasterThan {
+                lib: "MPICH",
+                vs: "PVM",
+            },
         ],
         "fig3" => vec![
-            MaxBand { lib: "raw TCP", lo: 820.0, hi: 1000.0 },
-            LatencyBand { lib: "raw TCP", lo: 38.0, hi: 60.0 },
-            RatioBand { lib: "MP_Lite", vs: "raw TCP", lo: 0.92, hi: 1.01 },
+            MaxBand {
+                lib: "raw TCP",
+                lo: 820.0,
+                hi: 1000.0,
+            },
+            LatencyBand {
+                lib: "raw TCP",
+                lo: 38.0,
+                hi: 60.0,
+            },
+            RatioBand {
+                lib: "MP_Lite",
+                vs: "raw TCP",
+                lo: 0.92,
+                hi: 1.01,
+            },
             // MPICH/LAM lose 25-30% (§4.1, §4.2).
-            RatioBand { lib: "MPICH", vs: "raw TCP", lo: 0.58, hi: 0.85 },
-            RatioBand { lib: "LAM/MPI", vs: "raw TCP", lo: 0.58, hi: 0.85 },
+            RatioBand {
+                lib: "MPICH",
+                vs: "raw TCP",
+                lo: 0.58,
+                hi: 0.85,
+            },
+            RatioBand {
+                lib: "LAM/MPI",
+                vs: "raw TCP",
+                lo: 0.58,
+                hi: 0.85,
+            },
             // TCGMSG capped by its hardwired 32 kB buffer (§7).
-            RatioBand { lib: "TCGMSG", vs: "raw TCP", lo: 0.50, hi: 0.78 },
-            RatioBand { lib: "PVM", vs: "raw TCP", lo: 0.40, hi: 0.70 },
+            RatioBand {
+                lib: "TCGMSG",
+                vs: "raw TCP",
+                lo: 0.50,
+                hi: 0.78,
+            },
+            RatioBand {
+                lib: "PVM",
+                vs: "raw TCP",
+                lo: 0.40,
+                hi: 0.70,
+            },
         ],
         "fig4" => vec![
-            MaxBand { lib: "raw GM", lo: 700.0, hi: 900.0 },
-            LatencyBand { lib: "raw GM", lo: 11.0, hi: 21.0 },
+            MaxBand {
+                lib: "raw GM",
+                lo: 700.0,
+                hi: 900.0,
+            },
+            LatencyBand {
+                lib: "raw GM",
+                lo: 11.0,
+                hi: 21.0,
+            },
             // "losing only a few percent off the raw GM performance" (§5).
-            RatioBand { lib: "MPICH-GM", vs: "raw GM", lo: 0.90, hi: 1.01 },
-            RatioBand { lib: "MPI/Pro-GM", vs: "raw GM", lo: 0.88, hi: 1.01 },
+            RatioBand {
+                lib: "MPICH-GM",
+                vs: "raw GM",
+                lo: 0.90,
+                hi: 1.01,
+            },
+            RatioBand {
+                lib: "MPI/Pro-GM",
+                vs: "raw GM",
+                lo: 0.88,
+                hi: 1.01,
+            },
             // IP-GM: 48 us latency, GigE-TCP-like throughput (§5).
-            LatencyBand { lib: "IP-GM", lo: 38.0, hi: 60.0 },
-            MaxBand { lib: "IP-GM", lo: 450.0, hi: 750.0 },
-            FasterThan { lib: "raw GM", vs: "IP-GM" },
-            FasterThan { lib: "raw GM", vs: "raw TCP" },
+            LatencyBand {
+                lib: "IP-GM",
+                lo: 38.0,
+                hi: 60.0,
+            },
+            MaxBand {
+                lib: "IP-GM",
+                lo: 450.0,
+                hi: 750.0,
+            },
+            FasterThan {
+                lib: "raw GM",
+                vs: "IP-GM",
+            },
+            FasterThan {
+                lib: "raw GM",
+                vs: "raw TCP",
+            },
         ],
         "fig5" => vec![
             // Giganet: ~800 Mbps; 10 us for the lean libraries, 42 for MPI/Pro.
-            MaxBand { lib: "MVICH", lo: 700.0, hi: 900.0 },
-            MaxBand { lib: "MP_Lite-VIA", lo: 700.0, hi: 900.0 },
-            LatencyBand { lib: "MVICH", lo: 6.0, hi: 15.0 },
-            LatencyBand { lib: "MP_Lite-VIA", lo: 6.0, hi: 15.0 },
-            LatencyBand { lib: "MPI/Pro-VIA", lo: 32.0, hi: 52.0 },
-            FasterThan { lib: "MVICH", vs: "MPI/Pro-VIA" },
+            MaxBand {
+                lib: "MVICH",
+                lo: 700.0,
+                hi: 900.0,
+            },
+            MaxBand {
+                lib: "MP_Lite-VIA",
+                lo: 700.0,
+                hi: 900.0,
+            },
+            LatencyBand {
+                lib: "MVICH",
+                lo: 6.0,
+                hi: 15.0,
+            },
+            LatencyBand {
+                lib: "MP_Lite-VIA",
+                lo: 6.0,
+                hi: 15.0,
+            },
+            LatencyBand {
+                lib: "MPI/Pro-VIA",
+                lo: 32.0,
+                hi: 52.0,
+            },
+            FasterThan {
+                lib: "MVICH",
+                vs: "MPI/Pro-VIA",
+            },
         ],
         "t1_tuning" => vec![
             // MPICH: 75 -> ~400 Mbps, "a 5-fold increase" (§4.1).
-            MaxBand { lib: "MPICH (P4_SOCKBUFSIZE=32k)", lo: 45.0, hi: 115.0 },
-            MaxBand { lib: "MPICH (P4_SOCKBUFSIZE=256k)", lo: 330.0, hi: 480.0 },
+            MaxBand {
+                lib: "MPICH (P4_SOCKBUFSIZE=32k)",
+                lo: 45.0,
+                hi: 115.0,
+            },
+            MaxBand {
+                lib: "MPICH (P4_SOCKBUFSIZE=256k)",
+                lo: 330.0,
+                hi: 480.0,
+            },
             RatioBand {
                 lib: "MPICH (P4_SOCKBUFSIZE=256k)",
                 vs: "MPICH (P4_SOCKBUFSIZE=32k)",
@@ -226,40 +422,136 @@ pub fn checks_for(id: &str) -> Vec<Check> {
                 hi: 8.0,
             },
             // PVM: ~90 daemon-routed -> 330 direct -> 415 in-place (§4.5).
-            MaxBand { lib: "PVM (via pvmd)", lo: 55.0, hi: 130.0 },
-            MaxBand { lib: "PVM (direct)", lo: 260.0, hi: 400.0 },
-            MaxBand { lib: "PVM (direct+InPlace)", lo: 340.0, hi: 470.0 },
-            FasterThan { lib: "PVM (direct)", vs: "PVM (via pvmd)" },
-            FasterThan { lib: "PVM (direct+InPlace)", vs: "PVM (direct)" },
+            MaxBand {
+                lib: "PVM (via pvmd)",
+                lo: 55.0,
+                hi: 130.0,
+            },
+            MaxBand {
+                lib: "PVM (direct)",
+                lo: 260.0,
+                hi: 400.0,
+            },
+            MaxBand {
+                lib: "PVM (direct+InPlace)",
+                lo: 340.0,
+                hi: 470.0,
+            },
+            FasterThan {
+                lib: "PVM (direct)",
+                vs: "PVM (via pvmd)",
+            },
+            FasterThan {
+                lib: "PVM (direct+InPlace)",
+                vs: "PVM (direct)",
+            },
             // LAM: 350 without -O, near-TCP with it, 260/245us via lamd (§4.2).
-            MaxBand { lib: "LAM/MPI (default)", lo: 280.0, hi: 430.0 },
-            MaxBand { lib: "LAM/MPI (-lamd)", lo: 190.0, hi: 330.0 },
-            LatencyBand { lib: "LAM/MPI (-lamd)", lo: 190.0, hi: 300.0 },
-            FasterThan { lib: "LAM/MPI (-O)", vs: "LAM/MPI (default)" },
+            MaxBand {
+                lib: "LAM/MPI (default)",
+                lo: 280.0,
+                hi: 430.0,
+            },
+            MaxBand {
+                lib: "LAM/MPI (-lamd)",
+                lo: 190.0,
+                hi: 330.0,
+            },
+            LatencyBand {
+                lib: "LAM/MPI (-lamd)",
+                lo: 190.0,
+                hi: 300.0,
+            },
+            FasterThan {
+                lib: "LAM/MPI (-O)",
+                vs: "LAM/MPI (default)",
+            },
             // TCGMSG on the DS20s: 600 -> 900 by recompiling the buffer (§7).
-            MaxBand { lib: "TCGMSG (SR_SOCK_BUF_SIZE=32k)", lo: 520.0, hi: 700.0 },
-            MaxBand { lib: "TCGMSG (SR_SOCK_BUF_SIZE=128k)", lo: 800.0, hi: 1000.0 },
+            MaxBand {
+                lib: "TCGMSG (SR_SOCK_BUF_SIZE=32k)",
+                lo: 520.0,
+                hi: 700.0,
+            },
+            MaxBand {
+                lib: "TCGMSG (SR_SOCK_BUF_SIZE=128k)",
+                lo: 800.0,
+                hi: 1000.0,
+            },
         ],
         "t2_latency" => vec![
-            LatencyBand { lib: "raw TCP", lo: 95.0, hi: 145.0 },
-            LatencyBand { lib: "raw GM", lo: 11.0, hi: 21.0 },
-            LatencyBand { lib: "IP-GM", lo: 38.0, hi: 60.0 },
-            LatencyBand { lib: "MP_Lite-VIA", lo: 6.0, hi: 15.0 },
-            LatencyBand { lib: "MPI/Pro-VIA", lo: 32.0, hi: 52.0 },
-            LatencyBand { lib: "MVICH", lo: 32.0, hi: 52.0 },
-            LatencyBand { lib: "LAM/MPI (-lamd)", lo: 190.0, hi: 300.0 },
+            LatencyBand {
+                lib: "raw TCP",
+                lo: 95.0,
+                hi: 145.0,
+            },
+            LatencyBand {
+                lib: "raw GM",
+                lo: 11.0,
+                hi: 21.0,
+            },
+            LatencyBand {
+                lib: "IP-GM",
+                lo: 38.0,
+                hi: 60.0,
+            },
+            LatencyBand {
+                lib: "MP_Lite-VIA",
+                lo: 6.0,
+                hi: 15.0,
+            },
+            LatencyBand {
+                lib: "MPI/Pro-VIA",
+                lo: 32.0,
+                hi: 52.0,
+            },
+            LatencyBand {
+                lib: "MVICH",
+                lo: 32.0,
+                hi: 52.0,
+            },
+            LatencyBand {
+                lib: "LAM/MPI (-lamd)",
+                lo: 190.0,
+                hi: 300.0,
+            },
         ],
         "t3_rendezvous" => vec![
-            Dip { lib: "MPICH", threshold: 128 * 1024, max_ratio: 0.93 },
-            Dip { lib: "MPI/Pro (tcp_long=32k)", threshold: 32 * 1024, max_ratio: 0.95 },
-            NoDip { lib: "MPI/Pro (tcp_long=128k)", threshold: 32 * 1024, min_ratio: 0.96 },
+            Dip {
+                lib: "MPICH",
+                threshold: 128 * 1024,
+                max_ratio: 0.93,
+            },
+            Dip {
+                lib: "MPI/Pro (tcp_long=32k)",
+                threshold: 32 * 1024,
+                max_ratio: 0.95,
+            },
+            NoDip {
+                lib: "MPI/Pro (tcp_long=128k)",
+                threshold: 32 * 1024,
+                min_ratio: 0.96,
+            },
             // §6.1: RPUT + via_long=64k is "vital … to get good performance".
-            FasterThan { lib: "MVICH (via_long=64k, RPUT)", vs: "MVICH (via_long=16k)" },
-            Dip { lib: "MVICH (via_long=16k)", threshold: 16 * 1024, max_ratio: 0.985 },
+            FasterThan {
+                lib: "MVICH (via_long=64k, RPUT)",
+                vs: "MVICH (via_long=16k)",
+            },
+            Dip {
+                lib: "MVICH (via_long=16k)",
+                threshold: 16 * 1024,
+                max_ratio: 0.985,
+            },
         ],
         "t4_kernel_driver" => vec![
-            LatencyBand { lib: "raw TCP", lo: 95.0, hi: 145.0 },
-            MaxBand { lib: "raw TCP", lo: 480.0, hi: 620.0 },
+            LatencyBand {
+                lib: "raw TCP",
+                lo: 95.0,
+                hi: 145.0,
+            },
+            MaxBand {
+                lib: "raw TCP",
+                lo: 480.0,
+                hi: 620.0,
+            },
         ],
         other => panic!("no checks defined for experiment '{other}'"),
     }

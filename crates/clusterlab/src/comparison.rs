@@ -60,9 +60,7 @@ pub fn to_markdown(title: &str, rows: &[ComparisonRow]) -> String {
     );
     out.push_str("|---|---:|---:|---:|---:|---:|---|\n");
     for r in rows {
-        let paper_m = r
-            .paper_mbps
-            .map_or("-".to_string(), |v| format!("{v:.0}"));
+        let paper_m = r.paper_mbps.map_or("-".to_string(), |v| format!("{v:.0}"));
         let ratio = if r.mbps_ratio().is_nan() {
             "-".to_string()
         } else {

@@ -14,8 +14,8 @@
 
 pub mod breakdown;
 pub mod calibration;
-pub mod overlap;
 pub mod comparison;
+pub mod overlap;
 pub mod presets;
 pub mod scaling;
 pub mod sweep;

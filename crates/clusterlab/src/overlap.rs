@@ -103,7 +103,7 @@ pub fn section7_panel() -> Vec<OverlapPoint> {
     let spec = hwmodel::presets::pcs_ga620();
     let busy = SimDuration::from_millis(20);
     let bytes = 1 << 20;
-    let libs = vec![
+    let libs = [
         raw_tcp(512 * 1024),
         mpich(MpichConfig::tuned()),
         mpipro(MpiProConfig::tuned()),

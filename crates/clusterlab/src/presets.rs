@@ -106,13 +106,38 @@ pub fn fig1() -> Experiment {
         title: "Message-passing performance across Netgear GA620 fiber GigE between PCs",
         spec: pcs_ga620(),
         entries: vec![
-            Entry::new(raw_tcp(kib(512)), pv_full(550.0, 120.0, "§4: 550 Mbps max; 2.4-kernel latency (†truncated numeral)")),
-            Entry::new(mpich(MpichConfig::tuned()), pv(400.0, "§4.1: ~25-30% loss, dip at 128 kB")),
-            Entry::new(lammpi(LamConfig::tuned()), pv(520.0, "§4.2: -O brings it nearly to raw TCP")),
-            Entry::new(mpipro(MpiProConfig::tuned()), pv(522.0, "§4.3: within 5% of raw TCP")),
-            Entry::new(pvm(PvmConfig::tuned()), pv(415.0, "§4.5: direct+InPlace reaches 415 Mbps")),
-            Entry::new(mp_lite(&kernel), pv(545.0, "§4.4: within a few % of raw TCP")),
-            Entry::new(tcgmsg_default(), pv(535.0, "§4.6: within a few % of raw TCP")),
+            Entry::new(
+                raw_tcp(kib(512)),
+                pv_full(
+                    550.0,
+                    120.0,
+                    "§4: 550 Mbps max; 2.4-kernel latency (†truncated numeral)",
+                ),
+            ),
+            Entry::new(
+                mpich(MpichConfig::tuned()),
+                pv(400.0, "§4.1: ~25-30% loss, dip at 128 kB"),
+            ),
+            Entry::new(
+                lammpi(LamConfig::tuned()),
+                pv(520.0, "§4.2: -O brings it nearly to raw TCP"),
+            ),
+            Entry::new(
+                mpipro(MpiProConfig::tuned()),
+                pv(522.0, "§4.3: within 5% of raw TCP"),
+            ),
+            Entry::new(
+                pvm(PvmConfig::tuned()),
+                pv(415.0, "§4.5: direct+InPlace reaches 415 Mbps"),
+            ),
+            Entry::new(
+                mp_lite(&kernel),
+                pv(545.0, "§4.4: within a few % of raw TCP"),
+            ),
+            Entry::new(
+                tcgmsg_default(),
+                pv(535.0, "§4.6: within a few % of raw TCP"),
+            ),
         ],
     }
 }
@@ -125,13 +150,32 @@ pub fn fig2() -> Experiment {
         title: "Message-passing performance across TrendNet TEG-PCITX copper GigE between PCs",
         spec: pcs_trendnet(),
         entries: vec![
-            Entry::new(raw_tcp(kib(512)), pv_full(550.0, 105.0, "§4: 550 Mbps with 512 kB buffers (†latency truncated)")),
-            Entry::new(mp_lite(&kernel), pv(540.0, "§4.4: matches raw TCP (system-max buffers)")),
-            Entry::new(mpich(MpichConfig::tuned()), pv(400.0, "§7: only MP_Lite and MPICH worked well")),
+            Entry::new(
+                raw_tcp(kib(512)),
+                pv_full(
+                    550.0,
+                    105.0,
+                    "§4: 550 Mbps with 512 kB buffers (†latency truncated)",
+                ),
+            ),
+            Entry::new(
+                mp_lite(&kernel),
+                pv(540.0, "§4.4: matches raw TCP (system-max buffers)"),
+            ),
+            Entry::new(
+                mpich(MpichConfig::tuned()),
+                pv(400.0, "§7: only MP_Lite and MPICH worked well"),
+            ),
             Entry::new(lammpi(LamConfig::tuned()), pv(275.0, "§4.2: ~50% loss")),
-            Entry::new(mpipro(MpiProConfig::tuned()), pv(250.0, "§4.3: flattens at 250 Mbps")),
+            Entry::new(
+                mpipro(MpiProConfig::tuned()),
+                pv(250.0, "§4.3: flattens at 250 Mbps"),
+            ),
             Entry::new(tcgmsg_default(), pv(250.0, "§4.6: limited to 250 Mbps")),
-            Entry::new(pvm(PvmConfig::tuned()), pv(190.0, "§4.5: limited to 190 Mbps")),
+            Entry::new(
+                pvm(PvmConfig::tuned()),
+                pv(190.0, "§4.5: limited to 190 Mbps"),
+            ),
         ],
     }
 }
@@ -144,11 +188,26 @@ pub fn fig3() -> Experiment {
         title: "Performance with 9000-byte MTU across SysKonnect GigE between Compaq DS20s",
         spec: ds20s_syskonnect_jumbo(),
         entries: vec![
-            Entry::new(raw_tcp(kib(512)), pv_full(900.0, 48.0, "§4: up to 900 Mbps (†), 48 us latency")),
-            Entry::new(mp_lite(&kernel), pv(880.0, "§4.4: matches raw TCP within a few %")),
-            Entry::new(mpich(MpichConfig::tuned()), pv(650.0, "§4.1/§7: 25-30% loss")),
-            Entry::new(lammpi(LamConfig::tuned()), pv(675.0, "§4.2: loses about 25%")),
-            Entry::new(tcgmsg_default(), pv(600.0, "§7: 600 Mbps (†) with hardwired 32 kB buffer")),
+            Entry::new(
+                raw_tcp(kib(512)),
+                pv_full(900.0, 48.0, "§4: up to 900 Mbps (†), 48 us latency"),
+            ),
+            Entry::new(
+                mp_lite(&kernel),
+                pv(880.0, "§4.4: matches raw TCP within a few %"),
+            ),
+            Entry::new(
+                mpich(MpichConfig::tuned()),
+                pv(650.0, "§4.1/§7: 25-30% loss"),
+            ),
+            Entry::new(
+                lammpi(LamConfig::tuned()),
+                pv(675.0, "§4.2: loses about 25%"),
+            ),
+            Entry::new(
+                tcgmsg_default(),
+                pv(600.0, "§7: 600 Mbps (†) with hardwired 32 kB buffer"),
+            ),
             Entry::new(pvm(PvmConfig::tuned()), pv(500.0, "§4.5: ~500 Mbps (†)")),
         ],
     }
@@ -161,9 +220,18 @@ pub fn fig4() -> Experiment {
         title: "Message-passing performance across Myrinet PCI64A-2 cards between PCs",
         spec: pcs_myrinet(),
         entries: vec![
-            Entry::new(raw_gm(RecvMode::Polling), pv_full(800.0, 16.0, "§5: raw GM 800 Mbps, 16 us")),
-            Entry::new(mpich_gm(RecvMode::Hybrid), pv(780.0, "§5: loses only a few percent")),
-            Entry::new(mpipro_gm(RecvMode::Hybrid), pv(780.0, "§5: nearly identical to MPICH-GM")),
+            Entry::new(
+                raw_gm(RecvMode::Polling),
+                pv_full(800.0, 16.0, "§5: raw GM 800 Mbps, 16 us"),
+            ),
+            Entry::new(
+                mpich_gm(RecvMode::Hybrid),
+                pv(780.0, "§5: loses only a few percent"),
+            ),
+            Entry::new(
+                mpipro_gm(RecvMode::Hybrid),
+                pv(780.0, "§5: nearly identical to MPICH-GM"),
+            ),
             Entry::on(
                 pcs_myrinet_ip(),
                 ip_over_gm(kib(512)),
@@ -220,22 +288,58 @@ pub fn t1_tuning() -> Experiment {
         title: "Tuning effects: default vs optimized settings (paper §4 narrative)",
         spec: pcs_ga620(),
         entries: vec![
-            Entry::new(mpich(MpichConfig::default()), pv(75.0, "§4.1: P4_SOCKBUFSIZE=32k default: 75 Mbps")),
-            Entry::new(mpich(MpichConfig::tuned()), pv(400.0, "§4.1: 256k: five-fold improvement")),
-            Entry::on(pcs_trendnet(), raw_tcp(kib(64)), pv(290.0, "§4: TrendNet default buffers flatten at 290 (†)")),
-            Entry::on(pcs_trendnet(), raw_tcp(kib(512)), pv(550.0, "§4: 512 kB doubles the raw throughput")),
-            Entry::new(lammpi(LamConfig::default()), pv(350.0, "§4.2: no -O: tops out at 350 Mbps")),
-            Entry::new(lammpi(LamConfig::tuned()), pv(520.0, "§4.2: -O: nearly raw TCP")),
             Entry::new(
-                lammpi(LamConfig { optimized_o: true, use_lamd: true }),
-                pv_full(260.0, 245.0, "§4.2: -lamd: 260 Mbps, latency doubles to 245 us"),
+                mpich(MpichConfig::default()),
+                pv(75.0, "§4.1: P4_SOCKBUFSIZE=32k default: 75 Mbps"),
             ),
-            Entry::new(pvm(PvmConfig::default()), pv(90.0, "§4.5: via pvmd daemons: ~90 Mbps (†)")),
             Entry::new(
-                pvm(PvmConfig { direct_route: true, in_place: false }),
+                mpich(MpichConfig::tuned()),
+                pv(400.0, "§4.1: 256k: five-fold improvement"),
+            ),
+            Entry::on(
+                pcs_trendnet(),
+                raw_tcp(kib(64)),
+                pv(290.0, "§4: TrendNet default buffers flatten at 290 (†)"),
+            ),
+            Entry::on(
+                pcs_trendnet(),
+                raw_tcp(kib(512)),
+                pv(550.0, "§4: 512 kB doubles the raw throughput"),
+            ),
+            Entry::new(
+                lammpi(LamConfig::default()),
+                pv(350.0, "§4.2: no -O: tops out at 350 Mbps"),
+            ),
+            Entry::new(
+                lammpi(LamConfig::tuned()),
+                pv(520.0, "§4.2: -O: nearly raw TCP"),
+            ),
+            Entry::new(
+                lammpi(LamConfig {
+                    optimized_o: true,
+                    use_lamd: true,
+                }),
+                pv_full(
+                    260.0,
+                    245.0,
+                    "§4.2: -lamd: 260 Mbps, latency doubles to 245 us",
+                ),
+            ),
+            Entry::new(
+                pvm(PvmConfig::default()),
+                pv(90.0, "§4.5: via pvmd daemons: ~90 Mbps (†)"),
+            ),
+            Entry::new(
+                pvm(PvmConfig {
+                    direct_route: true,
+                    in_place: false,
+                }),
                 pv(330.0, "§4.5: PvmRouteDirect: 330 Mbps"),
             ),
-            Entry::new(pvm(PvmConfig::tuned()), pv(415.0, "§4.5: +PvmDataInPlace: 415 Mbps")),
+            Entry::new(
+                pvm(PvmConfig::tuned()),
+                pv(415.0, "§4.5: +PvmDataInPlace: 415 Mbps"),
+            ),
             Entry::on(
                 ds20s_syskonnect_jumbo(),
                 tcgmsg(kib(32)),
@@ -257,16 +361,35 @@ pub fn t2_latency() -> Experiment {
         title: "Small-message latencies across configurations (paper §4-§6 narrative)",
         spec: pcs_ga620(),
         entries: vec![
-            Entry::new(raw_tcp(kib(512)), pv_full(550.0, 120.0, "§4: GA620 under 2.4 kernel (†)")),
-            Entry::on(pcs_trendnet(), raw_tcp(kib(512)), pv_full(550.0, 105.0, "§4: TrendNet (†)")),
+            Entry::new(
+                raw_tcp(kib(512)),
+                pv_full(550.0, 120.0, "§4: GA620 under 2.4 kernel (†)"),
+            ),
+            Entry::on(
+                pcs_trendnet(),
+                raw_tcp(kib(512)),
+                pv_full(550.0, 105.0, "§4: TrendNet (†)"),
+            ),
             Entry::on(
                 ds20s_syskonnect_jumbo(),
                 raw_tcp(kib(512)),
                 pv_full(900.0, 48.0, "§4: SysKonnect jumbo on DS20s: 48 us"),
             ),
-            Entry::on(pcs_myrinet(), raw_gm(RecvMode::Polling), pv_full(800.0, 16.0, "§5: GM polling")),
-            Entry::on(pcs_myrinet(), raw_gm(RecvMode::Blocking), pv_full(800.0, 36.0, "§5: GM blocking")),
-            Entry::on(pcs_myrinet_ip(), ip_over_gm(kib(512)), pv_full(600.0, 48.0, "§5: IP over GM")),
+            Entry::on(
+                pcs_myrinet(),
+                raw_gm(RecvMode::Polling),
+                pv_full(800.0, 16.0, "§5: GM polling"),
+            ),
+            Entry::on(
+                pcs_myrinet(),
+                raw_gm(RecvMode::Blocking),
+                pv_full(800.0, 36.0, "§5: GM blocking"),
+            ),
+            Entry::on(
+                pcs_myrinet_ip(),
+                ip_over_gm(kib(512)),
+                pv_full(600.0, 48.0, "§5: IP over GM"),
+            ),
             Entry::on(
                 pcs_giganet(),
                 mp_lite_via(RawParams::giganet()),
@@ -283,7 +406,10 @@ pub fn t2_latency() -> Experiment {
                 pv_full(425.0, 42.0, "§6.2: M-VIA software"),
             ),
             Entry::new(
-                lammpi(LamConfig { optimized_o: true, use_lamd: true }),
+                lammpi(LamConfig {
+                    optimized_o: true,
+                    use_lamd: true,
+                }),
                 pv_full(260.0, 245.0, "§4.2: lamd doubles latency to 245 us"),
             ),
         ],
@@ -297,9 +423,18 @@ pub fn t3_rendezvous() -> Experiment {
         title: "Rendezvous-threshold dips: default vs tuned thresholds",
         spec: pcs_ga620(),
         entries: vec![
-            Entry::new(mpich(MpichConfig::tuned()), pv(400.0, "§4.1: sharp dip at the 128 kB rendezvous")),
-            Entry::new(mpipro(MpiProConfig::default()), pv(480.0, "§4.3: tcp_long=32k default dips")),
-            Entry::new(mpipro(MpiProConfig::tuned()), pv(522.0, "§4.3: tcp_long=128k removes the dip")),
+            Entry::new(
+                mpich(MpichConfig::tuned()),
+                pv(400.0, "§4.1: sharp dip at the 128 kB rendezvous"),
+            ),
+            Entry::new(
+                mpipro(MpiProConfig::default()),
+                pv(480.0, "§4.3: tcp_long=32k default dips"),
+            ),
+            Entry::new(
+                mpipro(MpiProConfig::tuned()),
+                pv(522.0, "§4.3: tcp_long=128k removes the dip"),
+            ),
             Entry::on(
                 pcs_giganet(),
                 mvich(MvichConfig::default(), RawParams::giganet()),
@@ -325,10 +460,25 @@ pub fn t4_kernel_driver() -> Experiment {
         title: "Kernel 2.4-vs-2.2 latency and GA622 driver maturity (paper §2/§7)",
         spec: pcs_ga620(),
         entries: vec![
-            Entry::new(raw_tcp(kib(512)), pv_full(550.0, 120.0, "§4: Linux 2.4: poor latency (†)")),
-            Entry::on(ga620_on_22, raw_tcp(kib(512)), pv(550.0, "§2: older kernel for comparison")),
-            Entry::on(ds20s_ga622(), raw_tcp(kib(512)), pv(300.0, "§7: GA622: poor even for raw TCP")),
-            Entry::on(ga622_new, raw_tcp(kib(512)), pv(550.0, "§7: newer ns83820/gam drivers improve it")),
+            Entry::new(
+                raw_tcp(kib(512)),
+                pv_full(550.0, 120.0, "§4: Linux 2.4: poor latency (†)"),
+            ),
+            Entry::on(
+                ga620_on_22,
+                raw_tcp(kib(512)),
+                pv(550.0, "§2: older kernel for comparison"),
+            ),
+            Entry::on(
+                ds20s_ga622(),
+                raw_tcp(kib(512)),
+                pv(300.0, "§7: GA622: poor even for raw TCP"),
+            ),
+            Entry::on(
+                ga622_new,
+                raw_tcp(kib(512)),
+                pv(550.0, "§7: newer ns83820/gam drivers improve it"),
+            ),
         ],
     }
 }
@@ -355,7 +505,17 @@ mod tests {
     #[test]
     fn experiments_cover_all_figures_and_tables() {
         let ids: Vec<&str> = all_experiments().iter().map(|e| e.id).collect();
-        for want in ["fig1", "fig2", "fig3", "fig4", "fig5", "t1_tuning", "t2_latency", "t3_rendezvous", "t4_kernel_driver"] {
+        for want in [
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "t1_tuning",
+            "t2_latency",
+            "t3_rendezvous",
+            "t4_kernel_driver",
+        ] {
             assert!(ids.contains(&want), "missing {want}");
         }
     }

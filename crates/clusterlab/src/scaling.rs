@@ -19,10 +19,9 @@
 //!   overlappable fraction of communication behind the computation.
 
 use netpipe::Signature;
-use serde::{Deserialize, Serialize};
 
 /// A bulk-synchronous halo-exchange application.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct AppModel {
     /// Total serial compute time of the whole problem per step, seconds.
     pub serial_compute_s: f64,
@@ -54,7 +53,7 @@ impl AppModel {
 }
 
 /// One predicted strong-scaling point.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScalingPoint {
     /// Node count.
     pub nodes: u32,
@@ -211,8 +210,8 @@ mod tests {
             let halo = 256 * 1024u64;
             let compute = serial / f64::from(p);
             // Analytic: compute + 2 * (lat + bytes/bw), no overlap.
-            let comm =
-                2.0 * (sig.latency_us * 1e-6) + 2.0 * (halo as f64 * 8.0 / (sig.mbps_at(halo) * 1e6));
+            let comm = 2.0 * (sig.latency_us * 1e-6)
+                + 2.0 * (halo as f64 * 8.0 / (sig.mbps_at(halo) * 1e6));
             let model_step = compute + comm;
             // Simulated on the N-node fabric.
             let sim_step = protosim::ring_halo_steps(

@@ -6,17 +6,15 @@
 //! back-to-back with no intervening switch, except for the Giganet VIA
 //! tests" (8-port cLAN switch).
 
-use serde::{Deserialize, Serialize};
-
 use crate::host::{compaq_ds20, pc_pentium4, HostModel};
 use crate::kernel::{linux_2_4, linux_2_4_2_mvia, KernelModel};
 use crate::nic::{
-    fast_ethernet, giganet_clan, myrinet_pci64a, netgear_ga620, netgear_ga622,
-    syskonnect_sk9843, syskonnect_sk9843_jumbo, trendnet_teg_pcitx, NicModel,
+    fast_ethernet, giganet_clan, myrinet_pci64a, netgear_ga620, netgear_ga622, syskonnect_sk9843,
+    syskonnect_sk9843_jumbo, trendnet_teg_pcitx, NicModel,
 };
 
 /// A two-node cluster: the unit of every NetPIPE measurement in the paper.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ClusterSpec {
     /// Configuration name used in reports.
     pub name: &'static str,
@@ -31,8 +29,8 @@ pub struct ClusterSpec {
     /// Per-hop switch latency, microseconds.
     pub switch_latency_us: f64,
     /// Identical NICs installed per node (1 everywhere in the paper;
-    /// >1 enables MP_Lite-style channel bonding across parallel wires —
-    /// the authors' companion-paper feature).
+    /// more than 1 enables MP_Lite-style channel bonding across parallel
+    /// wires — the authors' companion-paper feature).
     pub nic_count: u32,
 }
 
@@ -265,7 +263,12 @@ mod tests {
     #[test]
     fn only_giganet_uses_a_switch() {
         assert_eq!(pcs_giganet().switch_hops, 1);
-        for c in [pcs_ga620(), pcs_trendnet(), pcs_myrinet(), ds20s_syskonnect_jumbo()] {
+        for c in [
+            pcs_ga620(),
+            pcs_trendnet(),
+            pcs_myrinet(),
+            ds20s_syskonnect_jumbo(),
+        ] {
             assert_eq!(c.switch_hops, 0, "{}", c.name);
         }
     }

@@ -3,7 +3,6 @@
 //! PCs (32-bit 33 MHz PCI, PC133 memory) and Compaq DS20 Alphas (64-bit
 //! 33 MHz PCI).
 
-use serde::{Deserialize, Serialize};
 use simcore::units::mbytes_to_bytes_per_sec;
 
 /// CPU + memory system costs for protocol processing.
@@ -18,7 +17,7 @@ use simcore::units::mbytes_to_bytes_per_sec;
 ///   into application memory, PVM unpacking). This is serial with the
 ///   transfer and is exactly the mechanism the paper blames for the
 ///   25–30 % MPICH/PVM large-message loss (§7).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CpuModel {
     /// Human-readable description.
     pub name: &'static str,
@@ -35,7 +34,7 @@ pub struct CpuModel {
 }
 
 /// A PCI bus: width, clock and effective efficiency.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct PciModel {
     /// Bus width in bits (32 or 64).
     pub width_bits: u32,
@@ -93,7 +92,7 @@ impl PciModel {
 }
 
 /// A complete host: CPU/memory plus the PCI slot the NIC sits in.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HostModel {
     /// Human-readable description.
     pub name: &'static str,
@@ -176,7 +175,11 @@ mod tests {
     #[test]
     fn serial_memcpy_slower_than_kernel_copy() {
         for host in [pc_pentium4(), compaq_ds20()] {
-            assert!(host.cpu.memcpy_bps < host.cpu.kernel_copy_bps, "{}", host.name);
+            assert!(
+                host.cpu.memcpy_bps < host.cpu.kernel_copy_bps,
+                "{}",
+                host.name
+            );
         }
     }
 

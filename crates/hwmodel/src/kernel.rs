@@ -16,11 +16,10 @@
 //! The model also records the `net.core.rmem_max`/`wmem_max` sysctl
 //! ceiling, which MP_Lite raises to get raw-TCP performance (§3.4).
 
-use serde::{Deserialize, Serialize};
 use simcore::units::kib;
 
 /// Kernel-dependent parameters of the TCP path.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct KernelModel {
     /// Version string.
     pub name: &'static str,

@@ -26,8 +26,8 @@ pub use nic::{LinkKind, NicModel};
 pub mod presets {
     pub use crate::cluster::{
         ds20s_ga622, ds20s_syskonnect_jumbo, pcs_fast_ethernet, pcs_fast_ethernet_dual, pcs_ga620,
-        pcs_ga620_dual, pcs_giganet, pcs_mvia_syskonnect,
-        pcs_myrinet, pcs_syskonnect, pcs_syskonnect_jumbo, pcs_trendnet,
+        pcs_ga620_dual, pcs_giganet, pcs_mvia_syskonnect, pcs_myrinet, pcs_syskonnect,
+        pcs_syskonnect_jumbo, pcs_trendnet,
     };
     pub use crate::host::{compaq_ds20, pc_pentium4};
     pub use crate::kernel::{linux_2_2, linux_2_4, linux_2_4_2_mvia};

@@ -18,11 +18,10 @@
 //! * `driver_cap_bps` — immature-driver throughput ceiling (the Netgear
 //!   GA622 is "poor even for raw TCP" in §7).
 
-use serde::{Deserialize, Serialize};
 use simcore::units::{gbps_to_bytes_per_sec, mbps_to_bytes_per_sec, mbytes_to_bytes_per_sec};
 
 /// Physical-layer family of a NIC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LinkKind {
     /// IEEE 802.3 Ethernet (Fast or Gigabit).
     Ethernet,
@@ -34,7 +33,7 @@ pub enum LinkKind {
 
 /// A network interface card plus its driver, as a set of pipeline-stage
 /// costs. All rates are bytes/second; all times are microseconds.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NicModel {
     /// Marketing name as used in the paper.
     pub name: &'static str,
@@ -315,7 +314,11 @@ mod tests {
                 "{}: payload rate must be below wire rate",
                 nic.name
             );
-            assert!(rate > 0.85 * nic.wire_bps, "{}: framing too costly", nic.name);
+            assert!(
+                rate > 0.85 * nic.wire_bps,
+                "{}: framing too costly",
+                nic.name
+            );
         }
     }
 

@@ -42,9 +42,17 @@ fn every_preset_has_positive_rates() {
         assert!(spec.nic.wire_bps > 0.0, "{}", spec.name);
         assert!(spec.pci_effective_bps() > 0.0, "{}", spec.name);
         assert!(spec.host.cpu.memcpy_bps > 0.0, "{}", spec.name);
-        assert!(spec.kernel.sockbuf_max >= spec.kernel.default_sockbuf, "{}", spec.name);
+        assert!(
+            spec.kernel.sockbuf_max >= spec.kernel.default_sockbuf,
+            "{}",
+            spec.name
+        );
         assert!(spec.nic_count >= 1, "{}", spec.name);
-        assert!(spec.nic.mss(hwmodel::nic::TCPIP_HEADERS) > 0, "{}", spec.name);
+        assert!(
+            spec.nic.mss(hwmodel::nic::TCPIP_HEADERS) > 0,
+            "{}",
+            spec.name
+        );
     }
 }
 

@@ -11,7 +11,7 @@
 
 use std::sync::atomic::Ordering;
 
-use bytes::Bytes;
+use crate::buf::Bytes;
 
 use crate::comm::Comm;
 use crate::error::{MpError, Result};
@@ -49,13 +49,25 @@ macro_rules! impl_reduce_elem {
                 out.extend_from_slice(&self.to_le_bytes());
             }
             fn read(bytes: &[u8]) -> Self {
-                <$t>::from_le_bytes(bytes[..Self::WIDTH].try_into().unwrap())
+                <$t>::from_le_bytes(crate::message::le_bytes(bytes))
             }
             fn combine(self, other: Self, op: ReduceOp) -> Self {
                 match op {
                     ReduceOp::Sum => self + other,
-                    ReduceOp::Min => if other < self { other } else { self },
-                    ReduceOp::Max => if other > self { other } else { self },
+                    ReduceOp::Min => {
+                        if other < self {
+                            other
+                        } else {
+                            self
+                        }
+                    }
+                    ReduceOp::Max => {
+                        if other > self {
+                            other
+                        } else {
+                            self
+                        }
+                    }
                     ReduceOp::Prod => self * other,
                 }
             }
@@ -78,7 +90,7 @@ fn encode_slice<T: ReduceElem>(xs: &[T]) -> Bytes {
 }
 
 fn decode_slice<T: ReduceElem>(bytes: &[u8]) -> Result<Vec<T>> {
-    if bytes.len() % T::WIDTH != 0 {
+    if !bytes.len().is_multiple_of(T::WIDTH) {
         return Err(MpError::Truncated {
             got: bytes.len(),
             want: bytes.len() / T::WIDTH * T::WIDTH,
@@ -122,11 +134,14 @@ impl Comm {
         let tag = self.coll_tag();
         let n = self.nprocs();
         if root >= n {
-            return Err(MpError::BadRank { rank: root, nprocs: n });
+            return Err(MpError::BadRank {
+                rank: root,
+                nprocs: n,
+            });
         }
         let vrank = (self.rank() + n - root) % n;
         let payload = if vrank == 0 {
-            data.expect("root must supply the broadcast payload")
+            data.ok_or(MpError::BadArg("root must supply the broadcast payload"))?
         } else {
             // Receive from the parent: clear the highest set bit.
             let high = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
@@ -163,7 +178,10 @@ impl Comm {
         let tag = self.coll_tag();
         let n = self.nprocs();
         if root >= n {
-            return Err(MpError::BadRank { rank: root, nprocs: n });
+            return Err(MpError::BadRank {
+                rank: root,
+                nprocs: n,
+            });
         }
         let vrank = (self.rank() + n - root) % n;
         let mut acc: Vec<T> = data.to_vec();
@@ -173,7 +191,8 @@ impl Comm {
             if vrank & bit != 0 {
                 // Send to the parent and leave.
                 let parent = ((vrank & !bit) + root) % n;
-                self.isend_internal(parent, tag, encode_slice(&acc))?.wait()?;
+                self.isend_internal(parent, tag, encode_slice(&acc))?
+                    .wait()?;
                 return Ok(None);
             }
             if vrank + bit < n {
@@ -216,7 +235,8 @@ impl Comm {
         // Phase 1: ranks >= core send their data into the core.
         if me >= core {
             let partner = me - core;
-            self.isend_internal(partner, tag, encode_slice(&acc))?.wait()?;
+            self.isend_internal(partner, tag, encode_slice(&acc))?
+                .wait()?;
         } else if me < excess {
             let partner = me + core;
             let (bytes, _) = self.recv_internal(partner as i32, tag)?;
@@ -234,7 +254,8 @@ impl Comm {
                 // Symmetric exchange; post receive first to avoid ordering
                 // sensitivity.
                 let rx = self.post_internal(partner as i32, tag + 1);
-                self.isend_internal(partner, tag + 1, encode_slice(&acc))?.wait()?;
+                self.isend_internal(partner, tag + 1, encode_slice(&acc))?
+                    .wait()?;
                 let msg = rx.wait()?;
                 let theirs: Vec<T> = decode_slice(&msg.data)?;
                 assert_eq!(theirs.len(), acc.len(), "allreduce length mismatch");
@@ -251,7 +272,8 @@ impl Comm {
             acc = decode_slice(&bytes)?;
         } else if me < excess {
             let partner = me + core;
-            self.isend_internal(partner, tag + 2, encode_slice(&acc))?.wait()?;
+            self.isend_internal(partner, tag + 2, encode_slice(&acc))?
+                .wait()?;
         }
         // Recursive doubling consumed three tags; keep the global
         // collective ordering consistent across ranks.
@@ -295,7 +317,10 @@ impl Comm {
         let tag = self.coll_tag();
         let n = self.nprocs();
         if root >= n {
-            return Err(MpError::BadRank { rank: root, nprocs: n });
+            return Err(MpError::BadRank {
+                rank: root,
+                nprocs: n,
+            });
         }
         if self.rank() == root {
             let mut parts: Vec<Vec<u8>> = vec![Vec::new(); n];
@@ -329,11 +354,11 @@ impl Comm {
         });
         let bytes = self.bcast(0, packed)?;
         // Unpack.
-        let count = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
+        let count = u32::from_le_bytes(crate::message::le_bytes(&bytes[0..4])) as usize;
         let mut lens = Vec::with_capacity(count);
         let mut off = 4;
         for _ in 0..count {
-            lens.push(u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap()) as usize);
+            lens.push(u64::from_le_bytes(crate::message::le_bytes(&bytes[off..off + 8])) as usize);
             off += 8;
         }
         let mut parts = Vec::with_capacity(count);
@@ -350,11 +375,16 @@ impl Comm {
         let tag = self.coll_tag();
         let n = self.nprocs();
         if root >= n {
-            return Err(MpError::BadRank { rank: root, nprocs: n });
+            return Err(MpError::BadRank {
+                rank: root,
+                nprocs: n,
+            });
         }
         if self.rank() == root {
-            let parts = parts.expect("root must supply scatter parts");
-            assert_eq!(parts.len(), n, "scatter needs one part per rank");
+            let parts = parts.ok_or(MpError::BadArg("root must supply scatter parts"))?;
+            if parts.len() != n {
+                return Err(MpError::BadArg("scatter needs one part per rank"));
+            }
             let mine = parts[root].clone();
             let mut sends = Vec::new();
             for (dst, part) in parts.into_iter().enumerate() {
@@ -419,8 +449,8 @@ mod tests {
         for n in [2, 3, 5, 8] {
             for root in 0..n {
                 Universe::run(n, move |comm| {
-                    let data = (comm.rank() == root)
-                        .then(|| Bytes::from(format!("payload-from-{root}")));
+                    let data =
+                        (comm.rank() == root).then(|| Bytes::from(format!("payload-from-{root}")));
                     let got = comm.bcast(root, data).unwrap();
                     assert_eq!(&got[..], format!("payload-from-{root}").as_bytes());
                 })

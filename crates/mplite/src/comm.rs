@@ -17,9 +17,9 @@ use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use bytes::Bytes;
-use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Condvar, Mutex};
+use crate::buf::Bytes;
+use crate::sync::{Condvar, Mutex};
+use std::sync::mpsc::{channel, Sender};
 
 use crate::error::{MpError, Result};
 use crate::message::{
@@ -201,7 +201,7 @@ impl Comm {
                 None => None,
             });
         }
-        let (tx, rx) = unbounded::<SendJob>();
+        let (tx, rx) = channel::<SendJob>();
         let my_rank = rank as u32;
         let writer = std::thread::Builder::new()
             .name(format!("mplite-w{rank}"))
@@ -209,11 +209,19 @@ impl Comm {
                 while let Ok(job) = rx.recv() {
                     match job {
                         SendJob::Quit => break,
-                        SendJob::Msg { dst, tag, data, slot } => {
+                        SendJob::Msg {
+                            dst,
+                            tag,
+                            data,
+                            slot,
+                        } => {
                             let result = (|| -> std::io::Result<()> {
-                                let s = write_halves[dst]
-                                    .as_mut()
-                                    .expect("no socket to destination");
+                                let s = write_halves[dst].as_mut().ok_or_else(|| {
+                                    std::io::Error::new(
+                                        std::io::ErrorKind::NotConnected,
+                                        "no socket to destination",
+                                    )
+                                })?;
                                 let hdr = encode_header(my_rank, tag, data.len() as u64);
                                 s.write_all(&hdr)?;
                                 s.write_all(&data)?;
@@ -300,12 +308,7 @@ impl Comm {
             .map(|(src, tag, len)| Status { src, tag, len })
     }
 
-    pub(crate) fn isend_internal(
-        &self,
-        dst: usize,
-        tag: i32,
-        data: Bytes,
-    ) -> Result<SendRequest> {
+    pub(crate) fn isend_internal(&self, dst: usize, tag: i32, data: Bytes) -> Result<SendRequest> {
         self.check_rank(dst)?;
         let slot = SendSlot::new();
         self.tx
@@ -322,7 +325,11 @@ impl Comm {
     /// Post an internal receive (reserved tags) and return the raw slot —
     /// lets collectives post-then-send for deadlock-free symmetric
     /// exchanges.
-    pub(crate) fn post_internal(&self, src: i32, tag: i32) -> std::sync::Arc<crate::message::RecvSlot> {
+    pub(crate) fn post_internal(
+        &self,
+        src: i32,
+        tag: i32,
+    ) -> std::sync::Arc<crate::message::RecvSlot> {
         self.engine.post(src, tag)
     }
 

@@ -29,6 +29,9 @@ pub enum MpError {
     },
     /// The communicator has been shut down.
     Finalized,
+    /// A call violated the API's calling convention (e.g. a collective
+    /// root that supplied no payload).
+    BadArg(&'static str),
 }
 
 impl fmt::Display for MpError {
@@ -43,6 +46,7 @@ impl fmt::Display for MpError {
                 write!(f, "message of {got} bytes truncated to buffer of {want}")
             }
             MpError::Finalized => write!(f, "communicator already finalized"),
+            MpError::BadArg(what) => write!(f, "bad argument: {what}"),
         }
     }
 }

@@ -32,13 +32,16 @@
 
 #![warn(missing_docs)]
 
+pub mod buf;
 pub mod collectives;
 pub mod comm;
 pub mod error;
 pub mod message;
+pub mod sync;
 pub mod typed;
 pub mod universe;
 
+pub use buf::Bytes;
 pub use collectives::{ReduceElem, ReduceOp};
 pub use comm::{Comm, RecvRequest, SendRequest, Status};
 pub use error::{MpError, Result};

@@ -10,8 +10,8 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use bytes::Bytes;
-use parking_lot::{Condvar, Mutex};
+use crate::buf::Bytes;
+use crate::sync::{Condvar, Mutex};
 
 use crate::error::{MpError, Result};
 
@@ -34,10 +34,18 @@ pub fn encode_header(src: u32, tag: i32, len: u64) -> [u8; HEADER_LEN] {
 
 /// Decode a message header into `(src, tag, len)`.
 pub fn decode_header(h: &[u8; HEADER_LEN]) -> (u32, i32, u64) {
-    let src = u32::from_le_bytes(h[0..4].try_into().unwrap());
-    let tag = i32::from_le_bytes(h[4..8].try_into().unwrap());
-    let len = u64::from_le_bytes(h[8..16].try_into().unwrap());
+    let src = u32::from_le_bytes(le_bytes(&h[0..4]));
+    let tag = i32::from_le_bytes(le_bytes(&h[4..8]));
+    let len = u64::from_le_bytes(le_bytes(&h[8..16]));
     (src, tag, len)
+}
+
+/// Copy the first `N` bytes of a slice into a fixed array. Callers index
+/// with a range of at least `N` bytes, so the copy cannot fail.
+pub(crate) fn le_bytes<const N: usize>(s: &[u8]) -> [u8; N] {
+    let mut out = [0u8; N];
+    out.copy_from_slice(&s[..N]);
+    out
 }
 
 /// A delivered message.
@@ -157,7 +165,7 @@ impl MatchEngine {
                 .iter()
                 .position(|p| matches(p.src, p.tag, &msg))
             {
-                Some(i) => Some(inner.posted.remove(i).expect("index valid").slot),
+                Some(i) => inner.posted.remove(i).map(|p| p.slot),
                 None => {
                     inner.unexpected.push_back(msg.clone());
                     None
@@ -178,11 +186,7 @@ impl MatchEngine {
             if inner.dead {
                 slot.fail("communicator shut down".into());
                 None
-            } else if let Some(i) = inner
-                .unexpected
-                .iter()
-                .position(|m| matches(src, tag, m))
-            {
+            } else if let Some(i) = inner.unexpected.iter().position(|m| matches(src, tag, m)) {
                 inner.unexpected.remove(i)
             } else {
                 inner.posted.push_back(PostedRecv {

@@ -6,7 +6,7 @@
 //! element encoding already defined for reductions
 //! ([`ReduceElem`](crate::ReduceElem)).
 
-use bytes::Bytes;
+use crate::buf::Bytes;
 
 use crate::collectives::ReduceElem;
 use crate::comm::{Comm, RecvRequest, SendRequest, Status};
@@ -21,7 +21,7 @@ fn encode<T: ReduceElem>(xs: &[T]) -> Bytes {
 }
 
 fn decode<T: ReduceElem>(bytes: &[u8]) -> Result<Vec<T>> {
-    if bytes.len() % T::WIDTH != 0 {
+    if !bytes.len().is_multiple_of(T::WIDTH) {
         return Err(MpError::Truncated {
             got: bytes.len(),
             want: bytes.len() / T::WIDTH * T::WIDTH,
@@ -56,13 +56,7 @@ impl Comm {
     /// the halo-exchange workhorse. Posts the receive first, so the
     /// symmetric exchange `a.sendrecv(b) || b.sendrecv(a)` cannot
     /// deadlock.
-    pub fn sendrecv(
-        &self,
-        dst: usize,
-        src: i32,
-        tag: i32,
-        data: &[u8],
-    ) -> Result<(Bytes, Status)> {
+    pub fn sendrecv(&self, dst: usize, src: i32, tag: i32, data: &[u8]) -> Result<(Bytes, Status)> {
         let rx = self.irecv(src, tag);
         let tx = self.isend(dst, tag, Bytes::copy_from_slice(data))?;
         let got = rx.wait()?;
@@ -163,8 +157,9 @@ mod tests {
                 assert_eq!(remaining.len(), 1);
                 assert_ne!(remaining[0].1.src, st.src);
             } else {
-                let sends =
-                    vec![comm.isend(0, 7, (comm.rank() as u32).to_le_bytes().to_vec()).unwrap()];
+                let sends = vec![comm
+                    .isend(0, 7, (comm.rank() as u32).to_le_bytes().to_vec())
+                    .unwrap()];
                 wait_all_sends(sends).unwrap();
             }
         })

@@ -34,10 +34,11 @@ impl Universe {
             .collect::<std::io::Result<_>>()?;
 
         // streams[i][j]: socket rank i uses to talk to rank j.
-        let mut streams: Vec<Vec<Option<TcpStream>>> = (0..n)
-            .map(|_| (0..n).map(|_| None).collect())
-            .collect();
+        let mut streams: Vec<Vec<Option<TcpStream>>> =
+            (0..n).map(|_| (0..n).map(|_| None).collect()).collect();
         for i in 0..n {
+            // Indexing both [j][i] and [i][j] rules out an iterator here.
+            #[allow(clippy::needless_range_loop)]
             for j in (i + 1)..n {
                 // j "dials" i; both ends live in this process.
                 let client = TcpStream::connect(addrs[i])?;
@@ -69,7 +70,10 @@ impl Universe {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank thread panicked"))
+                .map(|h| match h.join() {
+                    Ok(v) => v,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
                 .collect()
         });
         Ok(results)

@@ -2,10 +2,30 @@
 //! of posted receives and arriving messages, matching must be complete
 //! (nothing lost), exclusive (nothing double-delivered), and FIFO per
 //! (source, tag) pair.
+//!
+//! Cases come from a tiny seeded splitmix64 generator, keeping the crate
+//! dependency-free while exploring the same randomized interleavings on
+//! every run.
 
-use bytes::Bytes;
 use mplite::message::{InMsg, MatchEngine, ANY_SOURCE, ANY_TAG};
-use proptest::prelude::*;
+use mplite::Bytes;
+
+/// Minimal deterministic generator (splitmix64).
+struct TestRng(u64);
+
+impl TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -15,19 +35,26 @@ enum Op {
     Post(Option<u8>, Option<u8>),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..3, 0u8..3).prop_map(|(s, t)| Op::Deliver(s, t)),
-        (proptest::option::of(0u8..3), proptest::option::of(0u8..3))
-            .prop_map(|(s, t)| Op::Post(s, t)),
-    ]
+fn random_ops(rng: &mut TestRng) -> Vec<Op> {
+    let n = 1 + rng.below(119);
+    (0..n)
+        .map(|_| {
+            if rng.below(2) == 0 {
+                Op::Deliver(rng.below(3) as u8, rng.below(3) as u8)
+            } else {
+                let src = (rng.below(2) == 0).then(|| rng.below(3) as u8);
+                let tag = (rng.below(2) == 0).then(|| rng.below(3) as u8);
+                Op::Post(src, tag)
+            }
+        })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn matching_is_complete_exclusive_and_fifo(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+#[test]
+fn matching_is_complete_exclusive_and_fifo() {
+    for case in 0..64u64 {
+        let mut rng = TestRng(0x4D41_7443 ^ case);
+        let ops = random_ops(&mut rng);
         let engine = MatchEngine::new();
         let mut seq = 0u32;
         let mut delivered = 0u32;
@@ -59,25 +86,27 @@ proptest! {
         // pattern, and no payload may appear twice.
         let mut seen = std::collections::HashSet::new();
         let mut completed = 0u32;
-        let mut per_pair_last: std::collections::HashMap<(usize, i32, Option<u8>, Option<u8>), u32> =
-            std::collections::HashMap::new();
+        let mut per_pair_last: std::collections::HashMap<
+            (usize, i32, Option<u8>, Option<u8>),
+            u32,
+        > = std::collections::HashMap::new();
         for (slot, want_src, want_tag) in &slots {
             if let Some(Ok(msg)) = slot.try_take() {
                 completed += 1;
-                let payload = u32::from_le_bytes(msg.data[..4].try_into().unwrap());
-                prop_assert!(seen.insert(payload), "payload {payload} delivered twice");
+                let payload = u32::from_le_bytes(msg.data[..4].try_into().expect("4-byte payload"));
+                assert!(seen.insert(payload), "payload {payload} delivered twice");
                 if let Some(s) = want_src {
-                    prop_assert_eq!(msg.src, *s as usize);
+                    assert_eq!(msg.src, *s as usize);
                 }
                 if let Some(t) = want_tag {
-                    prop_assert_eq!(msg.tag, i32::from(*t));
+                    assert_eq!(msg.tag, i32::from(*t));
                 }
                 // FIFO per (src, tag, pattern): for slots with the same
                 // fully-specified pattern, payload sequence must ascend.
                 if want_src.is_some() && want_tag.is_some() {
                     let key = (msg.src, msg.tag, *want_src, *want_tag);
                     if let Some(&prev) = per_pair_last.get(&key) {
-                        prop_assert!(payload > prev, "FIFO violated: {payload} after {prev}");
+                        assert!(payload > prev, "FIFO violated: {payload} after {prev}");
                     }
                     per_pair_last.insert(key, payload);
                 }
@@ -85,12 +114,17 @@ proptest! {
         }
         // Conservation: completions + still-queued unexpected == delivered
         // (a completed slot consumed exactly one message).
-        prop_assert_eq!(completed + engine.unexpected_len() as u32, delivered);
+        assert_eq!(completed + engine.unexpected_len() as u32, delivered);
     }
+}
 
-    /// Probe never changes state and agrees with a subsequent post.
-    #[test]
-    fn probe_is_pure(srcs in proptest::collection::vec(0u8..3, 1..20)) {
+/// Probe never changes state and agrees with a subsequent post.
+#[test]
+fn probe_is_pure() {
+    for case in 0..32u64 {
+        let mut rng = TestRng(0xBEEF ^ case);
+        let n = 1 + rng.below(19);
+        let srcs: Vec<u8> = (0..n).map(|_| rng.below(3) as u8).collect();
         let engine = MatchEngine::new();
         for (i, &s) in srcs.iter().enumerate() {
             engine.deliver(InMsg {
@@ -102,13 +136,16 @@ proptest! {
         let before = engine.unexpected_len();
         let p1 = engine.probe(ANY_SOURCE, ANY_TAG);
         let p2 = engine.probe(ANY_SOURCE, ANY_TAG);
-        prop_assert_eq!(p1, p2);
-        prop_assert_eq!(engine.unexpected_len(), before);
+        assert_eq!(p1, p2);
+        assert_eq!(engine.unexpected_len(), before);
         // The probed message is what a wildcard post receives next.
-        let (src, tag, len) = p1.unwrap();
-        let got = engine.post(ANY_SOURCE, ANY_TAG).wait().unwrap();
-        prop_assert_eq!(got.src, src);
-        prop_assert_eq!(got.tag, tag);
-        prop_assert_eq!(got.data.len(), len);
+        let (src, tag, len) = p1.expect("at least one message queued");
+        let got = engine
+            .post(ANY_SOURCE, ANY_TAG)
+            .wait()
+            .expect("wildcard post completes");
+        assert_eq!(got.src, src);
+        assert_eq!(got.tag, tag);
+        assert_eq!(got.data.len(), len);
     }
 }

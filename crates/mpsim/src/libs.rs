@@ -110,7 +110,7 @@ pub fn mpich(cfg: MpichConfig) -> MpLib {
 // ---------------------------------------------------------------------------
 
 /// LAM/MPI run modes (§3.2, §4.2).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LamConfig {
     /// `mpirun -O`: skip heterogeneous data conversion checks
     /// ("greatly improves performance" on homogeneous clusters).
@@ -118,15 +118,6 @@ pub struct LamConfig {
     /// `mpirun -lamd`: route through the lamd daemons for monitoring
     /// ("greatly reducing the performance": ~260 Mbps, 2x latency).
     pub use_lamd: bool,
-}
-
-impl Default for LamConfig {
-    fn default() -> Self {
-        LamConfig {
-            optimized_o: false,
-            use_lamd: false,
-        }
-    }
 }
 
 impl LamConfig {
@@ -156,7 +147,11 @@ pub fn lammpi(cfg: LamConfig) -> MpLib {
             recv_overhead_us: 2.0,
             send_copies: 0,
             recv_copies: 0,
-            byte_check_bps: if cfg.optimized_o { f64::INFINITY } else { 125e6 },
+            byte_check_bps: if cfg.optimized_o {
+                f64::INFINITY
+            } else {
+                125e6
+            },
             rendezvous_bytes: Some(kib(64)),
             ctrl_bytes: 40,
             fragment: if cfg.use_lamd {
@@ -168,7 +163,11 @@ pub fn lammpi(cfg: LamConfig) -> MpLib {
             } else {
                 None
             },
-            routing: if cfg.use_lamd { Routing::Daemon } else { Routing::Direct },
+            routing: if cfg.use_lamd {
+                Routing::Daemon
+            } else {
+                Routing::Direct
+            },
             progress: Progress::InCall,
             bonded_channels: 1,
         },
@@ -272,22 +271,13 @@ pub fn mp_lite_bonded(kernel: &KernelModel, channels: u32) -> MpLib {
 // ---------------------------------------------------------------------------
 
 /// PVM 3.4 tuning knobs (§3.5, §4.5).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct PvmConfig {
     /// `pvm_setopt(PvmRoute, PvmRouteDirect)`: bypass the pvmd daemons
     /// (default routes everything through them at ~90 Mbps).
     pub direct_route: bool,
     /// `pvm_initsend(PvmDataInPlace)`: skip the send-side packing copy.
     pub in_place: bool,
-}
-
-impl Default for PvmConfig {
-    fn default() -> Self {
-        PvmConfig {
-            direct_route: false,
-            in_place: false,
-        }
-    }
 }
 
 impl PvmConfig {
@@ -325,7 +315,11 @@ pub fn pvm(cfg: PvmConfig) -> MpLib {
                 per_frag_us: if cfg.direct_route { 6.0 } else { 12.0 },
                 stop_and_wait: !cfg.direct_route,
             }),
-            routing: if cfg.direct_route { Routing::Direct } else { Routing::Daemon },
+            routing: if cfg.direct_route {
+                Routing::Direct
+            } else {
+                Routing::Daemon
+            },
             progress: Progress::InCall,
             bonded_channels: 1,
         },
@@ -539,8 +533,14 @@ mod tests {
 
     #[test]
     fn lam_o_flag_removes_byte_checks() {
-        assert!(lammpi(LamConfig::default()).profile.byte_check_bps.is_finite());
-        assert!(lammpi(LamConfig::tuned()).profile.byte_check_bps.is_infinite());
+        assert!(lammpi(LamConfig::default())
+            .profile
+            .byte_check_bps
+            .is_finite());
+        assert!(lammpi(LamConfig::tuned())
+            .profile
+            .byte_check_bps
+            .is_infinite());
     }
 
     #[test]
@@ -592,11 +592,15 @@ mod tests {
     #[test]
     fn mvich_without_rput_copies() {
         assert_eq!(
-            mvich(MvichConfig::default(), RawParams::giganet()).profile.recv_copies,
+            mvich(MvichConfig::default(), RawParams::giganet())
+                .profile
+                .recv_copies,
             1
         );
         assert_eq!(
-            mvich(MvichConfig::tuned(), RawParams::giganet()).profile.recv_copies,
+            mvich(MvichConfig::tuned(), RawParams::giganet())
+                .profile
+                .recv_copies,
             0
         );
     }
@@ -613,7 +617,12 @@ mod tests {
     #[test]
     fn gm_libraries_use_16k_threshold() {
         for lib in [mpich_gm(RecvMode::Hybrid), mpipro_gm(RecvMode::Hybrid)] {
-            assert_eq!(lib.profile.rendezvous_bytes, Some(kib(16)), "{}", lib.name());
+            assert_eq!(
+                lib.profile.rendezvous_bytes,
+                Some(kib(16)),
+                "{}",
+                lib.name()
+            );
         }
     }
 }

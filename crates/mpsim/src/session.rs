@@ -167,7 +167,11 @@ impl Session {
             let sz = block.min(bytes - off);
             off += sz;
             *pending.borrow_mut() += 1;
-            let conn = if ch == 0 { self.data } else { self.extra[ch - 1] };
+            let conn = if ch == 0 {
+                self.data
+            } else {
+                self.extra[ch - 1]
+            };
             ch = (ch + 1) % nchan;
             let this = self.clone();
             let pending = Rc::clone(&pending);
@@ -180,7 +184,10 @@ impl Session {
                 Box::new(move |e| {
                     *pending.borrow_mut() -= 1;
                     if *pending.borrow() == 0 {
-                        let k = done_k.borrow_mut().take().expect("stripe completion fired twice");
+                        let k = done_k
+                            .borrow_mut()
+                            .take()
+                            .expect("stripe completion fired twice");
                         this.receive_phase(e, from, bytes, k);
                     }
                 }),
@@ -226,7 +233,10 @@ impl Session {
                     Box::new(move |e| {
                         *remaining.borrow_mut() -= 1;
                         if *remaining.borrow() == 0 {
-                            let k = pending_k.borrow_mut().take().expect("completion fired twice");
+                            let k = pending_k
+                                .borrow_mut()
+                                .take()
+                                .expect("completion fired twice");
                             this.receive_phase(e, from, bytes, k);
                         }
                     }),
@@ -327,7 +337,8 @@ impl Session {
                                             x.delivered == x.total_frags
                                         };
                                         if done {
-                                            let k = xfer.borrow_mut().k.take().expect("double fire");
+                                            let k =
+                                                xfer.borrow_mut().k.take().expect("double fire");
                                             this3.receive_phase(e, from, bytes, k);
                                         }
                                     }),
@@ -389,12 +400,7 @@ impl Session {
                                         );
                                     }),
                                 );
-                                local::send(
-                                    e,
-                                    path.local[1 - from],
-                                    sz,
-                                    Box::new(move |_| {}),
-                                );
+                                local::send(e, path.local[1 - from], sz, Box::new(move |_| {}));
                             });
                         }),
                     );
@@ -473,8 +479,7 @@ impl Session {
         // 1. a rendezvous handshake cannot be answered until busy_end;
         // 2. on TCP, at most ~the flow-control window lands before the
         //    sender blocks on the unread socket buffer.
-        let needs_handshake =
-            matches!(self.profile.rendezvous_bytes, Some(t) if bytes > t);
+        let needs_handshake = matches!(self.profile.rendezvous_bytes, Some(t) if bytes > t);
         if needs_handshake {
             // RTS is sent now but the CTS only comes back after busy_end;
             // the entire payload then moves post-computation.
@@ -560,15 +565,13 @@ fn daemon_work(eng: &mut Net, host: usize, frag: FragmentCfg, sz: u64) -> simcor
     eng.world.hosts[host].cpu.serve_for(now, dur, sz)
 }
 
+/// Completion callback for [`pingpong`]: receives the engine and the
+/// total elapsed simulated seconds.
+pub type PingpongDone = Box<dyn FnOnce(&mut Net, f64)>;
+
 /// Run `reps` ping-pong round trips of `bytes` and pass the total elapsed
 /// simulated seconds to `done`.
-pub fn pingpong(
-    session: &Session,
-    eng: &mut Net,
-    bytes: u64,
-    reps: u32,
-    done: Box<dyn FnOnce(&mut Net, f64)>,
-) {
+pub fn pingpong(session: &Session, eng: &mut Net, bytes: u64, reps: u32, done: PingpongDone) {
     assert!(reps > 0, "at least one repetition");
     let start = eng.now();
     bounce(session.clone(), eng, bytes, 2 * reps, start, done);
@@ -580,7 +583,7 @@ fn bounce(
     bytes: u64,
     legs_left: u32,
     start: simcore::SimTime,
-    done: Box<dyn FnOnce(&mut Net, f64)>,
+    done: PingpongDone,
 ) {
     if legs_left == 0 {
         let elapsed = (eng.now() - start).as_secs_f64();
@@ -760,7 +763,10 @@ mod tests {
         assert!(incall_rndv > 0.032, "in-call rendezvous {incall_rndv}");
         // In-call eager overlaps only a window's worth (512 kB here), so
         // the other ~512 kB serializes after the compute: ~+7 ms.
-        assert!(incall_eager > threaded + 0.005, "in-call eager {incall_eager}");
+        assert!(
+            incall_eager > threaded + 0.005,
+            "in-call eager {incall_eager}"
+        );
         assert!(incall_eager < incall_rndv, "eager must beat rendezvous");
     }
 
@@ -782,7 +788,10 @@ mod tests {
         eng.run();
         let overlapped = out.get().unwrap();
         let plain = run_pingpong(&raw_tcp_lib(), 100_000, 1) / 2.0;
-        assert!((overlapped / plain - 1.0).abs() < 0.02, "{overlapped} vs {plain}");
+        assert!(
+            (overlapped / plain - 1.0).abs() < 0.02,
+            "{overlapped} vs {plain}"
+        );
     }
 
     fn one_way_on(spec: hwmodel::ClusterSpec, lib: &MpLib, bytes: u64) -> f64 {
@@ -790,9 +799,14 @@ mod tests {
         let session = Session::establish(&mut eng.world, lib);
         let out = Rc::new(Cell::new(None));
         let out2 = Rc::clone(&out);
-        session.send(&mut eng, 0, bytes, Box::new(move |e| {
-            out2.set(Some(e.now().as_secs_f64()));
-        }));
+        session.send(
+            &mut eng,
+            0,
+            bytes,
+            Box::new(move |e| {
+                out2.set(Some(e.now().as_secs_f64()));
+            }),
+        );
         eng.run();
         out.get().unwrap()
     }
@@ -805,9 +819,16 @@ mod tests {
         use hwmodel::presets::pcs_fast_ethernet_dual;
         let kernel = pcs_fast_ethernet_dual().kernel;
         let single = one_way_on(pcs_fast_ethernet_dual(), &mp_lite(&kernel), mib(4));
-        let bonded = one_way_on(pcs_fast_ethernet_dual(), &mp_lite_bonded(&kernel, 2), mib(4));
+        let bonded = one_way_on(
+            pcs_fast_ethernet_dual(),
+            &mp_lite_bonded(&kernel, 2),
+            mib(4),
+        );
         let speedup = single / bonded;
-        assert!((1.7..2.05).contains(&speedup), "FE bonding speedup {speedup}");
+        assert!(
+            (1.7..2.05).contains(&speedup),
+            "FE bonding speedup {speedup}"
+        );
         // Small messages are not striped: latency unchanged.
         let lat_single = one_way_on(pcs_fast_ethernet_dual(), &mp_lite(&kernel), 8);
         let lat_bonded = one_way_on(pcs_fast_ethernet_dual(), &mp_lite_bonded(&kernel, 2), 8);

@@ -9,12 +9,10 @@
 //!   `t(n) = t0 + n/r∞` over the large-message tail, giving the effective
 //!   start-up time `t0` and asymptotic rate `r∞`.
 
-use serde::{Deserialize, Serialize};
-
 use crate::runner::Signature;
 
 /// Derived metrics for one signature.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SignatureAnalysis {
     /// Driver name.
     pub name: String,
@@ -58,7 +56,11 @@ pub fn fit_hockney(sig: &Signature) -> (f64, f64) {
     }
     let slope = (n * sxy - sx * sy) / denom;
     let intercept = (sy - slope * sx) / n;
-    let r_inf = if slope > 0.0 { 1.0 / slope } else { f64::INFINITY };
+    let r_inf = if slope > 0.0 {
+        1.0 / slope
+    } else {
+        f64::INFINITY
+    };
     (intercept.max(0.0), r_inf)
 }
 

@@ -174,9 +174,7 @@ mod tests {
         // Streaming amortizes the per-message latency that dominates
         // small-message ping-pong.
         let mut d = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
-        let pp: f64 = (0..32)
-            .map(|_| d.roundtrip(1024).unwrap() / 2.0)
-            .sum();
+        let pp: f64 = (0..32).map(|_| d.roundtrip(1024).unwrap() / 2.0).sum();
         let stream = d.burst(1024, 32).unwrap();
         assert!(
             stream < pp / 2.0,

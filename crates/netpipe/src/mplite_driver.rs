@@ -25,8 +25,10 @@ impl MpliteDriver {
     pub fn new() -> Result<MpliteDriver, DriverError> {
         let mut comms = Universe::local(2)
             .map_err(|e| DriverError::Io(std::io::Error::other(e.to_string())))?;
-        let echo_comm = comms.pop().expect("rank 1");
-        let comm = comms.pop().expect("rank 0");
+        let short_job =
+            || DriverError::Io(std::io::Error::other("local(2) returned too few ranks"));
+        let echo_comm = comms.pop().ok_or_else(short_job)?;
+        let comm = comms.pop().ok_or_else(short_job)?;
         let echo = std::thread::Builder::new()
             .name("mplite-echo".into())
             .spawn(move || echo_rank(echo_comm))
@@ -58,7 +60,10 @@ impl Driver for MpliteDriver {
     }
 
     fn roundtrip(&mut self, bytes: u64) -> Result<f64, DriverError> {
-        let comm = self.comm.as_ref().expect("driver already shut down");
+        let comm = self
+            .comm
+            .as_ref()
+            .ok_or_else(|| DriverError::Io(std::io::Error::other("driver already shut down")))?;
         let n = bytes as usize;
         if self.buf.len() < n {
             self.buf = (0..n).map(|i| (i % 247) as u8).collect();
@@ -109,7 +114,11 @@ mod tests {
     fn mplite_signature_shape() {
         let mut d = MpliteDriver::new().unwrap();
         let sig = run(&mut d, &RunOptions::quick(128 * 1024)).unwrap();
-        assert!(sig.latency_us > 1.0 && sig.latency_us < 5000.0, "{}", sig.latency_us);
+        assert!(
+            sig.latency_us > 1.0 && sig.latency_us < 5000.0,
+            "{}",
+            sig.latency_us
+        );
         assert!(sig.max_mbps > 200.0, "peak {}", sig.max_mbps);
     }
 }

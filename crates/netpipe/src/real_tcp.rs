@@ -43,7 +43,11 @@ extern "C" {
 /// default). Returns the effective (sndbuf, rcvbuf) the kernel granted —
 /// Linux doubles the requested value for bookkeeping, and clamps to
 /// `net.core.{w,r}mem_max`, the very ceiling the paper tunes.
-pub fn set_socket_buffers(stream: &TcpStream, sndbuf: u32, rcvbuf: u32) -> std::io::Result<(u32, u32)> {
+pub fn set_socket_buffers(
+    stream: &TcpStream,
+    sndbuf: u32,
+    rcvbuf: u32,
+) -> std::io::Result<(u32, u32)> {
     use std::os::fd::AsRawFd;
     let fd = stream.as_raw_fd();
     unsafe {
@@ -76,11 +80,25 @@ pub fn set_socket_buffers(stream: &TcpStream, sndbuf: u32, rcvbuf: u32) -> std::
         let mut snd: i32 = 0;
         let mut rcv: i32 = 0;
         let mut len = std::mem::size_of::<i32>() as u32;
-        if getsockopt(fd, SOL_SOCKET, SO_SNDBUF, (&mut snd as *mut i32).cast(), &mut len) != 0 {
+        if getsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_SNDBUF,
+            (&mut snd as *mut i32).cast(),
+            &mut len,
+        ) != 0
+        {
             return Err(std::io::Error::last_os_error());
         }
         let mut len = std::mem::size_of::<i32>() as u32;
-        if getsockopt(fd, SOL_SOCKET, SO_RCVBUF, (&mut rcv as *mut i32).cast(), &mut len) != 0 {
+        if getsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            (&mut rcv as *mut i32).cast(),
+            &mut len,
+        ) != 0
+        {
             return Err(std::io::Error::last_os_error());
         }
         Ok((snd.max(0) as u32, rcv.max(0) as u32))

@@ -10,7 +10,11 @@ pub fn to_csv(sigs: &[Signature]) -> String {
     let mut out = String::from("library,bytes,seconds,mbps\n");
     for sig in sigs {
         for p in &sig.points {
-            let _ = writeln!(out, "{},{},{:.9},{:.3}", sig.name, p.bytes, p.seconds, p.mbps);
+            let _ = writeln!(
+                out,
+                "{},{},{:.9},{:.3}",
+                sig.name, p.bytes, p.seconds, p.mbps
+            );
         }
     }
     out
@@ -19,7 +23,10 @@ pub fn to_csv(sigs: &[Signature]) -> String {
 /// The classic NetPIPE `.np` plotfile for one signature: three columns —
 /// `bytes  throughput_mbps  time_seconds` (gnuplot-ready).
 pub fn to_plotfile(sig: &Signature) -> String {
-    let mut out = format!("# NetPIPE signature: {}\n# bytes  Mbps  seconds\n", sig.name);
+    let mut out = format!(
+        "# NetPIPE signature: {}\n# bytes  Mbps  seconds\n",
+        sig.name
+    );
     for p in &sig.points {
         let _ = writeln!(out, "{:>10} {:>12.3} {:>14.9}", p.bytes, p.mbps, p.seconds);
     }
@@ -115,7 +122,9 @@ pub fn svg_figure(title: &str, sigs: &[Signature], width: u32, height: u32) -> S
     let (min_x, max_x) = sigs
         .iter()
         .flat_map(|s| s.points.iter().map(|p| p.bytes))
-        .fold((u64::MAX, 2u64), |(lo, hi), b| (lo.min(b.max(1)), hi.max(b)));
+        .fold((u64::MAX, 2u64), |(lo, hi), b| {
+            (lo.min(b.max(1)), hi.max(b))
+        });
     let (lx0, lx1) = ((min_x as f64).ln(), (max_x as f64).ln());
     let x = |bytes: u64| ml + ((bytes.max(1) as f64).ln() - lx0) / (lx1 - lx0).max(1e-9) * pw;
     let y = |mbps: f64| mt + (1.0 - mbps / max_y) * ph;
@@ -248,7 +257,12 @@ mod tests {
 
     #[test]
     fn ascii_figure_renders_all_curves() {
-        let fig = ascii_figure("Figure 1", &[fake_sig("a", 100.0), fake_sig("b", 50.0)], 60, 12);
+        let fig = ascii_figure(
+            "Figure 1",
+            &[fake_sig("a", 100.0), fake_sig("b", 50.0)],
+            60,
+            12,
+        );
         assert!(fig.contains("Figure 1"));
         assert!(fig.contains('T'), "first curve mark present");
         assert!(fig.contains('M'), "second curve mark present");
@@ -263,7 +277,12 @@ mod tests {
 
     #[test]
     fn svg_figure_is_wellformed_with_all_curves() {
-        let svg = svg_figure("Fig X", &[fake_sig("a", 100.0), fake_sig("b", 50.0)], 640, 420);
+        let svg = svg_figure(
+            "Fig X",
+            &[fake_sig("a", 100.0), fake_sig("b", 50.0)],
+            640,
+            420,
+        );
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
         assert_eq!(svg.matches("<polyline").count(), 2);

@@ -1,7 +1,6 @@
 //! The measurement loop: run a [`Driver`] over a size schedule and build
 //! its latency/throughput signature.
 
-use serde::{Deserialize, Serialize};
 use simcore::units::throughput_mbps;
 use simcore::OnlineStats;
 
@@ -9,7 +8,7 @@ use crate::driver::{Driver, DriverError};
 use crate::schedule::{sizes, ScheduleOptions};
 
 /// Runner configuration.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct RunOptions {
     /// Message-size schedule.
     pub schedule: ScheduleOptions,
@@ -49,7 +48,7 @@ impl RunOptions {
 }
 
 /// One measured point of a signature.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Point {
     /// Message size, bytes.
     pub bytes: u64,
@@ -63,7 +62,7 @@ pub struct Point {
 }
 
 /// A full NetPIPE signature for one driver.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Signature {
     /// Driver display name.
     pub name: String,
@@ -96,7 +95,7 @@ impl Signature {
                 return w[0].mbps + f * (w[1].mbps - w[0].mbps);
             }
         }
-        ps.last().unwrap().mbps
+        ps.last().map_or(0.0, |p| p.mbps)
     }
 
     /// The "dip" around a protocol threshold: throughput just above the

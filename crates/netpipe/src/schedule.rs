@@ -9,10 +9,8 @@
 //! discontinuities (MSS boundaries, socket-buffer sizes, rendezvous
 //! thresholds) cannot hide between sample points.
 
-use serde::{Deserialize, Serialize};
-
 /// Schedule parameters.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ScheduleOptions {
     /// Smallest message tested, bytes.
     pub start: u64,

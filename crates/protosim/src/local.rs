@@ -46,15 +46,18 @@ pub fn open(fabric: &mut Fabric, host: usize) -> ConnId {
 pub fn send(eng: &mut Net, conn: ConnId, bytes: u64, on_delivered: Continuation) {
     let now = eng.now();
     let done = {
-        let Fabric { spec, hosts, conns, .. } = &mut eng.world;
+        let Fabric {
+            spec, hosts, conns, ..
+        } = &mut eng.world;
         let local = match &mut conns[conn.0] {
             Conn::Local(l) => l,
+            // lint:allow(panic) -- ConnId was issued by this module's connect(); a mismatch is a caller bug, not a runtime condition
             _ => panic!("connection {conn:?} is not local"),
         };
         local.bytes_delivered += bytes;
         let copy_each = SimDuration::for_bytes(bytes, spec.host.cpu.kernel_copy_bps);
-        let dur = SimDuration::from_micros_f64(local.per_msg_us)
-            + copy_each * u64::from(local.copies);
+        let dur =
+            SimDuration::from_micros_f64(local.per_msg_us) + copy_each * u64::from(local.copies);
         hosts[local.host].cpu.serve_for(now, dur, bytes)
     };
     eng.schedule_at(done, on_delivered);
@@ -73,7 +76,12 @@ mod tests {
         let conn = open(&mut eng.world, 0);
         let done = Rc::new(Cell::new(None));
         let d = Rc::clone(&done);
-        send(&mut eng, conn, bytes, Box::new(move |e| d.set(Some(e.now()))));
+        send(
+            &mut eng,
+            conn,
+            bytes,
+            Box::new(move |e| d.set(Some(e.now()))),
+        );
         eng.run();
         done.get().unwrap().as_secs_f64()
     }

@@ -139,6 +139,7 @@ pub fn send(eng: &mut MultiEngine, from: usize, to: usize, bytes: u64, k: MultiC
                 let wakeup = SimDuration::from_micros_f64(
                     e.world.spec.kernel.rx_extra_us + e.world.spec.host.cpu.syscall_us,
                 );
+                // lint:allow(expect) -- the guard above fires exactly once per message; a second take is an engine bug
                 let k = k.borrow_mut().take().expect("completion fired twice");
                 e.schedule_at(t4 + wakeup, move |e| {
                     e.world.delivered += 1;
@@ -207,6 +208,7 @@ pub fn ring_halo_steps(
     let done: Rc<RefCell<Option<SimTime>>> = Rc::new(RefCell::new(None));
     do_step(&mut eng, n, halo_bytes, compute, steps, Rc::clone(&done));
     eng.run();
+    // lint:allow(expect) -- eng.run() drains the event queue; an unset completion time means the model deadlocked
     let t = done.borrow().expect("halo steps never completed");
     t.as_secs_f64()
 }
@@ -223,7 +225,13 @@ mod tests {
         let mut eng = MultiNet::engine(pcs_ga620(), n);
         let out = Rc::new(Cell::new(None));
         let o = Rc::clone(&out);
-        send(&mut eng, from, to, bytes, Box::new(move |e| o.set(Some(e.now().as_secs_f64()))));
+        send(
+            &mut eng,
+            from,
+            to,
+            bytes,
+            Box::new(move |e| o.set(Some(e.now().as_secs_f64()))),
+        );
         eng.run();
         out.get().unwrap()
     }
@@ -249,14 +257,25 @@ mod tests {
         for (a, b) in [(0usize, 1usize), (2, 3)] {
             let done = Rc::clone(&done);
             let t_end = Rc::clone(&t_end);
-            send(&mut eng, a, b, mib(1), Box::new(move |e| {
-                done.set(done.get() + 1);
-                t_end.set(e.now().as_secs_f64());
-            }));
+            send(
+                &mut eng,
+                a,
+                b,
+                mib(1),
+                Box::new(move |e| {
+                    done.set(done.get() + 1);
+                    t_end.set(e.now().as_secs_f64());
+                }),
+            );
         }
         eng.run();
         assert_eq!(done.get(), 2);
-        assert!(t_end.get() < solo * 1.05, "disjoint pairs contended: {} vs {}", t_end.get(), solo);
+        assert!(
+            t_end.get() < solo * 1.05,
+            "disjoint pairs contended: {} vs {}",
+            t_end.get(),
+            solo
+        );
     }
 
     #[test]
@@ -268,12 +287,18 @@ mod tests {
         let t_end = Rc::new(Cell::new(0.0f64));
         for from in 1..4usize {
             let t_end = Rc::clone(&t_end);
-            send(&mut eng, from, 0, mib(1), Box::new(move |e| {
-                let t = e.now().as_secs_f64();
-                if t > t_end.get() {
-                    t_end.set(t);
-                }
-            }));
+            send(
+                &mut eng,
+                from,
+                0,
+                mib(1),
+                Box::new(move |e| {
+                    let t = e.now().as_secs_f64();
+                    if t > t_end.get() {
+                        t_end.set(t);
+                    }
+                }),
+            );
         }
         eng.run();
         let ratio = t_end.get() / solo;
@@ -287,7 +312,10 @@ mod tests {
         let spec = pcs_fast_ethernet();
         let t4 = ring_halo_steps(&spec, 4, 10_000, SimDuration::from_millis(5), 3);
         let t8 = ring_halo_steps(&spec, 8, 10_000, SimDuration::from_millis(5), 3);
-        assert!((t8 / t4 - 1.0).abs() < 0.2, "weak-scaling step time: {t4} vs {t8}");
+        assert!(
+            (t8 / t4 - 1.0).abs() < 0.2,
+            "weak-scaling step time: {t4} vs {t8}"
+        );
     }
 
     #[test]
@@ -295,7 +323,10 @@ mod tests {
         let spec = pcs_ga620();
         let small = ring_halo_steps(&spec, 4, 1_000, SimDuration::ZERO, 2);
         let big = ring_halo_steps(&spec, 4, 1_000_000, SimDuration::ZERO, 2);
-        assert!(big > 5.0 * small, "halo size must dominate: {small} vs {big}");
+        assert!(
+            big > 5.0 * small,
+            "halo size must dominate: {small} vs {big}"
+        );
     }
 
     #[test]

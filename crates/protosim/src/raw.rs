@@ -148,6 +148,7 @@ pub fn send(eng: &mut Net, conn: ConnId, from: usize, bytes: u64, on_delivered: 
         } = &mut eng.world;
         let raw = match &mut conns[conn.0] {
             Conn::Raw(r) => r,
+            // lint:allow(panic) -- ConnId was issued by this module's connect(); a mismatch is a caller bug, not a runtime condition
             _ => panic!("connection {conn:?} is not a raw transport"),
         };
         let p = raw.params.clone();
@@ -193,14 +194,17 @@ fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
     {
         let raw = match &mut eng.world.conns[conn.0] {
             Conn::Raw(r) => r,
+            // lint:allow(panic) -- events on this conn are only scheduled by raw code paths
             _ => unreachable!(),
         };
         raw.bytes_delivered += seg;
         let job = raw.dirs[dir]
             .front_mut()
+            // lint:allow(expect) -- a delivery event is only scheduled while its job is queued; an empty queue is an engine bug
             .expect("raw delivery with no job");
         job.delivered += seg;
         if job.delivered == job.total {
+            // lint:allow(expect) -- front_mut() above proved the queue is non-empty under the same borrow
             let mut job = raw.dirs[dir].pop_front().expect("front job vanished");
             let cost = SimDuration::from_micros_f64(raw.params.recv_mode.completion_us());
             if let Some(k) = job.on_delivered.take() {
@@ -216,7 +220,7 @@ fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hwmodel::presets::{pcs_giganet, pcs_myrinet, pcs_mvia_syskonnect};
+    use hwmodel::presets::{pcs_giganet, pcs_mvia_syskonnect, pcs_myrinet};
     use simcore::units::{mib, throughput_mbps};
     use std::cell::Cell;
     use std::rc::Rc;
@@ -291,7 +295,13 @@ mod tests {
         let log = Rc::new(std::cell::RefCell::new(Vec::new()));
         for i in 0..3u32 {
             let log = Rc::clone(&log);
-            send(&mut eng, conn, 0, 10_000, Box::new(move |_| log.borrow_mut().push(i)));
+            send(
+                &mut eng,
+                conn,
+                0,
+                10_000,
+                Box::new(move |_| log.borrow_mut().push(i)),
+            );
         }
         eng.run();
         assert_eq!(*log.borrow(), vec![0, 1, 2]);

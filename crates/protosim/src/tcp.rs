@@ -181,6 +181,7 @@ pub fn send(eng: &mut Net, conn: ConnId, from: usize, bytes: u64, on_delivered: 
 fn tcp_mut(fabric: &mut Fabric, conn: ConnId) -> &mut TcpConn {
     match &mut fabric.conns[conn.0] {
         Conn::Tcp(t) => t,
+        // lint:allow(panic) -- ConnId was issued by this module's connect(); a mismatch is a caller bug, not a runtime condition
         _ => panic!("connection {conn:?} is not TCP"),
     }
 }
@@ -199,6 +200,7 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
         } = &mut eng.world;
         let tcp = match &mut conns[conn.0] {
             Conn::Tcp(t) => t,
+            // lint:allow(panic) -- pump() is only scheduled against conns created as TCP
             _ => panic!("connection {conn:?} is not TCP"),
         };
         let window = tcp.window;
@@ -273,6 +275,7 @@ fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
         let Fabric { spec, conns, .. } = &mut eng.world;
         let tcp = match &mut conns[conn.0] {
             Conn::Tcp(t) => t,
+            // lint:allow(panic) -- delivery events on this conn are only scheduled by TCP code paths
             _ => unreachable!(),
         };
         tcp.bytes_delivered += seg;
@@ -306,14 +309,15 @@ fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
         let job = d
             .jobs
             .front_mut()
+            // lint:allow(expect) -- a delivery event is only scheduled while its job is queued; an empty queue is an engine bug
             .expect("delivery with no in-progress job");
         job.delivered += seg;
         debug_assert!(job.delivered <= job.total);
         if job.delivered == job.total {
+            // lint:allow(expect) -- front_mut() above proved the queue is non-empty under the same borrow
             let mut job = d.jobs.pop_front().expect("front job vanished");
-            let wakeup = SimDuration::from_micros_f64(
-                spec.kernel.rx_extra_us + spec.host.cpu.syscall_us,
-            );
+            let wakeup =
+                SimDuration::from_micros_f64(spec.kernel.rx_extra_us + spec.host.cpu.syscall_us);
             if let Some(k) = job.on_delivered.take() {
                 actions.push(Next::Complete(k, wakeup));
             }
@@ -386,7 +390,10 @@ mod tests {
         let bufs = spec.kernel.default_sockbuf;
         let t = one_way(spec, mib(4), TcpParams::with_bufs(bufs));
         let mbps = throughput_mbps(mib(4), t);
-        assert!((230.0..330.0).contains(&mbps), "TrendNet default {mbps} Mbps");
+        assert!(
+            (230.0..330.0).contains(&mbps),
+            "TrendNet default {mbps} Mbps"
+        );
     }
 
     #[test]
@@ -398,7 +405,11 @@ mod tests {
 
     #[test]
     fn ds20_jumbo_reaches_900mbps() {
-        let t = one_way(ds20s_syskonnect_jumbo(), mib(4), TcpParams::with_bufs(kib(512)));
+        let t = one_way(
+            ds20s_syskonnect_jumbo(),
+            mib(4),
+            TcpParams::with_bufs(kib(512)),
+        );
         let mbps = throughput_mbps(mib(4), t);
         assert!((850.0..990.0).contains(&mbps), "DS20 jumbo raw {mbps} Mbps");
     }

@@ -1,16 +1,31 @@
 //! Property tests on transport-model invariants.
+//!
+//! Cases are drawn from [`SimRng`] with fixed seeds (deterministic,
+//! dependency-free) rather than an external property-test harness.
 
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use hwmodel::presets::{pcs_ga620, pcs_myrinet, pcs_trendnet};
 use protosim::{local, raw, tcp, Conn, Fabric, RawParams, RecvMode, TcpParams};
 use simcore::units::kib;
+use simcore::SimRng;
+
+/// Run `f` for `cases` deterministic seeds.
+fn for_cases(cases: u64, mut f: impl FnMut(&mut SimRng)) {
+    for seed in 0..cases {
+        let mut rng = SimRng::new(0x7247_4E53 ^ seed);
+        f(&mut rng);
+    }
+}
 
 /// Run a set of sends on one TCP connection; return (per-send completion
 /// times in seconds, total bytes the connection delivered).
-fn run_tcp(spec: hwmodel::ClusterSpec, params: TcpParams, sends: &[(usize, u64)]) -> (Vec<f64>, u64) {
+fn run_tcp(
+    spec: hwmodel::ClusterSpec,
+    params: TcpParams,
+    sends: &[(usize, u64)],
+) -> (Vec<f64>, u64) {
     let mut eng = Fabric::engine(spec);
     let conn = tcp::open(&mut eng.world, params);
     let done: Rc<RefCell<Vec<(usize, f64)>>> = Rc::new(RefCell::new(Vec::new()));
@@ -35,62 +50,81 @@ fn run_tcp(spec: hwmodel::ClusterSpec, params: TcpParams, sends: &[(usize, u64)]
     (times.into_iter().map(|(_, t)| t).collect(), delivered)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Byte conservation: whatever mix of sends is issued, exactly the
-    /// sum of (max(1, bytes)) crosses the connection.
-    #[test]
-    fn tcp_conserves_bytes(
-        sends in proptest::collection::vec((0usize..2, 1u64..200_000), 1..12),
-    ) {
+/// Byte conservation: whatever mix of sends is issued, exactly the
+/// sum of (max(1, bytes)) crosses the connection.
+#[test]
+fn tcp_conserves_bytes() {
+    for_cases(24, |rng| {
+        let n = 1 + rng.next_below(11);
+        let sends: Vec<(usize, u64)> = (0..n)
+            .map(|_| (rng.next_below(2) as usize, 1 + rng.next_below(199_999)))
+            .collect();
         let (_, delivered) = run_tcp(pcs_ga620(), TcpParams::with_bufs(kib(512)), &sends);
         let expect: u64 = sends.iter().map(|&(_, b)| b.max(1)).sum();
-        prop_assert_eq!(delivered, expect);
-    }
+        assert_eq!(delivered, expect);
+    });
+}
 
-    /// FIFO per direction: same-direction messages complete in issue order.
-    #[test]
-    fn tcp_fifo_per_direction(sizes in proptest::collection::vec(1u64..150_000, 2..10)) {
-        let sends: Vec<(usize, u64)> = sizes.iter().map(|&b| (0usize, b)).collect();
+/// FIFO per direction: same-direction messages complete in issue order.
+#[test]
+fn tcp_fifo_per_direction() {
+    for_cases(24, |rng| {
+        let n = 2 + rng.next_below(8);
+        let sends: Vec<(usize, u64)> = (0..n)
+            .map(|_| (0usize, 1 + rng.next_below(149_999)))
+            .collect();
         let (times, _) = run_tcp(pcs_ga620(), TcpParams::with_bufs(kib(256)), &sends);
         for w in times.windows(2) {
-            prop_assert!(w[1] >= w[0], "completion order violated: {times:?}");
+            assert!(w[1] >= w[0], "completion order violated: {times:?}");
         }
-    }
+    });
+}
 
-    /// Tiny windows still deliver (the SWS guard cannot deadlock), just
-    /// slowly.
-    #[test]
-    fn tiny_windows_never_deadlock(bytes in 1u64..100_000, window in 1u64..4096) {
-        let (times, delivered) = run_tcp(
-            pcs_ga620(),
-            TcpParams::with_bufs(window),
-            &[(0, bytes)],
-        );
-        prop_assert_eq!(delivered, bytes.max(1));
-        prop_assert!(times[0] > 0.0);
-    }
+/// Tiny windows still deliver (the SWS guard cannot deadlock), just
+/// slowly.
+#[test]
+fn tiny_windows_never_deadlock() {
+    for_cases(24, |rng| {
+        let bytes = 1 + rng.next_below(99_999);
+        let window = 1 + rng.next_below(4095);
+        let (times, delivered) = run_tcp(pcs_ga620(), TcpParams::with_bufs(window), &[(0, bytes)]);
+        assert_eq!(delivered, bytes.max(1));
+        assert!(times[0] > 0.0);
+    });
+}
 
-    /// The TrendNet pathology is monotone: for a fixed large transfer,
-    /// bigger windows never take longer.
-    #[test]
-    fn trendnet_window_monotone(w1 in 13u32..20, w2 in 13u32..20) {
+/// The TrendNet pathology is monotone: for a fixed large transfer,
+/// bigger windows never take longer.
+#[test]
+fn trendnet_window_monotone() {
+    for_cases(12, |rng| {
+        let w1 = 13 + rng.next_below(7) as u32;
+        let w2 = 13 + rng.next_below(7) as u32;
         let (lo, hi) = (1u64 << w1.min(w2), 1u64 << w1.max(w2));
         let (t_lo, _) = run_tcp(pcs_trendnet(), TcpParams::with_bufs(lo), &[(0, 2_000_000)]);
         let (t_hi, _) = run_tcp(pcs_trendnet(), TcpParams::with_bufs(hi), &[(0, 2_000_000)]);
-        prop_assert!(t_hi[0] <= t_lo[0] * 1.0001);
-    }
+        assert!(t_hi[0] <= t_lo[0] * 1.0001);
+    });
+}
 
-    /// Raw (OS-bypass) transports conserve bytes and keep FIFO order too.
-    #[test]
-    fn raw_conserves_bytes(sizes in proptest::collection::vec(1u64..500_000, 1..8)) {
+/// Raw (OS-bypass) transports conserve bytes and keep FIFO order too.
+#[test]
+fn raw_conserves_bytes() {
+    for_cases(24, |rng| {
+        let n = 1 + rng.next_below(7);
+        let sizes: Vec<u64> = (0..n).map(|_| 1 + rng.next_below(499_999)).collect();
         let mut eng = Fabric::engine(pcs_myrinet());
         let conn = raw::open(&mut eng.world, RawParams::gm(RecvMode::Polling));
         let order: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
         for (i, &bytes) in sizes.iter().enumerate() {
             let order = Rc::clone(&order);
-            protosim::send(&mut eng, conn, 0, bytes, Box::new(move |_| order.borrow_mut().push(i)));
+            protosim::send(
+                &mut eng,
+                conn,
+                0,
+                bytes,
+                Box::new(move |_| order.borrow_mut().push(i)),
+            );
         }
         eng.run();
         let expect: u64 = sizes.iter().map(|&b| b.max(1)).sum();
@@ -98,26 +132,35 @@ proptest! {
             Conn::Raw(r) => r.bytes_delivered,
             _ => unreachable!(),
         };
-        prop_assert_eq!(delivered, expect);
+        assert_eq!(delivered, expect);
         let got: Vec<usize> = order.borrow().clone();
         let want: Vec<usize> = (0..sizes.len()).collect();
-        prop_assert_eq!(got, want);
-    }
+        assert_eq!(got, want);
+    });
+}
 
-    /// Local pipes: time scales (weakly) with bytes, and the completion
-    /// callback always fires.
-    #[test]
-    fn local_pipe_monotone(a in 1u64..1_000_000, b in 1u64..1_000_000) {
+/// Local pipes: time scales (weakly) with bytes, and the completion
+/// callback always fires.
+#[test]
+fn local_pipe_monotone() {
+    for_cases(24, |rng| {
+        let a = 1 + rng.next_below(999_999);
+        let b = 1 + rng.next_below(999_999);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let time_for = |bytes: u64| {
             let mut eng = Fabric::engine(pcs_ga620());
             let conn = local::open(&mut eng.world, 0);
             let out = Rc::new(std::cell::Cell::new(None));
             let o = Rc::clone(&out);
-            local::send(&mut eng, conn, bytes, Box::new(move |e| o.set(Some(e.now().as_secs_f64()))));
+            local::send(
+                &mut eng,
+                conn,
+                bytes,
+                Box::new(move |e| o.set(Some(e.now().as_secs_f64()))),
+            );
             eng.run();
-            out.get().unwrap()
+            out.get().expect("completion callback fired")
         };
-        prop_assert!(time_for(hi) >= time_for(lo));
-    }
+        assert!(time_for(hi) >= time_for(lo));
+    });
 }

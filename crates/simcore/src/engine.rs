@@ -101,7 +101,11 @@ impl<W> Engine<W> {
     where
         F: FnOnce(&mut Engine<W>) + 'static,
     {
-        debug_assert!(t >= self.now, "scheduled event in the past: {t} < {}", self.now);
+        debug_assert!(
+            t >= self.now,
+            "scheduled event in the past: {t} < {}",
+            self.now
+        );
         let time = t.max(self.now);
         let seq = self.seq;
         self.seq += 1;

@@ -1,12 +1,10 @@
 //! Small statistics helpers used by the measurement harness.
 
-use serde::{Deserialize, Serialize};
-
 /// Streaming mean/variance/min/max using Welford's algorithm.
 ///
 /// Numerically stable for long runs, O(1) memory; this is the accumulator
 /// behind every repeated-trial measurement in the NetPIPE harness.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     n: u64,
     mean: f64,
@@ -110,7 +108,7 @@ impl OnlineStats {
 }
 
 /// A fixed-bucket histogram over `[lo, hi)` with overflow/underflow bins.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -1,13 +1,31 @@
 //! Property tests for the simulation kernel invariants that the rest of
 //! the workspace relies on.
+//!
+//! Randomized cases are generated from the crate's own [`SimRng`] with
+//! fixed seeds, so every run explores the same case set — failures are
+//! reproducible by construction and no external property-test harness
+//! is needed.
 
-use proptest::prelude::*;
 use simcore::{Engine, OnlineStats, Resource, SimDuration, SimRng, SimTime};
 
-proptest! {
-    /// Events fire in nondecreasing time order regardless of insertion order.
-    #[test]
-    fn event_order_is_total(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+/// Run `f` for `cases` deterministic seeds.
+fn for_cases(cases: u64, mut f: impl FnMut(&mut SimRng)) {
+    for seed in 0..cases {
+        let mut rng = SimRng::new(0xC0FFEE ^ seed);
+        f(&mut rng);
+    }
+}
+
+fn random_vec(rng: &mut SimRng, min_len: u64, max_len: u64, bound: u64) -> Vec<u64> {
+    let len = min_len + rng.next_below(max_len - min_len);
+    (0..len).map(|_| rng.next_below(bound)).collect()
+}
+
+/// Events fire in nondecreasing time order regardless of insertion order.
+#[test]
+fn event_order_is_total() {
+    for_cases(32, |rng| {
+        let times = random_vec(rng, 1, 200, 1_000_000);
         let mut eng: Engine<Vec<u64>> = Engine::new(Vec::new());
         for &t in &times {
             eng.schedule_at(SimTime(t), move |e| e.world.push(t));
@@ -15,12 +33,15 @@ proptest! {
         eng.run();
         let mut sorted = times.clone();
         sorted.sort_unstable();
-        prop_assert_eq!(&eng.world, &sorted);
-    }
+        assert_eq!(&eng.world, &sorted);
+    });
+}
 
-    /// Same schedule → identical execution trace (determinism).
-    #[test]
-    fn runs_are_reproducible(times in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+/// Same schedule → identical execution trace (determinism).
+#[test]
+fn runs_are_reproducible() {
+    for_cases(32, |rng| {
+        let times = random_vec(rng, 1, 100, 1_000_000);
         let run = |ts: &[u64]| {
             let mut eng: Engine<Vec<(u64, u64)>> = Engine::new(Vec::new());
             for (i, &t) in ts.iter().enumerate() {
@@ -33,20 +54,22 @@ proptest! {
             eng.run();
             eng.world
         };
-        prop_assert_eq!(run(&times), run(&times));
-    }
+        assert_eq!(run(&times), run(&times));
+    });
+}
 
-    /// A FIFO resource conserves bytes and never overlaps service periods:
-    /// total busy time equals the sum of individual service times, and each
-    /// completion is at least `service_time` after the request.
-    #[test]
-    fn resource_conservation(
-        reqs in proptest::collection::vec((0u64..1_000_000, 1u64..100_000), 1..100),
-        rate_mb in 1u32..10_000,
-    ) {
-        let rate = f64::from(rate_mb) * 1e6;
+/// A FIFO resource conserves bytes and never overlaps service periods:
+/// total busy time equals the sum of individual service times, and each
+/// completion is at least `service_time` after the request.
+#[test]
+fn resource_conservation() {
+    for_cases(32, |rng| {
+        let n = 1 + rng.next_below(99);
+        let mut reqs: Vec<(u64, u64)> = (0..n)
+            .map(|_| (rng.next_below(1_000_000), 1 + rng.next_below(99_999)))
+            .collect();
+        let rate = (1 + rng.next_below(9_999)) as f64 * 1e6;
         let mut r = Resource::new("r", rate);
-        let mut reqs = reqs;
         reqs.sort_by_key(|&(t, _)| t); // callers arrive in time order
         let mut total_bytes = 0u64;
         let mut expected_busy = SimDuration::ZERO;
@@ -55,53 +78,69 @@ proptest! {
             let service = r.service_time(bytes);
             let done = r.serve(SimTime(t), bytes);
             // FIFO: completions are nondecreasing.
-            prop_assert!(done >= last_done);
+            assert!(done >= last_done);
             // Completion no earlier than request + service time.
-            prop_assert!(done >= SimTime(t) + service);
+            assert!(done >= SimTime(t) + service);
             last_done = done;
             total_bytes += bytes;
             expected_busy += service;
         }
-        prop_assert_eq!(r.bytes_served(), total_bytes);
-        prop_assert_eq!(r.busy_time(), expected_busy);
+        assert_eq!(r.bytes_served(), total_bytes);
+        assert_eq!(r.busy_time(), expected_busy);
         // The resource can never have been busy longer than the horizon.
-        prop_assert!(r.busy_time() <= last_done - SimTime::ZERO);
-    }
+        assert!(r.busy_time() <= last_done - SimTime::ZERO);
+    });
+}
 
-    /// for_bytes is monotone in bytes and antitone in rate.
-    #[test]
-    fn service_time_monotone(b1 in 0u64..1<<30, b2 in 0u64..1<<30, r in 1.0f64..1e12) {
+/// for_bytes is monotone in bytes and antitone in rate.
+#[test]
+fn service_time_monotone() {
+    for_cases(64, |rng| {
+        let b1 = rng.next_below(1 << 30);
+        let b2 = rng.next_below(1 << 30);
+        let r = rng.uniform(1.0, 1e12);
         let (lo, hi) = if b1 <= b2 { (b1, b2) } else { (b2, b1) };
-        prop_assert!(SimDuration::for_bytes(lo, r) <= SimDuration::for_bytes(hi, r));
-        prop_assert!(SimDuration::for_bytes(hi, r * 2.0) <= SimDuration::for_bytes(hi, r));
-    }
+        assert!(SimDuration::for_bytes(lo, r) <= SimDuration::for_bytes(hi, r));
+        assert!(SimDuration::for_bytes(hi, r * 2.0) <= SimDuration::for_bytes(hi, r));
+    });
+}
 
-    /// OnlineStats::merge is equivalent to pushing everything sequentially,
-    /// for any split point.
-    #[test]
-    fn stats_merge_associative(
-        xs in proptest::collection::vec(-1e6f64..1e6, 1..200),
-        split_frac in 0.0f64..1.0,
-    ) {
-        let split = ((xs.len() as f64) * split_frac) as usize;
+/// OnlineStats::merge is equivalent to pushing everything sequentially,
+/// for any split point.
+#[test]
+fn stats_merge_associative() {
+    for_cases(32, |rng| {
+        let n = 1 + rng.next_below(199) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.uniform(-1e6, 1e6)).collect();
+        let split = rng.next_below(n as u64 + 1) as usize;
         let mut whole = OnlineStats::new();
-        for &x in &xs { whole.push(x); }
+        for &x in &xs {
+            whole.push(x);
+        }
         let mut a = OnlineStats::new();
         let mut b = OnlineStats::new();
-        for &x in &xs[..split] { a.push(x); }
-        for &x in &xs[split..] { b.push(x); }
-        a.merge(&b);
-        prop_assert_eq!(a.count(), whole.count());
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6);
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-3);
-    }
-
-    /// SimRng::next_below always respects its bound.
-    #[test]
-    fn rng_bound_respected(seed: u64, bound in 1u64..1_000_000) {
-        let mut rng = SimRng::new(seed);
-        for _ in 0..100 {
-            prop_assert!(rng.next_below(bound) < bound);
+        for &x in &xs[..split] {
+            a.push(x);
         }
-    }
+        for &x in &xs[split..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-6);
+        assert!((a.variance() - whole.variance()).abs() < 1e-3);
+    });
+}
+
+/// SimRng::next_below always respects its bound.
+#[test]
+fn rng_bound_respected() {
+    for_cases(64, |rng| {
+        let seed = rng.next_u64();
+        let bound = 1 + rng.next_below(999_999);
+        let mut sampler = SimRng::new(seed);
+        for _ in 0..100 {
+            assert!(sampler.next_below(bound) < bound);
+        }
+    });
 }

@@ -103,7 +103,11 @@ fn work_conservation_under_interleaving() {
     let mut r = Resource::with_overhead("r", 1e9, SimDuration::from_nanos(100));
     let mut expected_busy = 0u64;
     for i in 0..500u64 {
-        let (size, t) = if i % 2 == 0 { (1500, i * 1700) } else { (64, i * 1700 + 400) };
+        let (size, t) = if i % 2 == 0 {
+            (1500, i * 1700)
+        } else {
+            (64, i * 1700 + 400)
+        };
         r.serve(SimTime(t), size);
         expected_busy += 100 + size; // overhead + bytes at 1 B/ns
     }

@@ -1,0 +1,6 @@
+//! Fixture library crate: one budgeted violation, manifest lacks the
+//! `[lints]` table. Never compiled.
+
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

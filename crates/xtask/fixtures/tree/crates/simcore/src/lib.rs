@@ -1,0 +1,5 @@
+//! Fixture sim crate: one determinism violation. Never compiled.
+
+pub fn now_wall() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,15 @@
+//! Fixture: clean counterpart of `panic_violations.rs`. Never compiled.
+fn f(x: Option<u32>) -> Option<u32> {
+    x
+}
+fn g(x: Option<u32>) -> u32 {
+    // lint:allow(expect) -- fixture: the invariant is documented here
+    x.expect("present")
+}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        assert_eq!(super::f(Some(1)).unwrap(), 1);
+    }
+}

@@ -1,0 +1,14 @@
+//! Fixture: panic-hygiene violations and annotation misuse. Never compiled.
+fn f(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+fn g(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+fn h() {
+    panic!("boom");
+}
+fn stale() {} // lint:allow(unwrap) -- nothing to allow here
+fn bad(y: Option<u32>) -> u32 {
+    y.unwrap() // lint:allow(unwrap)
+}

@@ -1,0 +1,7 @@
+//! Fixture: clean counterpart of `sim_violations.rs`. Never compiled.
+use std::collections::BTreeMap;
+
+fn tick(now_us: u64) -> BTreeMap<u32, u32> {
+    let _ = now_us;
+    BTreeMap::new()
+}

@@ -1,0 +1,10 @@
+//! Fixture: determinism violations, one per construct. Never compiled.
+use std::time::Instant;
+use std::collections::HashMap;
+
+fn tick() {
+    let _t = Instant::now();
+    std::thread::sleep(std::time::Duration::from_millis(1));
+    let _m: HashMap<u32, u32> = HashMap::new();
+    let _r = rand::thread_rng();
+}

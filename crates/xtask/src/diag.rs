@@ -1,0 +1,38 @@
+//! Lint diagnostics: `file:line: rule-id: message`.
+
+use std::fmt;
+
+/// A single finding, pointing at a file/line with a stable rule id.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Path relative to the workspace root (slash-separated).
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// Stable rule identifier (kebab-case).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic.
+    pub fn new(path: &str, line: usize, rule: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            path: path.to_string(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}

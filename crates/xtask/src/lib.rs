@@ -1,0 +1,26 @@
+//! Workspace-native static analysis for the CLUSTER 2002 reproduction.
+//!
+//! `cargo run -p xtask -- lint` enforces the repo's two load-bearing
+//! invariants mechanically:
+//!
+//! * **sim determinism** — the discrete-event results are only
+//!   meaningful because runs are exactly reproducible, so sim crates
+//!   must not read wall clocks, sleep, use ambient RNGs, or iterate
+//!   hash containers;
+//! * **panic hygiene** — `mplite` and friends are real libraries, so
+//!   `unwrap`/`expect`/`panic!` in library code must be burned down (a
+//!   checked-in budget ratchets the count toward zero).
+//!
+//! See `DESIGN.md` ("Static analysis & invariants") for every rule id,
+//! its scope, and the `// lint:allow(<rule>) -- <reason>` annotation
+//! grammar. The implementation is a hand-rolled lexical scanner — no
+//! syn, no external dependencies — so it builds instantly and works
+//! offline.
+
+pub mod budget;
+pub mod context;
+pub mod diag;
+pub mod lint;
+pub mod rules;
+pub mod scan;
+pub mod walk;

@@ -1,0 +1,165 @@
+//! The workspace lint pass: walk, check, budget, report.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::Path;
+
+use crate::budget::Budget;
+use crate::context::classify;
+use crate::diag::Diagnostic;
+use crate::rules::check_file;
+use crate::walk::{collect_files, rel_str};
+
+/// Name of the burn-down budget file at the workspace root.
+pub const BUDGET_FILE: &str = "lint-budget.toml";
+
+/// Result of linting a workspace.
+#[derive(Debug, Default)]
+pub struct LintOutcome {
+    /// Every diagnostic to print, sorted by file/line.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Files examined.
+    pub files_checked: usize,
+    /// Live un-annotated counts per (crate, rule) for budgeted rules.
+    pub budget_counts: BTreeMap<(String, String), usize>,
+}
+
+impl LintOutcome {
+    /// Did the pass find anything?
+    pub fn clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Lint the workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> Result<LintOutcome, String> {
+    let mut out = LintOutcome::default();
+    let mut budgeted: Vec<(String, Diagnostic)> = Vec::new(); // (crate, diag)
+
+    // Source files.
+    let files = collect_files(root, &|p| p.extension().is_some_and(|e| e == "rs"))
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    for rel in &files {
+        let rel_s = rel_str(rel);
+        let Some(ctx) = classify(&rel_s) else {
+            continue;
+        };
+        let source =
+            fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel_s}: {e}"))?;
+        out.files_checked += 1;
+        let report = check_file(&rel_s, &source, &ctx);
+        out.diagnostics.extend(report.diagnostics);
+        for d in report.budgeted {
+            *out.budget_counts
+                .entry((ctx.crate_name.clone(), d.rule.to_string()))
+                .or_insert(0) += 1;
+            budgeted.push((ctx.crate_name.clone(), d));
+        }
+    }
+
+    // Manifests: every crate inherits the workspace lints table.
+    let manifests = collect_files(root, &|p| p.file_name().is_some_and(|n| n == "Cargo.toml"))
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    for rel in &manifests {
+        let rel_s = rel_str(rel);
+        let text =
+            fs::read_to_string(root.join(rel)).map_err(|e| format!("reading {rel_s}: {e}"))?;
+        if !text.contains("[package]") {
+            continue; // virtual manifests have no lint scope
+        }
+        if !has_workspace_lints(&text) {
+            out.diagnostics.push(Diagnostic::new(
+                &rel_s,
+                0,
+                "lints-table",
+                "crate does not declare `[lints] workspace = true`",
+            ));
+        }
+    }
+
+    // Budget: read, enforce, ratchet.
+    let budget_text = fs::read_to_string(root.join(BUDGET_FILE)).unwrap_or_default();
+    let budget = Budget::parse(&budget_text).map_err(|e| format!("{BUDGET_FILE}: {e}"))?;
+
+    // Over budget: every un-annotated violation in that (crate, rule) is
+    // reported, plus a summary line.
+    for ((krate, rule), &count) in &out.budget_counts {
+        let allowed = budget.allowed(krate, rule);
+        if count > allowed {
+            for (k, d) in &budgeted {
+                if k == krate && d.rule == *rule {
+                    out.diagnostics.push(d.clone());
+                }
+            }
+            out.diagnostics.push(Diagnostic::new(
+                BUDGET_FILE,
+                0,
+                "budget",
+                format!("{krate}/{rule}: {count} un-annotated violations exceed budget {allowed}"),
+            ));
+        } else if count < allowed {
+            out.diagnostics.push(Diagnostic::new(
+                BUDGET_FILE,
+                0,
+                "budget",
+                format!(
+                    "{krate}/{rule}: budget {allowed} is stale, live count is {count}; \
+                     lower it (or run `cargo run -p xtask -- lint --write-budget`)"
+                ),
+            ));
+        }
+    }
+    // Budget entries for pairs with no live violations at all.
+    for (krate, rule, n) in budget.keys() {
+        if n > 0
+            && !out
+                .budget_counts
+                .contains_key(&(krate.to_string(), rule.to_string()))
+        {
+            out.diagnostics.push(Diagnostic::new(
+                BUDGET_FILE,
+                0,
+                "budget",
+                format!("{krate}/{rule}: budget {n} is stale, live count is 0; remove the entry"),
+            ));
+        }
+    }
+
+    out.diagnostics.sort();
+    out.diagnostics.dedup();
+    Ok(out)
+}
+
+/// Write a fresh budget file matching the live counts.
+pub fn write_budget(root: &Path, outcome: &LintOutcome) -> Result<(), String> {
+    let text = Budget::render(&outcome.budget_counts);
+    fs::write(root.join(BUDGET_FILE), text).map_err(|e| format!("writing {BUDGET_FILE}: {e}"))
+}
+
+/// Does a manifest declare `[lints]` with `workspace = true`?
+fn has_workspace_lints(manifest: &str) -> bool {
+    let mut in_lints = false;
+    for raw in manifest.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_lints = line == "[lints]";
+        } else if in_lints && line.replace(' ', "") == "workspace=true" {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_lints_detection() {
+        assert!(has_workspace_lints(
+            "[package]\nname=\"x\"\n[lints]\nworkspace = true\n"
+        ));
+        assert!(!has_workspace_lints("[package]\nname=\"x\"\n"));
+        assert!(!has_workspace_lints("[lints.rust]\nworkspace = true\n"));
+    }
+}

@@ -1,0 +1,91 @@
+//! `cargo run -p xtask -- <command>`: workspace automation.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use xtask::lint::{lint_workspace, write_budget};
+
+const USAGE: &str = "\
+usage: cargo run -p xtask -- <command> [options]
+
+commands:
+  lint            run the workspace static-analysis pass
+    --root <dir>      lint a different tree (default: this workspace)
+    --write-budget    rewrite lint-budget.toml to match live counts
+
+The lint pass exits 0 when clean, 1 on violations, 2 on usage/IO errors.
+Rule ids, scopes, and the annotation grammar are documented in DESIGN.md
+(\"Static analysis & invariants\").";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_cmd(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lint_cmd(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut write = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-budget" => write = true,
+            other => {
+                eprintln!("unknown option {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    let outcome = match lint_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if write {
+        if let Err(e) = write_budget(&root, &outcome) {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::from(2);
+        }
+        println!("lint-budget.toml updated");
+    }
+    for d in &outcome.diagnostics {
+        println!("{d}");
+    }
+    if outcome.clean() {
+        println!("xtask lint: {} files clean", outcome.files_checked);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask lint: {} violation(s) in {} files checked",
+            outcome.diagnostics.len(),
+            outcome.files_checked
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .map(PathBuf::from)
+        .unwrap_or(manifest)
+}

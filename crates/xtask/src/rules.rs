@@ -1,0 +1,408 @@
+//! The lint rules and the per-file checking engine.
+//!
+//! Three families (see DESIGN "Static analysis & invariants"):
+//!
+//! * **determinism** (sim crates' library code): `wall-clock`, `sleep`,
+//!   `ambient-rng`, `hash-container`;
+//! * **panic-hygiene** (library crates' library code): `unwrap`,
+//!   `expect`, `panic`;
+//! * **workspace-hygiene** (everywhere it makes sense): `print`, `dbg`,
+//!   plus the manifest-level `lints-table` check in `lint.rs`.
+//!
+//! Any violation can be carried by an inline annotation
+//! `// lint:allow(<rule>) -- <reason>` on the same line or the line
+//! directly above; annotations without a reason (`bad-allow`) or
+//! without a matching violation (`stale-allow`) are themselves errors.
+
+use crate::context::FileCtx;
+use crate::diag::Diagnostic;
+use crate::scan::{self, contains_ident, Line};
+
+/// Rule identifiers, used in diagnostics, annotations, and the budget
+/// file.
+pub const RULES: &[&str] = &[
+    "wall-clock",
+    "sleep",
+    "ambient-rng",
+    "hash-container",
+    "unwrap",
+    "expect",
+    "panic",
+    "print",
+    "dbg",
+    "lints-table",
+    "bad-allow",
+    "stale-allow",
+    "budget",
+];
+
+/// Rules whose counts are governed by the burn-down budget file rather
+/// than zero tolerance.
+pub const BUDGETED_RULES: &[&str] = &["unwrap", "expect", "panic"];
+
+/// A raw (pre-annotation) finding inside one file.
+#[derive(Debug)]
+struct Finding {
+    line: usize, // 1-based
+    rule: &'static str,
+    message: String,
+}
+
+/// An `lint:allow` annotation found in a comment.
+#[derive(Debug)]
+struct Allow {
+    line: usize, // 1-based
+    rule: String,
+    has_reason: bool,
+    used: bool,
+}
+
+/// Outcome of checking one file.
+#[derive(Debug, Default)]
+pub struct FileReport {
+    /// Hard diagnostics (not budget-eligible): determinism, hygiene,
+    /// annotation errors.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Un-annotated budget-eligible findings, keyed by rule.
+    pub budgeted: Vec<Diagnostic>,
+}
+
+/// Check one source file.
+pub fn check_file(rel_path: &str, source: &str, ctx: &FileCtx) -> FileReport {
+    let lines = scan::scan(source);
+    let test_mask = cfg_test_mask(&lines);
+    let mut allows = collect_allows(&lines);
+    let mut findings: Vec<Finding> = Vec::new();
+
+    for (i, line) in lines.iter().enumerate() {
+        if test_mask[i] {
+            continue;
+        }
+        let code = &line.code;
+        let lineno = i + 1;
+
+        if ctx.determinism_scope() {
+            if contains_ident(code, "Instant") || contains_ident(code, "SystemTime") {
+                findings.push(Finding {
+                    line: lineno,
+                    rule: "wall-clock",
+                    message: "wall-clock read in sim code; use the simulated clock (Engine::now)"
+                        .into(),
+                });
+            }
+            if code.contains("thread::sleep") {
+                findings.push(Finding {
+                    line: lineno,
+                    rule: "sleep",
+                    message: "thread::sleep in sim code; schedule an event instead".into(),
+                });
+            }
+            if contains_ident(code, "thread_rng")
+                || code.contains("rand::random")
+                || contains_ident(code, "from_entropy")
+            {
+                findings.push(Finding {
+                    line: lineno,
+                    rule: "ambient-rng",
+                    message: "ambient RNG in sim code; route randomness through SimRng".into(),
+                });
+            }
+            if contains_ident(code, "HashMap") || contains_ident(code, "HashSet") {
+                findings.push(Finding {
+                    line: lineno,
+                    rule: "hash-container",
+                    message: "HashMap/HashSet in sim code has nondeterministic iteration order; \
+                         use BTreeMap/BTreeSet or sort explicitly"
+                        .into(),
+                });
+            }
+        }
+
+        if ctx.panic_scope() {
+            if code.contains(".unwrap()") {
+                findings.push(Finding {
+                    line: lineno,
+                    rule: "unwrap",
+                    message: "unwrap() in library code; propagate the error instead".into(),
+                });
+            }
+            if code.contains(".expect(") {
+                findings.push(Finding {
+                    line: lineno,
+                    rule: "expect",
+                    message: "expect() in library code; propagate the error instead".into(),
+                });
+            }
+            for mac in ["panic", "todo", "unimplemented", "unreachable"] {
+                // `!` is not an identifier char, so `find_ident` on the
+                // bare name plus a `!` check gives exact macro matches.
+                if let Some(pos) = scan::find_ident(code, mac) {
+                    if code[pos + mac.len()..].starts_with('!') {
+                        findings.push(Finding {
+                            line: lineno,
+                            rule: "panic",
+                            message: format!("{mac}! in library code; return an error instead"),
+                        });
+                    }
+                }
+            }
+        }
+
+        if ctx.print_scope()
+            && ["println!", "print!", "eprintln!", "eprint!"]
+                .iter()
+                .any(|m| code.contains(m))
+        {
+            findings.push(Finding {
+                line: lineno,
+                rule: "print",
+                message: "print in library code; return strings or take a writer".into(),
+            });
+        }
+
+        if ctx.dbg_scope() && code.contains("dbg!") {
+            findings.push(Finding {
+                line: lineno,
+                rule: "dbg",
+                message: "dbg! left in non-test code".into(),
+            });
+        }
+    }
+
+    // Resolve annotations: an allow on line N covers a finding on line N
+    // or line N+1 (comment-above style).
+    let mut report = FileReport::default();
+    for f in findings {
+        let allowed = allows.iter_mut().any(|a| {
+            a.rule == f.rule && a.has_reason && (a.line == f.line || a.line + 1 == f.line) && {
+                a.used = true;
+                true
+            }
+        });
+        if allowed {
+            continue;
+        }
+        let d = Diagnostic::new(rel_path, f.line, f.rule, f.message);
+        if BUDGETED_RULES.contains(&f.rule) {
+            report.budgeted.push(d);
+        } else {
+            report.diagnostics.push(d);
+        }
+    }
+    for a in &allows {
+        if !a.has_reason {
+            report.diagnostics.push(Diagnostic::new(
+                rel_path,
+                a.line,
+                "bad-allow",
+                "malformed annotation; use `lint:allow(<rule>) -- <reason>`",
+            ));
+        } else if !a.used {
+            report.diagnostics.push(Diagnostic::new(
+                rel_path,
+                a.line,
+                "stale-allow",
+                format!(
+                    "lint:allow({}) has no matching violation; remove it",
+                    a.rule
+                ),
+            ));
+        }
+    }
+    report
+}
+
+/// Per-line mask: inside a `#[cfg(test)]`-gated item (brace-delimited)?
+fn cfg_test_mask(lines: &[Line]) -> Vec<bool> {
+    #[derive(Clone, Copy)]
+    enum St {
+        Out,
+        Armed(u32),
+        In(u32),
+    }
+    let mut st = St::Out;
+    let mut mask = vec![false; lines.len()];
+    for (i, line) in lines.iter().enumerate() {
+        match st {
+            St::Out => {
+                if line.code.contains("#[cfg(test)]") {
+                    st = St::Armed(line.depth_at_start);
+                    mask[i] = true;
+                }
+            }
+            St::Armed(base) => {
+                mask[i] = true;
+                if line.depth_at_start > base {
+                    st = St::In(base);
+                }
+            }
+            St::In(base) => {
+                if line.depth_at_start > base {
+                    mask[i] = true;
+                } else {
+                    // Depth fell back to the attribute's level: region
+                    // closed on the previous line. Re-examine this one.
+                    st = St::Out;
+                    if line.code.contains("#[cfg(test)]") {
+                        st = St::Armed(line.depth_at_start);
+                        mask[i] = true;
+                    }
+                }
+            }
+        }
+    }
+    mask
+}
+
+/// Extract every `lint:allow(...)` annotation from comment channels.
+///
+/// Only a well-formed rule token (lowercase letters and dashes) between
+/// the parentheses makes an annotation — prose *about* the grammar,
+/// like "`lint:allow(<rule>)`" in documentation, is ignored. A
+/// well-formed token that names no known rule is still collected so it
+/// surfaces as `stale-allow` rather than silently doing nothing.
+fn collect_allows(lines: &[Line]) -> Vec<Allow> {
+    let mut out = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let mut rest = line.comment.as_str();
+        while let Some(pos) = rest.find("lint:allow(") {
+            let after = &rest[pos + "lint:allow(".len()..];
+            let Some(close) = after.find(')') else { break };
+            let rule = after[..close].trim().to_string();
+            let tail = &after[close + 1..];
+            rest = tail;
+            if rule.is_empty()
+                || !rule
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+            {
+                continue;
+            }
+            let has_reason = tail.trim_start().starts_with("--")
+                && tail.trim_start().trim_start_matches("--").trim().len() >= 3;
+            out.push(Allow {
+                line: i + 1,
+                rule,
+                has_reason,
+                used: false,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::classify;
+
+    fn check(path: &str, src: &str) -> FileReport {
+        let ctx = classify(path).expect("classifiable path");
+        check_file(path, src, &ctx)
+    }
+
+    #[test]
+    fn determinism_rules_fire_in_sim_lib() {
+        let r = check(
+            "crates/simcore/src/x.rs",
+            "use std::time::Instant;\nlet m: HashMap<u32, u32> = HashMap::new();\n",
+        );
+        let rules: Vec<_> = r.diagnostics.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"wall-clock"));
+        assert!(rules.contains(&"hash-container"));
+    }
+
+    #[test]
+    fn determinism_rules_silent_outside_sim() {
+        let r = check("crates/mplite/src/x.rs", "use std::time::Instant;\n");
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn panic_rules_are_budgeted() {
+        let r = check("crates/mplite/src/x.rs", "fn f() { x.unwrap(); }\n");
+        assert!(r.diagnostics.is_empty());
+        assert_eq!(r.budgeted.len(), 1);
+        assert_eq!(r.budgeted[0].rule, "unwrap");
+    }
+
+    #[test]
+    fn annotation_suppresses_and_must_have_reason() {
+        let ok = check(
+            "crates/mplite/src/x.rs",
+            "x.unwrap(); // lint:allow(unwrap) -- checked above\n",
+        );
+        assert!(ok.diagnostics.is_empty() && ok.budgeted.is_empty());
+
+        let above = check(
+            "crates/mplite/src/x.rs",
+            "// lint:allow(unwrap) -- checked above\nx.unwrap();\n",
+        );
+        assert!(above.diagnostics.is_empty() && above.budgeted.is_empty());
+
+        let bad = check(
+            "crates/mplite/src/x.rs",
+            "x.unwrap(); // lint:allow(unwrap)\n",
+        );
+        assert!(bad.diagnostics.iter().any(|d| d.rule == "bad-allow"));
+    }
+
+    #[test]
+    fn stale_annotation_is_flagged() {
+        let r = check(
+            "crates/mplite/src/x.rs",
+            "let y = 1; // lint:allow(unwrap) -- nothing here\n",
+        );
+        assert!(r.diagnostics.iter().any(|d| d.rule == "stale-allow"));
+    }
+
+    #[test]
+    fn cfg_test_regions_are_exempt() {
+        let src =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); panic!(); }\n}\n";
+        let r = check("crates/mplite/src/x.rs", src);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        assert!(r.budgeted.is_empty(), "{:?}", r.budgeted);
+    }
+
+    #[test]
+    fn code_after_test_region_is_checked_again() {
+        let src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { x.unwrap(); }\n}\nfn lib() { y.unwrap(); }\n";
+        let r = check("crates/mplite/src/x.rs", src);
+        assert_eq!(r.budgeted.len(), 1);
+        assert_eq!(r.budgeted[0].line, 5);
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_trip_rules() {
+        let src = "let s = \"call .unwrap() and panic!\"; // mentions thread_rng\n";
+        let r = check("crates/mplite/src/x.rs", src);
+        assert!(r.diagnostics.is_empty() && r.budgeted.is_empty());
+    }
+
+    #[test]
+    fn print_allowed_in_bins_and_tests() {
+        assert!(
+            check("crates/clusterlab/src/bin/probe.rs", "println!(\"x\");\n")
+                .diagnostics
+                .is_empty()
+        );
+        assert!(check("tests/t.rs", "println!(\"x\");\n")
+            .diagnostics
+            .is_empty());
+        assert!(
+            !check("crates/clusterlab/src/sweep.rs", "println!(\"x\");\n")
+                .diagnostics
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn dbg_banned_even_in_bins() {
+        assert!(check("crates/clusterlab/src/bin/probe.rs", "dbg!(x);\n")
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == "dbg"));
+    }
+}

@@ -1,0 +1,335 @@
+//! A hand-rolled Rust surface scanner.
+//!
+//! The lint rules are lexical, so instead of a full parser we run a
+//! character-level state machine that, per source line, separates *code*
+//! from *everything that must not trigger lints*: string literals (all
+//! flavours, including raw strings with `#` fences), char literals,
+//! byte literals, and comments (line, block — nested — and doc). The
+//! output preserves line structure exactly: `lines[i].code` is line
+//! `i+1` with every literal blanked and every comment removed, and
+//! `lines[i].comment` is the comment text that appeared on that line
+//! (where `// lint:allow(...)` annotations live).
+//!
+//! The scanner also tracks brace depth (over code only) so callers can
+//! delimit `#[cfg(test)]` regions without a parse tree.
+
+/// One scanned source line.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text with literals blanked (each literal byte becomes a
+    /// space) and comments removed.
+    pub code: String,
+    /// Concatenated comment text on this line (no `//` / `/*` markers).
+    pub comment: String,
+    /// Brace depth *at the start* of this line (code braces only).
+    pub depth_at_start: u32,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+    ByteStr,
+    RawByteStr(u32),
+    ByteChar,
+}
+
+/// Scan a Rust source text into per-line code/comment channels.
+pub fn scan(source: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut cur = Line::default();
+    let mut state = State::Code;
+    let mut depth: u32 = 0;
+    let mut escaped = false;
+    cur.depth_at_start = 0;
+
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            lines.push(std::mem::take(&mut cur));
+            cur.depth_at_start = depth;
+            escaped = false;
+            i += 1;
+            continue;
+        }
+
+        match state {
+            State::Code => {
+                match c {
+                    '/' if next == Some('/') => {
+                        state = State::LineComment;
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        state = State::BlockComment(1);
+                        i += 2;
+                        continue;
+                    }
+                    'r' if matches!(next, Some('"') | Some('#')) && !prev_is_ident(&cur.code) => {
+                        if let Some(hashes) = raw_str_open(&bytes, i + 1) {
+                            state = State::RawStr(hashes);
+                            cur.code.push(' ');
+                            i += 2 + hashes as usize;
+                            continue;
+                        }
+                    }
+                    'b' if !prev_is_ident(&cur.code) => {
+                        // b"...", br#"..."#, b'x'
+                        match next {
+                            Some('"') => {
+                                state = State::ByteStr;
+                                cur.code.push(' ');
+                                i += 2;
+                                continue;
+                            }
+                            Some('\'') => {
+                                state = State::ByteChar;
+                                cur.code.push(' ');
+                                i += 2;
+                                continue;
+                            }
+                            Some('r') => {
+                                if let Some(hashes) = raw_str_open(&bytes, i + 2) {
+                                    state = State::RawByteStr(hashes);
+                                    cur.code.push(' ');
+                                    i += 3 + hashes as usize;
+                                    continue;
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                    '"' => {
+                        state = State::Str;
+                        cur.code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    // Char literal (`'a'`, `'\n'`); a lifetime's `'` falls
+                    // through to the catch-all and is emitted as-is.
+                    '\'' if is_char_literal(&bytes, i) => {
+                        state = State::Char;
+                        cur.code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    '{' => depth += 1,
+                    '}' => depth = depth.saturating_sub(1),
+                    _ => {}
+                }
+                cur.code.push(c);
+                i += 1;
+            }
+            State::LineComment => {
+                cur.comment.push(c);
+                i += 1;
+            }
+            State::BlockComment(d) => {
+                if c == '*' && next == Some('/') {
+                    if d == 1 {
+                        state = State::Code;
+                    } else {
+                        state = State::BlockComment(d - 1);
+                    }
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(d + 1);
+                    i += 2;
+                } else {
+                    cur.comment.push(c);
+                    i += 1;
+                }
+            }
+            State::Str | State::ByteStr => {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::Char | State::ByteChar => {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '\'' {
+                    state = State::Code;
+                }
+                i += 1;
+            }
+            State::RawStr(hashes) | State::RawByteStr(hashes) => {
+                if c == '"' && raw_str_close(&bytes, i + 1, hashes) {
+                    state = State::Code;
+                    i += 1 + hashes as usize;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+    if !cur.code.is_empty() || !cur.comment.is_empty() {
+        lines.push(cur);
+    }
+    lines
+}
+
+/// Does the code buffer end in an identifier character (so a following
+/// `r"` is part of an identifier like `for"`... no: like `bar"`)?
+fn prev_is_ident(code: &str) -> bool {
+    code.chars()
+        .last()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// At `bytes[at..]`, match `#*"` and return the number of hashes if this
+/// opens a raw string.
+fn raw_str_open(bytes: &[char], at: usize) -> Option<u32> {
+    let mut hashes = 0u32;
+    let mut j = at;
+    while bytes.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (bytes.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// At `bytes[at..]`, are there `hashes` consecutive `#`s (closing fence)?
+fn raw_str_close(bytes: &[char], at: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| bytes.get(at + k) == Some(&'#'))
+}
+
+/// Distinguish `'a'` / `'\n'` (char literal) from `'a` (lifetime).
+fn is_char_literal(bytes: &[char], at: usize) -> bool {
+    match bytes.get(at + 1) {
+        Some('\\') => true,
+        Some(&c) if c != '\'' => bytes.get(at + 2) == Some(&'\''),
+        _ => false,
+    }
+}
+
+/// True when `code` contains `ident` as a standalone identifier (not a
+/// substring of a longer identifier).
+pub fn contains_ident(code: &str, ident: &str) -> bool {
+    find_ident(code, ident).is_some()
+}
+
+/// Byte offset of the first standalone occurrence of `ident` in `code`.
+pub fn find_ident(code: &str, ident: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(ident) {
+        let abs = start + pos;
+        let before_ok = abs == 0
+            || !code[..abs]
+                .chars()
+                .last()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = abs + ident.len();
+        let after_ok = after >= code.len()
+            || !code[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        start = abs + ident.len();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        scan(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn strings_are_blanked() {
+        let c = codes("let x = \"Instant::now()\";\n");
+        assert!(!c[0].contains("Instant"));
+        assert!(c[0].contains("let x ="));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let c = codes("let x = r#\"a \" inside .unwrap() \"# ; y()\n");
+        assert!(!c[0].contains("unwrap"));
+        assert!(c[0].contains("y()"));
+    }
+
+    #[test]
+    fn byte_strings_and_chars() {
+        let c = codes("let a = b\"panic!\"; let b = b'p'; let c = '\\''; f()\n");
+        assert!(!c[0].contains("panic"));
+        assert!(c[0].contains("f()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let c = codes("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(c[0].contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn line_comments_split_channels() {
+        let lines = scan("foo(); // lint:allow(unwrap) -- reason\n");
+        assert_eq!(lines[0].code.trim(), "foo();");
+        assert!(lines[0].comment.contains("lint:allow(unwrap)"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lines = scan("a /* x /* y */ z */ b\nc\n");
+        assert_eq!(lines[0].code.replace(' ', ""), "ab");
+        assert_eq!(lines[1].code, "c");
+    }
+
+    #[test]
+    fn multiline_block_comment_tracks_lines() {
+        let lines = scan("a /* one\ntwo\nthree */ b\n");
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0].code.trim(), "a");
+        assert_eq!(lines[2].code.trim(), "b");
+        assert!(lines[1].comment.contains("two"));
+    }
+
+    #[test]
+    fn depth_tracking() {
+        let lines = scan("mod m {\nfn f() {}\n}\nfn g() {}\n");
+        assert_eq!(lines[0].depth_at_start, 0);
+        assert_eq!(lines[1].depth_at_start, 1);
+        assert_eq!(lines[2].depth_at_start, 1);
+        assert_eq!(lines[3].depth_at_start, 0);
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_count() {
+        let lines = scan("let s = \"{{{\";\nnext\n");
+        assert_eq!(lines[1].depth_at_start, 0);
+    }
+
+    #[test]
+    fn ident_matching_is_word_bounded() {
+        assert!(contains_ident("use std::collections::HashMap;", "HashMap"));
+        assert!(!contains_ident("MyHashMapLike", "HashMap"));
+        assert!(!contains_ident("hash_map", "HashMap"));
+        assert!(contains_ident("x.unwrap()", "unwrap"));
+    }
+}

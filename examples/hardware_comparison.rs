@@ -50,9 +50,7 @@ fn main() {
         },
     ];
 
-    println!(
-        "| interconnect | host | lat (us) | plateau (Mbps) | $/node | Mbps per $100 |"
-    );
+    println!("| interconnect | host | lat (us) | plateau (Mbps) | $/node | Mbps per $100 |");
     println!("|---|---|---:|---:|---:|---:|");
     for row in rows {
         let mut driver = SimDriver::new(row.cluster.clone(), row.lib.clone());
@@ -60,7 +58,11 @@ fn main() {
         println!(
             "| {} | {} | {:.0} | {:.0} | {} | {:.0} |",
             row.cluster.nic.name,
-            if row.cluster.host.name.contains("DS20") { "Alpha DS20" } else { "P4 PC" },
+            if row.cluster.host.name.contains("DS20") {
+                "Alpha DS20"
+            } else {
+                "P4 PC"
+            },
             sig.latency_us,
             sig.final_mbps(),
             row.interconnect_usd,

@@ -35,7 +35,10 @@ fn child() {
     // A collective across processes.
     let sum = comm.allreduce(&[(me + 1) as i64], ReduceOp::Sum).unwrap()[0];
     assert_eq!(sum, (n * (n + 1) / 2) as i64);
-    println!("rank {me}: allreduce sum = {sum} (pid {})", std::process::id());
+    println!(
+        "rank {me}: allreduce sum = {sum} (pid {})",
+        std::process::id()
+    );
 }
 
 fn main() {
@@ -69,5 +72,7 @@ fn main() {
         }
     }
     assert_eq!(failures, 0, "{failures} ranks failed");
-    println!("\nall {NPROCS} processes joined the mesh, passed the token, and agreed on the allreduce.");
+    println!(
+        "\nall {NPROCS} processes joined the mesh, passed the token, and agreed on the allreduce."
+    );
 }

@@ -55,7 +55,13 @@ fn main() {
         let local_sum: f64 = field[1..=CELLS_PER_RANK].iter().sum();
         let total = comm.allreduce(&[local_sum], ReduceOp::Sum).unwrap()[0];
         let max = comm
-            .allreduce(&[field[1..=CELLS_PER_RANK].iter().cloned().fold(f64::MIN, f64::max)], ReduceOp::Max)
+            .allreduce(
+                &[field[1..=CELLS_PER_RANK]
+                    .iter()
+                    .cloned()
+                    .fold(f64::MIN, f64::max)],
+                ReduceOp::Max,
+            )
             .unwrap()[0];
         comm.barrier().unwrap();
         (me, started.elapsed().as_secs_f64(), total, max)
@@ -64,7 +70,10 @@ fn main() {
 
     let mut total_mass = 0.0;
     for (rank, secs, total, max) in &results {
-        println!("rank {rank}: {:.1} ms   global mass {total:.3}   global max {max:.4}", secs * 1e3);
+        println!(
+            "rank {rank}: {:.1} ms   global mass {total:.3}   global max {max:.4}",
+            secs * 1e3
+        );
         total_mass = *total;
     }
     // Diffusion with these stencil weights conserves mass exactly up to
@@ -72,6 +81,8 @@ fn main() {
     let expected: f64 = (1..=RANKS).map(|r| r as f64 * CELLS_PER_RANK as f64).sum();
     println!("\nmass conservation: computed {total_mass:.3}, expected {expected:.3}");
     assert!((total_mass - expected).abs() / expected < 1e-9);
-    assert!(results.iter().all(|(_, _, t, _)| (*t - total_mass).abs() < 1e-9));
+    assert!(results
+        .iter()
+        .all(|(_, _, t, _)| (*t - total_mass).abs() < 1e-9));
     println!("all ranks agree; halo exchange and collectives are consistent.");
 }

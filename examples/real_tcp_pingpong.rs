@@ -12,9 +12,16 @@ fn main() {
     println!("NetPIPE over real loopback TCP on this machine\n");
 
     let mut sigs = Vec::new();
-    for (label, sockbuf) in [("default buffers", 0u32), ("16 kB buffers", 16 * 1024), ("512 kB buffers", 512 * 1024)] {
-        let mut driver = RealTcpDriver::new(RealTcpOptions { sockbuf, nodelay: true })
-            .expect("echo server failed to start");
+    for (label, sockbuf) in [
+        ("default buffers", 0u32),
+        ("16 kB buffers", 16 * 1024),
+        ("512 kB buffers", 512 * 1024),
+    ] {
+        let mut driver = RealTcpDriver::new(RealTcpOptions {
+            sockbuf,
+            nodelay: true,
+        })
+        .expect("echo server failed to start");
         let (snd, rcv) = driver.effective_buffers();
         let sig = run(
             &mut driver,
@@ -37,7 +44,10 @@ fn main() {
     }
 
     println!();
-    println!("{}", ascii_figure("real loopback TCP vs socket buffers", &sigs, 88, 18));
+    println!(
+        "{}",
+        ascii_figure("real loopback TCP vs socket buffers", &sigs, 88, 18)
+    );
     println!(
         "Loopback has no NIC, so absolute numbers dwarf the paper's — but the\n\
          *shape* of the socket-buffer effect survives two decades: the kernel\n\

@@ -13,7 +13,9 @@ use netpipe_rs::prelude::*;
 
 fn plateau(spec: hwmodel::ClusterSpec, lib: MpLib) -> f64 {
     let mut driver = SimDriver::new(spec, lib);
-    run(&mut driver, &RunOptions::default()).unwrap().final_mbps()
+    run(&mut driver, &RunOptions::default())
+        .unwrap()
+        .final_mbps()
 }
 
 fn step(n: u32, what: &str, mbps: f64, note: &str) {
@@ -59,7 +61,10 @@ fn main() {
         "PVM + pvm_setopt(PvmRouteDirect)",
         plateau(
             spec.clone(),
-            pvm(PvmConfig { direct_route: true, in_place: false }),
+            pvm(PvmConfig {
+                direct_route: true,
+                in_place: false,
+            }),
         ),
         "bypass the daemons: ~4x",
     );

@@ -7,7 +7,9 @@ use netpipe_rs::prelude::*;
 
 fn plateau(spec: hwmodel::ClusterSpec, lib: MpLib) -> f64 {
     let mut d = SimDriver::new(spec, lib);
-    run(&mut d, &RunOptions::quick(2 << 20)).unwrap().final_mbps()
+    run(&mut d, &RunOptions::quick(2 << 20))
+        .unwrap()
+        .final_mbps()
 }
 
 #[test]
@@ -32,7 +34,9 @@ fn p4_recv_memcpy_is_load_bearing() {
 fn rendezvous_handshake_is_load_bearing() {
     let dip = |lib: MpLib| {
         let mut d = SimDriver::new(pcs_ga620(), lib);
-        run(&mut d, &RunOptions::quick(1 << 20)).unwrap().dip_ratio(128 * 1024)
+        run(&mut d, &RunOptions::quick(1 << 20))
+            .unwrap()
+            .dip_ratio(128 * 1024)
     };
     let on = dip(mpich(MpichConfig::tuned()));
     let mut lib = mpich(MpichConfig::tuned());

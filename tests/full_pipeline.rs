@@ -28,10 +28,18 @@ fn every_experiment_runs_end_to_end_quick() {
         assert_eq!(res.signatures.len(), exp.entries.len(), "{}", exp.id);
         for sig in &res.signatures {
             assert!(!sig.points.is_empty(), "{}: {} empty", exp.id, sig.name);
-            assert!(sig.latency_us > 0.0, "{}: {} zero latency", exp.id, sig.name);
+            assert!(
+                sig.latency_us > 0.0,
+                "{}: {} zero latency",
+                exp.id,
+                sig.name
+            );
             assert!(sig.max_mbps > 1.0, "{}: {} no throughput", exp.id, sig.name);
             // Times are strictly positive and finite everywhere.
-            assert!(sig.points.iter().all(|p| p.seconds > 0.0 && p.seconds.is_finite()));
+            assert!(sig
+                .points
+                .iter()
+                .all(|p| p.seconds > 0.0 && p.seconds.is_finite()));
         }
         let rows = compare(&exp, &res);
         let md = netpipe_rs::lab::to_markdown(exp.title, &rows);
@@ -57,7 +65,11 @@ fn real_tcp_through_full_harness() {
     let mut driver = RealTcpDriver::new(RealTcpOptions::default()).unwrap();
     let sig = run(&mut driver, &RunOptions::quick(65536)).unwrap();
     assert!(sig.points.len() > 10);
-    assert!(sig.max_mbps > 50.0, "loopback should not be this slow: {}", sig.max_mbps);
+    assert!(
+        sig.max_mbps > 50.0,
+        "loopback should not be this slow: {}",
+        sig.max_mbps
+    );
     let analysis = analyze(&sig);
     assert!(analysis.t0_s >= 0.0);
     assert!(analysis.n_half > 0);
@@ -68,7 +80,11 @@ fn real_mplite_through_full_harness() {
     let mut driver = MpliteDriver::new().unwrap();
     let sig = run(&mut driver, &RunOptions::quick(65536)).unwrap();
     assert!(sig.points.len() > 10);
-    assert!(sig.max_mbps > 20.0, "mplite loopback too slow: {}", sig.max_mbps);
+    assert!(
+        sig.max_mbps > 20.0,
+        "mplite loopback too slow: {}",
+        sig.max_mbps
+    );
 }
 
 #[test]
@@ -106,8 +122,16 @@ fn section7_overlap_panel_is_consistent() {
     let panel = section7_panel();
     assert!(panel.len() >= 5);
     for p in &panel {
-        assert!(p.total_s >= p.busy_s.max(p.transfer_alone_s) * 0.999, "{:?}", p);
-        assert!(p.total_s <= (p.busy_s + p.transfer_alone_s) * 1.05, "{:?}", p);
+        assert!(
+            p.total_s >= p.busy_s.max(p.transfer_alone_s) * 0.999,
+            "{:?}",
+            p
+        );
+        assert!(
+            p.total_s <= (p.busy_s + p.transfer_alone_s) * 1.05,
+            "{:?}",
+            p
+        );
         let e = p.efficiency();
         assert!((0.0..=1.0).contains(&e));
     }

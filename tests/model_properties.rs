@@ -1,81 +1,118 @@
 //! Property-based tests of cross-crate model invariants: things that must
 //! hold for *any* message size, buffer size, or library configuration —
 //! the physics of the model, not its calibration.
-
-use proptest::prelude::*;
+//!
+//! Randomized cases come from `simcore::SimRng` with fixed seeds so the
+//! same case set is explored on every run.
 
 use netpipe_rs::prelude::*;
+use simcore::SimRng;
 
 fn roundtrip_s(spec: hwmodel::ClusterSpec, lib: MpLib, bytes: u64) -> f64 {
     SimDriver::new(spec, lib).roundtrip(bytes).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Run `f` for `cases` deterministic seeds.
+fn for_cases(cases: u64, mut f: impl FnMut(&mut SimRng)) {
+    for seed in 0..cases {
+        let mut rng = SimRng::new(0x4D4F_4445 ^ seed);
+        f(&mut rng);
+    }
+}
 
-    /// Transfer time is monotone nondecreasing in message size.
-    #[test]
-    fn time_monotone_in_size(a in 1u64..4_000_000, b in 1u64..4_000_000) {
+/// Transfer time is monotone nondecreasing in message size.
+#[test]
+fn time_monotone_in_size() {
+    for_cases(24, |rng| {
+        let a = 1 + rng.next_below(3_999_999);
+        let b = 1 + rng.next_below(3_999_999);
         let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
         let t_lo = roundtrip_s(pcs_ga620(), raw_tcp(kib(512)), lo);
         let t_hi = roundtrip_s(pcs_ga620(), raw_tcp(kib(512)), hi);
-        prop_assert!(t_hi >= t_lo, "t({hi})={t_hi} < t({lo})={t_lo}");
-    }
+        assert!(t_hi >= t_lo, "t({hi})={t_hi} < t({lo})={t_lo}");
+    });
+}
 
-    /// Bigger socket buffers never hurt raw TCP.
-    #[test]
-    fn sockbuf_monotone(
-        bufs_kib in proptest::sample::subsequence(vec![16u64, 32, 64, 128, 256, 512], 2..=2),
-        bytes in 65_536u64..2_000_000,
-    ) {
-        let small = roundtrip_s(pcs_trendnet(), raw_tcp(kib(bufs_kib[0])), bytes);
-        let large = roundtrip_s(pcs_trendnet(), raw_tcp(kib(bufs_kib[1])), bytes);
-        // bufs_kib is ordered (subsequence preserves order).
-        prop_assert!(large <= small * 1.001, "buf {}k: {large}, buf {}k: {small}", bufs_kib[1], bufs_kib[0]);
-    }
+/// Bigger socket buffers never hurt raw TCP.
+#[test]
+fn sockbuf_monotone() {
+    let ladder = [16u64, 32, 64, 128, 256, 512];
+    for_cases(24, |rng| {
+        let i = rng.next_below(ladder.len() as u64 - 1) as usize;
+        let j = i + 1 + rng.next_below((ladder.len() - i - 1) as u64) as usize;
+        let bytes = 65_536 + rng.next_below(2_000_000 - 65_536);
+        let small = roundtrip_s(pcs_trendnet(), raw_tcp(kib(ladder[i])), bytes);
+        let large = roundtrip_s(pcs_trendnet(), raw_tcp(kib(ladder[j])), bytes);
+        assert!(
+            large <= small * 1.001,
+            "buf {}k: {large}, buf {}k: {small}",
+            ladder[j],
+            ladder[i]
+        );
+    });
+}
 
-    /// A library with extra copies is never faster than the same library
-    /// without them.
-    #[test]
-    fn copies_never_help(bytes in 1u64..2_000_000, copies in 1u32..3) {
+/// A library with extra copies is never faster than the same library
+/// without them.
+#[test]
+fn copies_never_help() {
+    for_cases(24, |rng| {
+        let bytes = 1 + rng.next_below(1_999_999);
+        let copies = 1 + rng.next_below(2) as u32;
         let mut with = raw_tcp(kib(512));
         with.profile.recv_copies = copies;
         let t_with = roundtrip_s(pcs_ga620(), with, bytes);
         let t_without = roundtrip_s(pcs_ga620(), raw_tcp(kib(512)), bytes);
-        prop_assert!(t_with >= t_without);
-    }
+        assert!(t_with >= t_without);
+    });
+}
 
-    /// A rendezvous handshake never helps below or at the threshold and
-    /// always costs above it.
-    #[test]
-    fn rendezvous_only_costs_above_threshold(bytes in 1u64..1_000_000) {
+/// A rendezvous handshake never helps below or at the threshold and
+/// always costs above it.
+#[test]
+fn rendezvous_only_costs_above_threshold() {
+    for_cases(24, |rng| {
+        let bytes = 1 + rng.next_below(999_999);
         let threshold = kib(128);
         let mut rndv = raw_tcp(kib(512));
         rndv.profile.rendezvous_bytes = Some(threshold);
         let t_rndv = roundtrip_s(pcs_ga620(), rndv, bytes);
         let t_eager = roundtrip_s(pcs_ga620(), raw_tcp(kib(512)), bytes);
         if bytes <= threshold {
-            prop_assert!((t_rndv - t_eager).abs() < 1e-9, "handshake below threshold");
+            assert!((t_rndv - t_eager).abs() < 1e-9, "handshake below threshold");
         } else {
-            prop_assert!(t_rndv > t_eager, "handshake must cost above threshold");
+            assert!(t_rndv > t_eager, "handshake must cost above threshold");
         }
-    }
+    });
+}
 
-    /// Daemon routing is never faster than direct routing for the same
-    /// transport.
-    #[test]
-    fn daemons_never_help(bytes in 1u64..500_000) {
-        let direct = pvm(PvmConfig { direct_route: true, in_place: true });
-        let mut relayed = pvm(PvmConfig { direct_route: true, in_place: true });
+/// Daemon routing is never faster than direct routing for the same
+/// transport.
+#[test]
+fn daemons_never_help() {
+    for_cases(24, |rng| {
+        let bytes = 1 + rng.next_below(499_999);
+        let direct = pvm(PvmConfig {
+            direct_route: true,
+            in_place: true,
+        });
+        let mut relayed = pvm(PvmConfig {
+            direct_route: true,
+            in_place: true,
+        });
         relayed.profile.routing = netpipe_rs::mp::Routing::Daemon;
         let t_direct = roundtrip_s(pcs_ga620(), direct, bytes);
         let t_relayed = roundtrip_s(pcs_ga620(), relayed, bytes);
-        prop_assert!(t_relayed >= t_direct);
-    }
+        assert!(t_relayed >= t_direct);
+    });
+}
 
-    /// The overlap total always lies between the ideal and the serial sum.
-    #[test]
-    fn overlap_bounded(bytes in 10_000u64..2_000_000, busy_ms in 0u64..30) {
+/// The overlap total always lies between the ideal and the serial sum.
+#[test]
+fn overlap_bounded() {
+    for_cases(24, |rng| {
+        let bytes = 10_000 + rng.next_below(1_990_000);
+        let busy_ms = rng.next_below(30);
         let spec = pcs_ga620();
         let lib = mpich(MpichConfig::tuned());
         let p = netpipe_rs::lab::measure_overlap(
@@ -86,22 +123,29 @@ proptest! {
         );
         let ideal = p.busy_s.max(p.transfer_alone_s);
         let serial = p.busy_s + p.transfer_alone_s;
-        prop_assert!(p.total_s >= ideal * 0.999, "{p:?}");
-        prop_assert!(p.total_s <= serial * 1.05, "{p:?}");
-    }
+        assert!(p.total_s >= ideal * 0.999, "{p:?}");
+        assert!(p.total_s <= serial * 1.05, "{p:?}");
+    });
+}
 
-    /// Streaming a burst is never slower than the same messages sent as
-    /// ping-pong halves, and never faster than the wire allows.
-    #[test]
-    fn burst_bounds(bytes in 1_000u64..200_000, count in 2u32..12) {
+/// Streaming a burst is never slower than the same messages sent as
+/// ping-pong halves, and never faster than the wire allows.
+#[test]
+fn burst_bounds() {
+    for_cases(24, |rng| {
+        let bytes = 1_000 + rng.next_below(199_000);
+        let count = 2 + rng.next_below(10) as u32;
         let mut d = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
         let stream = d.burst(bytes, count).unwrap();
         let pp_half = d.roundtrip(bytes).unwrap() / 2.0;
-        prop_assert!(stream <= pp_half * f64::from(count) * 1.001);
+        assert!(stream <= pp_half * f64::from(count) * 1.001);
         // Cannot beat the wire: count*bytes at 1 Gbps.
         let wire_floor = (count as f64) * (bytes as f64) * 8.0 / 1e9;
-        prop_assert!(stream > wire_floor * 0.8, "stream {stream} below wire floor {wire_floor}");
-    }
+        assert!(
+            stream > wire_floor * 0.8,
+            "stream {stream} below wire floor {wire_floor}"
+        );
+    });
 }
 
 #[test]
@@ -113,7 +157,10 @@ fn determinism_across_library_matrix() {
         mpich(MpichConfig::default()),
         mpich(MpichConfig::tuned()),
         lammpi(LamConfig::tuned()),
-        lammpi(LamConfig { optimized_o: true, use_lamd: true }),
+        lammpi(LamConfig {
+            optimized_o: true,
+            use_lamd: true,
+        }),
         mpipro(MpiProConfig::tuned()),
         mp_lite(&spec.kernel),
         pvm(PvmConfig::default()),
@@ -121,8 +168,12 @@ fn determinism_across_library_matrix() {
         tcgmsg_default(),
     ];
     for lib in libs {
-        let a = SimDriver::new(spec.clone(), lib.clone()).roundtrip(123_456).unwrap();
-        let b = SimDriver::new(spec.clone(), lib.clone()).roundtrip(123_456).unwrap();
+        let a = SimDriver::new(spec.clone(), lib.clone())
+            .roundtrip(123_456)
+            .unwrap();
+        let b = SimDriver::new(spec.clone(), lib.clone())
+            .roundtrip(123_456)
+            .unwrap();
         assert_eq!(a, b, "{} nondeterministic", lib.name());
     }
 }

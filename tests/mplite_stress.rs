@@ -3,8 +3,7 @@
 //! and ungraceful-teardown behaviour.
 
 use mplite::{MpError, ReduceOp, Universe, ANY_SOURCE, ANY_TAG};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use simcore::SimRng;
 
 #[test]
 fn randomized_traffic_matches_reference() {
@@ -33,10 +32,10 @@ fn randomized_traffic_matches_reference() {
             }
             assert!(total > 0);
         } else {
-            let mut rng = StdRng::seed_from_u64(comm.rank() as u64);
+            let mut rng = SimRng::new(comm.rank() as u64);
             for _ in 0..PER_PEER {
-                let tag: i32 = rng.random_range(0..50);
-                let body_len = rng.random_range(0usize..4096);
+                let tag: i32 = rng.next_below(50) as i32;
+                let body_len = rng.next_below(4096) as usize;
                 let len = 12 + body_len;
                 let mut msg = Vec::with_capacity(len);
                 msg.extend_from_slice(&(comm.rank() as u32).to_le_bytes());
@@ -53,13 +52,11 @@ fn randomized_traffic_matches_reference() {
 #[test]
 fn all_collectives_against_reference_under_random_data() {
     const RANKS: usize = 5;
-    let mut rng = StdRng::seed_from_u64(42);
+    let mut rng = SimRng::new(42);
     let inputs: Vec<Vec<f64>> = (0..RANKS)
-        .map(|_| (0..64).map(|_| rng.random_range(-100.0..100.0)).collect())
+        .map(|_| (0..64).map(|_| rng.uniform(-100.0, 100.0)).collect())
         .collect();
-    let expect_sum: Vec<f64> = (0..64)
-        .map(|i| inputs.iter().map(|v| v[i]).sum())
-        .collect();
+    let expect_sum: Vec<f64> = (0..64).map(|i| inputs.iter().map(|v| v[i]).sum()).collect();
     let expect_min: Vec<f64> = (0..64)
         .map(|i| inputs.iter().map(|v| v[i]).fold(f64::MAX, f64::min))
         .collect();

@@ -11,7 +11,13 @@ fn one_byte_messages_work_on_every_transport() {
         (pcs_myrinet(), raw_gm(RecvMode::Polling)),
         (pcs_giganet(), mp_lite_via(RawParams::giganet())),
         (pcs_ga620(), pvm(PvmConfig::default())),
-        (pcs_ga620(), lammpi(LamConfig { optimized_o: true, use_lamd: true })),
+        (
+            pcs_ga620(),
+            lammpi(LamConfig {
+                optimized_o: true,
+                use_lamd: true,
+            }),
+        ),
     ] {
         let name = lib.name().to_string();
         let t = SimDriver::new(spec, lib).roundtrip(1).unwrap();
@@ -50,7 +56,9 @@ fn asymmetric_socket_buffers_use_the_minimum() {
     let time = |p: TcpParams| {
         let mut lib = raw_tcp(kib(512));
         lib.transport = netpipe_rs::mp::Transport::Tcp(p);
-        SimDriver::new(pcs_trendnet(), lib).roundtrip(mib(1)).unwrap()
+        SimDriver::new(pcs_trendnet(), lib)
+            .roundtrip(mib(1))
+            .unwrap()
     };
     let t_asym = time(small_rcv);
     let t_small = time(both_small);
@@ -70,7 +78,9 @@ fn window_of_one_byte_still_completes() {
 #[test]
 fn all_gm_recv_modes_complete() {
     for mode in [RecvMode::Polling, RecvMode::Blocking, RecvMode::Hybrid] {
-        let t = SimDriver::new(pcs_myrinet(), raw_gm(mode)).roundtrip(100_000).unwrap();
+        let t = SimDriver::new(pcs_myrinet(), raw_gm(mode))
+            .roundtrip(100_000)
+            .unwrap();
         assert!(t > 0.0, "{mode:?}");
     }
 }
@@ -121,7 +131,11 @@ fn breakdown_of_window_limited_config_shows_idle_stages() {
     let b = netpipe_rs::lab::measure_breakdown(&pcs_trendnet(), &raw_tcp(kib(64)), mib(2));
     for s in &b.stages {
         let share = s.busy.as_secs_f64() / b.elapsed_s;
-        assert!(share < 0.75, "{}: {share} — nothing should saturate", s.stage);
+        assert!(
+            share < 0.75,
+            "{}: {share} — nothing should saturate",
+            s.stage
+        );
     }
     // Whereas with tuned buffers the NIC saturates.
     let tuned = netpipe_rs::lab::measure_breakdown(&pcs_trendnet(), &raw_tcp(kib(512)), mib(2));
