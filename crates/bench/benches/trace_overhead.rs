@@ -1,0 +1,69 @@
+//! Cost of the observability layer: per-record overhead of the tracelab
+//! sinks and the end-to-end price of running a simulation traced.
+//!
+//! The design target is "cheap enough to stay on": a span record is a
+//! ring-buffer write plus a BTreeMap bump, with no allocation on the
+//! steady-state path.
+
+use bench::microbench::group;
+use hwmodel::presets::pcs_ga620;
+use mpsim::libs::{mpich, MpichConfig};
+use netpipe::{Driver, SimDriver};
+use simcore::trace::{stages, SpanRec, TraceSink};
+use simcore::SimTime;
+use tracelab::{Tracer, WallTracer};
+
+fn main() {
+    let g = group("trace_overhead");
+
+    let tracer = Tracer::new();
+    let rec = SpanRec {
+        stage: stages::KERNEL,
+        track: 3,
+        start: SimTime(1_000),
+        end: SimTime(2_000),
+        bytes: 1500,
+        msg: 7,
+    };
+    g.bench("record_span", || tracer.span(rec));
+    g.bench("record_instant", || {
+        tracer.instant(stages::RECV, 3, SimTime(2_000), 1500, 7)
+    });
+
+    let wall = WallTracer::new();
+    g.bench("record_span_wall", || {
+        let t0 = wall.now_wall();
+        wall.span_wall(stages::SEND, 0, t0, 1500, 7);
+    });
+
+    // Exporter cost over a realistically sized event buffer.
+    tracer.clear();
+    for i in 0..10_000u64 {
+        tracer.span(SpanRec {
+            stage: stages::KERNEL,
+            track: (i % 8) as u32,
+            start: SimTime(i * 100),
+            end: SimTime(i * 100 + 80),
+            bytes: 1500,
+            msg: i / 10,
+        });
+    }
+    g.bench("chrome_export_10k_spans", || {
+        tracelab::export::chrome_trace_json(&tracer.events(), &|t| format!("track{t}"))
+    });
+
+    // The headline number: a full simulated round trip, untraced vs
+    // traced. These should be within a few percent of each other.
+    let bytes = 64 * 1024;
+    let mut plain = SimDriver::new(pcs_ga620(), mpich(MpichConfig::tuned()));
+    g.bench("sim_roundtrip_untraced", || {
+        plain.roundtrip(bytes).expect("sim roundtrip")
+    });
+    let mut traced = SimDriver::new(pcs_ga620(), mpich(MpichConfig::tuned()));
+    let sink = Tracer::new();
+    traced.set_trace_sink(sink.clone());
+    g.bench("sim_roundtrip_traced", || {
+        sink.clear();
+        traced.roundtrip(bytes).expect("sim roundtrip")
+    });
+}

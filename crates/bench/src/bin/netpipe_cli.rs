@@ -1,9 +1,9 @@
 //! A NetPIPE command-line front end.
 //!
 //! ```text
-//! netpipe_cli sim  [--cluster NAME] [--lib NAME] [--max BYTES] [--csv]
-//! netpipe_cli real [--sockbuf BYTES] [--max BYTES] [--csv]
-//! netpipe_cli mplite [--max BYTES] [--csv]
+//! netpipe_cli sim  [--cluster NAME] [--lib NAME] [--max BYTES] [--csv] [--trace OUT.json]
+//! netpipe_cli real [--sockbuf BYTES] [--max BYTES] [--csv] [--trace OUT.json]
+//! netpipe_cli mplite [--max BYTES] [--csv] [--trace OUT.json]
 //! netpipe_cli list
 //! ```
 //!
@@ -11,16 +11,24 @@
 //! runs genuine kernel TCP over loopback; `mplite` runs the real
 //! message-passing library. Default output is the summary + ASCII figure;
 //! `--csv` dumps the raw points instead.
+//!
+//! `--trace OUT.json` records every pipeline stage of the run into a
+//! Chrome trace-event file (open in `chrome://tracing` or Perfetto) and
+//! prints a per-stage busy-time summary after the figure. Simulated runs
+//! trace with exact virtual timestamps; real runs use the wall clock.
+
+use std::sync::Arc;
 
 use hwmodel::ClusterSpec;
 use mpsim::libs as L;
 use mpsim::MpLib;
 use netpipe::{
-    analyze, ascii_figure, run, run_streaming, summary_table, to_csv, Driver, MpliteDriver,
-    RealTcpDriver, RealTcpOptions, RunOptions, ScheduleOptions, SimDriver,
+    analyze, ascii_figure, run, run_streaming, summary_table, to_csv, Driver, DriverError,
+    MpliteDriver, RealTcpDriver, RealTcpOptions, RunOptions, ScheduleOptions, SimDriver,
 };
 use protosim::{RawParams, RecvMode};
 use simcore::units::kib;
+use tracelab::{Tracer, WallTracer};
 
 fn clusters() -> Vec<(&'static str, ClusterSpec)> {
     use hwmodel::presets::*;
@@ -74,6 +82,7 @@ struct Args {
     sockbuf: u32,
     csv: bool,
     stream: u32,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -89,6 +98,7 @@ fn parse_args() -> Result<Args, String> {
         sockbuf: 0,
         csv: false,
         stream: 0,
+        trace: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -109,6 +119,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--sockbuf must be an integer byte count")?;
             }
             "--csv" => args.csv = true,
+            "--trace" => args.trace = Some(argv.next().ok_or("--trace needs an output path")?),
             "--stream" => {
                 args.stream = argv
                     .next()
@@ -154,12 +165,51 @@ fn report(driver: &mut dyn Driver, max: u64, csv: bool, stream: u32) {
     );
 }
 
+/// Wall-clock tracing for real drivers: each round trip (or burst)
+/// becomes one span on track 0, so the exported timeline shows the
+/// measured schedule exactly as it ran.
+struct TracedDriver<D: Driver> {
+    inner: D,
+    tracer: Arc<WallTracer>,
+}
+
+impl<D: Driver> Driver for TracedDriver<D> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn roundtrip(&mut self, bytes: u64) -> Result<f64, DriverError> {
+        let t0 = self.tracer.now_wall();
+        let r = self.inner.roundtrip(bytes);
+        self.tracer.span_wall("roundtrip", 0, t0, bytes, 0);
+        r
+    }
+
+    fn burst(&mut self, bytes: u64, count: u32) -> Result<f64, DriverError> {
+        let t0 = self.tracer.now_wall();
+        let r = self.inner.burst(bytes, count);
+        self.tracer
+            .span_wall("burst", 0, t0, bytes * u64::from(count), 0);
+        r
+    }
+
+    fn is_deterministic(&self) -> bool {
+        self.inner.is_deterministic()
+    }
+}
+
+fn write_trace(path: &str, json: &str, summary: &str) {
+    std::fs::write(path, json).expect("cannot write trace file");
+    println!("\nper-stage busy time:\n{summary}");
+    println!("trace written to {path} (open in chrome://tracing or https://ui.perfetto.dev)");
+}
+
 fn main() {
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: netpipe_cli <sim|real|mplite|list> [--cluster C] [--lib L] [--max N] [--sockbuf N] [--stream N] [--csv]");
+            eprintln!("usage: netpipe_cli <sim|real|mplite|list> [--cluster C] [--lib L] [--max N] [--sockbuf N] [--stream N] [--csv] [--trace OUT.json]");
             std::process::exit(2);
         }
     };
@@ -193,27 +243,66 @@ fn main() {
                 })
                 .1;
             println!("# {} on {}\n", lib.name(), spec.name);
-            report(
-                &mut SimDriver::new(spec, lib),
-                args.max,
-                args.csv,
-                args.stream,
-            );
+            let mut d = SimDriver::new(spec, lib);
+            let tracer = args.trace.as_ref().map(|_| Tracer::new());
+            if let Some(t) = &tracer {
+                d.set_trace_sink(t.clone());
+            }
+            report(&mut d, args.max, args.csv, args.stream);
+            if let (Some(path), Some(t)) = (&args.trace, &tracer) {
+                let label = |tr: u32| protosim::track_label(tr);
+                write_trace(
+                    path,
+                    &tracelab::export::chrome_trace_json(&t.events(), &label),
+                    &tracelab::export::stage_table(&t.stage_totals(), &label),
+                );
+            }
         }
         "real" => {
-            let mut d = RealTcpDriver::new(RealTcpOptions {
+            let d = RealTcpDriver::new(RealTcpOptions {
                 sockbuf: args.sockbuf,
                 nodelay: true,
             })
             .expect("cannot start loopback echo server");
             let (snd, rcv) = d.effective_buffers();
             println!("# real loopback TCP (granted sndbuf={snd}, rcvbuf={rcv})\n");
-            report(&mut d, args.max, args.csv, args.stream);
+            match &args.trace {
+                None => report(&mut { d }, args.max, args.csv, args.stream),
+                Some(path) => {
+                    let tracer = WallTracer::new();
+                    let mut traced = TracedDriver {
+                        inner: d,
+                        tracer: Arc::clone(&tracer),
+                    };
+                    report(&mut traced, args.max, args.csv, args.stream);
+                    let label = |_: u32| "loopback tcp".to_string();
+                    write_trace(
+                        path,
+                        &tracelab::export::chrome_trace_json(&tracer.events(), &label),
+                        &tracelab::export::stage_table(&tracer.stage_totals(), &label),
+                    );
+                }
+            }
         }
         "mplite" => {
+            // The real library traces itself (writer + progress threads)
+            // through its process-global wall tracer.
+            let tracer = args.trace.as_ref().map(|_| {
+                let t = WallTracer::new();
+                mplite::trace::install(Arc::clone(&t));
+                t
+            });
             let mut d = MpliteDriver::new().expect("cannot boot mplite job");
             println!("# real mplite over loopback TCP\n");
             report(&mut d, args.max, args.csv, args.stream);
+            if let (Some(path), Some(t)) = (&args.trace, &tracer) {
+                let label = |tr: u32| mplite::trace::track_label(tr);
+                write_trace(
+                    path,
+                    &tracelab::export::chrome_trace_json(&t.events(), &label),
+                    &tracelab::export::stage_table(&t.stage_totals(), &label),
+                );
+            }
         }
         other => {
             eprintln!("unknown mode '{other}'");

@@ -1,13 +1,53 @@
 //! "The first step in improving the overall performance of the
 //! message-passing system is to identify where the performance is being
 //! lost and determine why" (§1) — per-stage busy-time accounting for the
-//! paper's key configurations.
+//! paper's key configurations, built on `tracelab` spans: the same
+//! instrumentation that feeds `netpipe_cli --trace` also answers the
+//! paper's opening question as a table and a per-message timeline.
+
+use std::cell::Cell;
+use std::rc::Rc;
 
 use clusterlab::measure_breakdown;
 use hwmodel::presets::{ds20s_syskonnect_jumbo, pcs_ga620, pcs_myrinet, pcs_trendnet};
 use mpsim::libs::{mpich, pvm, raw_gm, raw_tcp, MpichConfig, PvmConfig};
-use protosim::RecvMode;
+use mpsim::Session;
+use protosim::{Fabric, RecvMode};
 use simcore::units::{kib, mib};
+use tracelab::Tracer;
+
+/// One traced transfer, rendered as the ASCII timeline of its spans —
+/// the per-message view the stage tables aggregate away.
+fn timeline_demo() {
+    let bytes = 100_000;
+    let lib = raw_tcp(kib(512));
+    let mut eng = Fabric::engine(pcs_ga620());
+    let tracer = Tracer::new();
+    protosim::instrument(&mut eng, tracer.clone());
+    let session = Session::establish(&mut eng.world, &lib);
+    let done = Rc::new(Cell::new(false));
+    let d = Rc::clone(&done);
+    session.send(&mut eng, 0, bytes, Box::new(move |_| d.set(true)));
+    eng.run();
+    assert!(done.get(), "transfer never completed");
+    let events = tracer.events();
+    // The transport allocates its own correlation id for the payload —
+    // show the id with the most spans (the full hardware pipeline).
+    let mut counts = std::collections::BTreeMap::new();
+    for e in &events {
+        *counts.entry(e.msg).or_insert(0usize) += 1;
+    }
+    let msg = counts
+        .into_iter()
+        .max_by_key(|&(_, n)| n)
+        .map(|(m, _)| m)
+        .unwrap_or(1);
+    println!("== One {bytes}-byte raw-TCP message on the GA620, span by span");
+    println!(
+        "{}",
+        tracelab::export::ascii_timeline(&events, msg, 72, &|t| protosim::track_label(t))
+    );
+}
 
 fn main() {
     let bytes = mib(4);
@@ -51,6 +91,8 @@ fn main() {
         let b = measure_breakdown(&spec, &lib, bytes);
         println!("{}", b.to_table());
     }
+
+    timeline_demo();
 
     println!(
         "Reading the bars: a stage near 100% is the bottleneck; when *no*\n\

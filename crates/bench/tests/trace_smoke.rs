@@ -1,0 +1,66 @@
+//! Smoke guard for tracing overhead: running a simulated NetPIPE sweep
+//! with a [`tracelab::Tracer`] installed must cost at most 2x the
+//! untraced wall time (plus a small additive allowance for scheduler
+//! noise on loaded CI machines).
+//!
+//! This is the cheap always-on version of the `trace_overhead` bench
+//! (`cargo bench -p bench --bench trace_overhead` for real numbers).
+
+use std::time::{Duration, Instant};
+
+use hwmodel::presets::pcs_ga620;
+use mpsim::libs::{mpich, MpichConfig};
+use netpipe::{run, RunOptions, ScheduleOptions, SimDriver};
+use tracelab::Tracer;
+
+fn sweep_opts() -> RunOptions {
+    RunOptions {
+        schedule: ScheduleOptions {
+            max: 1024 * 1024,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// Minimum wall time over `trials` runs of `f` — the min is far less
+/// noise-sensitive than the mean on a shared machine.
+fn min_time(trials: usize, mut f: impl FnMut()) -> Duration {
+    (0..trials)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed()
+        })
+        .min()
+        .unwrap_or_default()
+}
+
+#[test]
+fn traced_sweep_is_at_most_twice_untraced() {
+    let trials = 5;
+
+    let mut plain = SimDriver::new(pcs_ga620(), mpich(MpichConfig::tuned()));
+    let untraced = min_time(trials, || {
+        run(&mut plain, &sweep_opts()).expect("untraced sweep");
+    });
+
+    let mut traced_driver = SimDriver::new(pcs_ga620(), mpich(MpichConfig::tuned()));
+    let tracer = Tracer::new();
+    traced_driver.set_trace_sink(tracer.clone());
+    let traced = min_time(trials, || {
+        tracer.clear();
+        run(&mut traced_driver, &sweep_opts()).expect("traced sweep");
+    });
+
+    assert!(
+        tracer.span_count() > 0,
+        "traced sweep recorded no spans; the guard would be vacuous"
+    );
+
+    let budget = untraced * 2 + Duration::from_millis(2);
+    assert!(
+        traced <= budget,
+        "tracing overhead too high: traced sweep {traced:?} > 2x untraced {untraced:?} + 2ms"
+    );
+}

@@ -2,17 +2,20 @@
 //!
 //! "The first step in improving the overall performance of the
 //! message-passing system is to identify where the performance is being
-//! lost and determine why." Every fabric resource already accounts its
-//! busy time; this module runs one transfer and reports the busy share of
-//! each pipeline stage (host CPUs, PCI buses, NIC engines, wires), plus
-//! the residual — latency gaps and serial library work.
+//! lost and determine why." The instrumentation in `tracelab` records a
+//! span for every resource reservation; this module runs one traced
+//! transfer and folds the per-stage registry into the busy share of each
+//! hardware pipeline stage (host CPUs, PCI buses, NIC engines, wires) —
+//! the residual is latency gaps and serial library work.
 
 use hwmodel::ClusterSpec;
 use mpsim::{MpLib, Session};
-use protosim::Fabric;
+use protosim::{cpu_track, nic_track, pci_track, track_label, wire_track, Fabric};
 use simcore::SimDuration;
 use std::cell::Cell;
+use std::collections::BTreeMap;
 use std::rc::Rc;
+use tracelab::Tracer;
 
 /// Busy time of one pipeline stage during a transfer.
 #[derive(Debug, Clone)]
@@ -58,34 +61,33 @@ impl Breakdown {
         busy.as_secs_f64() / self.elapsed_s
     }
 
-    /// Render as an aligned text table with utilization bars.
+    /// Render as an aligned text table with utilization bars
+    /// (delegates to [`tracelab::export::breakdown_table`]).
     pub fn to_table(&self) -> String {
-        use std::fmt::Write as _;
-        let mut out = format!(
+        let header = format!(
             "{} — {} bytes, one-way {:.1} us\n",
             self.name,
             self.bytes,
             self.elapsed_s * 1e6
         );
-        for s in &self.stages {
-            let share = s.busy.as_secs_f64() / self.elapsed_s;
-            let bar = "#".repeat((share * 40.0).round() as usize);
-            let _ = writeln!(
-                out,
-                "  {:<14} {:>10.1} us  {:>5.1}%  {bar}",
-                s.stage,
-                s.busy.as_micros_f64(),
-                share * 100.0
-            );
-        }
-        out
+        let rows: Vec<(String, f64, u64)> = self
+            .stages
+            .iter()
+            .map(|s| (s.stage.clone(), s.busy.as_secs_f64(), s.bytes))
+            .collect();
+        header + &tracelab::export::breakdown_table(&rows, self.elapsed_s)
     }
 }
 
-/// Run one `bytes`-sized transfer of `lib` on `spec` and account every
-/// stage's busy time.
+/// Run one `bytes`-sized transfer of `lib` on `spec` under a
+/// [`tracelab::Tracer`] and fold the recorded spans into every hardware
+/// stage's busy time. Idle stages still appear (with zero busy time) —
+/// the hardware pipeline is enumerated from the fabric shape, not from
+/// the spans that happened to be recorded.
 pub fn measure_breakdown(spec: &ClusterSpec, lib: &MpLib, bytes: u64) -> Breakdown {
     let mut eng = Fabric::engine(spec.clone());
+    let tracer = Tracer::new();
+    protosim::instrument(&mut eng, tracer.clone());
     let session = Session::establish(&mut eng.world, lib);
     let done = Rc::new(Cell::new(None));
     let d = Rc::clone(&done);
@@ -98,37 +100,40 @@ pub fn measure_breakdown(spec: &ClusterSpec, lib: &MpLib, bytes: u64) -> Breakdo
     eng.run();
     let elapsed_s = done.get().expect("transfer never completed");
 
+    // Every hardware track this fabric can exercise, in pipeline order.
     let fab = &eng.world;
-    let mut stages = Vec::new();
+    let mut tracks: Vec<u32> = Vec::new();
     for (h, host) in fab.hosts.iter().enumerate() {
-        stages.push(StageBusy {
-            stage: format!("host{h} cpu"),
-            busy: host.cpu.busy_time(),
-            bytes: host.cpu.bytes_served(),
-        });
-        stages.push(StageBusy {
-            stage: format!("host{h} pci"),
-            busy: host.pci.busy_time(),
-            bytes: host.pci.bytes_served(),
-        });
-        for (ch, nic) in host.nics.iter().enumerate() {
-            stages.push(StageBusy {
-                stage: format!("host{h} nic{ch}"),
-                busy: nic.busy_time(),
-                bytes: nic.bytes_served(),
-            });
+        tracks.push(cpu_track(h));
+        tracks.push(pci_track(h));
+        for ch in 0..host.nics.len() {
+            tracks.push(nic_track(h, ch));
         }
     }
-    for (ch, pair) in fab.wires.iter().enumerate() {
-        for (dir, wire) in pair.iter().enumerate() {
-            let arrow = if dir == 0 { "->" } else { "<-" };
-            stages.push(StageBusy {
-                stage: format!("wire{ch} {arrow}"),
-                busy: wire.busy_time(),
-                bytes: wire.bytes_served(),
-            });
-        }
+    for ch in 0..fab.wires.len() {
+        tracks.push(wire_track(ch, 0));
+        tracks.push(wire_track(ch, 1));
     }
+
+    // The tracer's registry is exact (it survives ring-buffer wrap), so
+    // summing span time per track reproduces each resource's busy time.
+    let mut by_track: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for t in tracer.stage_totals() {
+        let e = by_track.entry(t.track).or_insert((0, 0));
+        e.0 += t.busy_ns;
+        e.1 += t.bytes;
+    }
+    let stages = tracks
+        .into_iter()
+        .map(|track| {
+            let (busy_ns, served) = by_track.get(&track).copied().unwrap_or((0, 0));
+            StageBusy {
+                stage: track_label(track),
+                busy: SimDuration::from_nanos(busy_ns),
+                bytes: served,
+            }
+        })
+        .collect();
     Breakdown {
         name: lib.name().to_string(),
         bytes,

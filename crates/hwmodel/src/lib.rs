@@ -9,6 +9,14 @@
 //! These are *pure data* — the protocol simulations in `protosim` turn
 //! them into discrete-event pipelines. Every parameter is documented with
 //! the paper mechanism it encodes; DESIGN.md §4 records the calibration.
+//!
+//! When a trace sink is installed (see `tracelab` and DESIGN.md §10),
+//! each hardware unit described here — every host's CPU, PCI bus, and
+//! NIC channels, and each wire direction — becomes one timeline *track*
+//! in the recorded trace, so a [`ClusterSpec`]'s shape is also the
+//! shape of its trace. The track numbering and labels live next to the
+//! pipelines in `protosim` (`cpu_track`, `pci_track`, `nic_track`,
+//! `wire_track`, `track_label`).
 
 #![warn(missing_docs)]
 

@@ -25,6 +25,8 @@ use crate::error::{MpError, Result};
 use crate::message::{
     decode_header, encode_header, InMsg, MatchEngine, RecvSlot, ANY_SOURCE, ANY_TAG, HEADER_LEN,
 };
+use crate::trace;
+use tracelab::stages;
 
 /// Delivery status of a completed receive.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -189,7 +191,7 @@ impl Comm {
             readers.push(
                 std::thread::Builder::new()
                     .name(format!("mplite-r{rank}<-{peer}"))
-                    .spawn(move || reader_loop(stream, peer, engine, down))?,
+                    .spawn(move || reader_loop(stream, rank, peer, engine, down))?,
             );
         }
 
@@ -215,6 +217,7 @@ impl Comm {
                             data,
                             slot,
                         } => {
+                            let t0 = trace::installed().map(|t| t.now_wall());
                             let result = (|| -> std::io::Result<()> {
                                 let s = write_halves[dst].as_mut().ok_or_else(|| {
                                     std::io::Error::new(
@@ -227,6 +230,15 @@ impl Comm {
                                 s.write_all(&data)?;
                                 Ok(())
                             })();
+                            if let (Some(t), Some(start)) = (trace::installed(), t0) {
+                                t.span_wall(
+                                    stages::SEND,
+                                    trace::track(my_rank as usize, trace::ROLE_WRITER),
+                                    start,
+                                    data.len() as u64,
+                                    trace::next_msg(),
+                                );
+                            }
                             slot.complete(result.map_err(|e| e.to_string()));
                         }
                     }
@@ -396,6 +408,7 @@ pub(crate) fn raise_socket_buffers(stream: &TcpStream, bytes: u32) -> std::io::R
 
 fn reader_loop(
     mut stream: TcpStream,
+    rank: usize,
     peer: usize,
     engine: Arc<MatchEngine>,
     shutting_down: Arc<AtomicBool>,
@@ -427,6 +440,10 @@ fn reader_loop(
             }
         }
         let (src, tag, len) = decode_header(&hdr);
+        // The progress-thread span covers pulling the payload out of the
+        // socket *and* handing it to the matching engine — the work the
+        // paper's §3.4 progress discussion attributes to the library.
+        let t0 = trace::installed().map(|t| t.now_wall());
         let mut buf = vec![0u8; len as usize];
         if stream.read_exact(&mut buf).is_err() {
             if !shutting_down.load(Ordering::Acquire) {
@@ -439,6 +456,11 @@ fn reader_loop(
             tag,
             data: Bytes::from(buf),
         });
+        if let (Some(t), Some(start)) = (trace::installed(), t0) {
+            let track = trace::track(rank, trace::ROLE_READER);
+            t.span_wall(stages::PROGRESS_THREAD, track, start, len, 0);
+            t.instant_wall(stages::RECV, track, len, 0);
+        }
     }
 }
 

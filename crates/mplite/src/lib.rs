@@ -38,6 +38,7 @@ pub mod comm;
 pub mod error;
 pub mod message;
 pub mod sync;
+pub mod trace;
 pub mod typed;
 pub mod universe;
 

@@ -79,17 +79,37 @@ pub trait Driver {
 pub struct SimDriver {
     spec: ClusterSpec,
     lib: MpLib,
+    trace: Option<simcore::trace::SharedSink>,
 }
 
 impl SimDriver {
     /// Measure `lib` on `spec`.
     pub fn new(spec: ClusterSpec, lib: MpLib) -> SimDriver {
-        SimDriver { spec, lib }
+        SimDriver {
+            spec,
+            lib,
+            trace: None,
+        }
     }
 
     /// The cluster configuration being simulated.
     pub fn spec(&self) -> &ClusterSpec {
         &self.spec
+    }
+
+    /// Install a trace sink; every subsequent measurement instruments its
+    /// fresh fabric (resources, protocol stages, library phases) with it.
+    /// Sinks only observe — timings are identical with or without one.
+    pub fn set_trace_sink(&mut self, sink: simcore::trace::SharedSink) {
+        self.trace = Some(sink);
+    }
+
+    fn engine(&self) -> protosim::Net {
+        let mut eng = Fabric::engine(self.spec.clone());
+        if let Some(sink) = &self.trace {
+            protosim::instrument(&mut eng, Rc::clone(sink));
+        }
+        eng
     }
 }
 
@@ -99,7 +119,7 @@ impl Driver for SimDriver {
     }
 
     fn roundtrip(&mut self, bytes: u64) -> Result<f64, DriverError> {
-        let mut eng = Fabric::engine(self.spec.clone());
+        let mut eng = self.engine();
         let session = Session::establish(&mut eng.world, &self.lib);
         let out = Rc::new(Cell::new(None));
         let out2 = Rc::clone(&out);
@@ -121,7 +141,7 @@ impl Driver for SimDriver {
     /// True streaming: all `count` messages are queued at once and
     /// pipeline through the fabric.
     fn burst(&mut self, bytes: u64, count: u32) -> Result<f64, DriverError> {
-        let mut eng = Fabric::engine(self.spec.clone());
+        let mut eng = self.engine();
         let session = Session::establish(&mut eng.world, &self.lib);
         let out = Rc::new(Cell::new(None));
         let left = Rc::new(Cell::new(count));

@@ -10,11 +10,85 @@
 //! event schedule rather than from closed-form formulas.
 
 use hwmodel::ClusterSpec;
-use simcore::{Engine, Resource, SimDuration};
+use simcore::trace::{SharedSink, SpanRec};
+use simcore::{Engine, Resource, SimDuration, SimTime};
 
 use crate::local::LocalConn;
 use crate::raw::RawConn;
 use crate::tcp::TcpConn;
+
+// ---------------------------------------------------------------------
+// Trace-track allocation (see DESIGN §10). Tracks are globally unique
+// timeline ids; exporters render one row per track, named by
+// `track_label`.
+// ---------------------------------------------------------------------
+
+/// Track of host `h`'s protocol CPU.
+pub fn cpu_track(h: usize) -> u32 {
+    h as u32 * 16
+}
+
+/// Track of host `h`'s PCI bus.
+pub fn pci_track(h: usize) -> u32 {
+    h as u32 * 16 + 1
+}
+
+/// Track of host `h`'s NIC engine on channel `ch`.
+pub fn nic_track(h: usize, ch: usize) -> u32 {
+    h as u32 * 16 + 2 + ch as u32
+}
+
+/// Track of the wire on channel `ch`, direction `dir` (0 = host0→host1).
+pub fn wire_track(ch: usize, dir: usize) -> u32 {
+    32 + 2 * ch as u32 + dir as u32
+}
+
+/// Track for protocol-gap spans (wire latency, interrupt coalescing,
+/// window stalls, wakeups) of messages sent by endpoint `from`. These
+/// spans may overlap each other (segments pipeline), so they get their
+/// own timeline instead of a hardware resource's.
+pub fn flow_track(from: usize) -> u32 {
+    48 + from as u32
+}
+
+/// Track for message-passing-library phase spans (pack, handshake,
+/// memcpy, daemon hops) on host `h`.
+pub fn lib_track(h: usize) -> u32 {
+    56 + h as u32
+}
+
+/// Is `track` a serially-occupied hardware resource (CPU/PCI/NIC/wire)?
+/// Only these contribute to bottleneck accounting; flow and library
+/// tracks hold possibly-overlapping protocol spans.
+pub fn is_hw_track(track: u32) -> bool {
+    track < 48
+}
+
+/// Human-readable name for a track id, matching the historical stage
+/// names of `clusterlab::Breakdown` ("host0 cpu", "wire0 ->", ...).
+pub fn track_label(track: u32) -> String {
+    match track {
+        0..=31 => {
+            let h = track / 16;
+            match track % 16 {
+                0 => format!("host{h} cpu"),
+                1 => format!("host{h} pci"),
+                r => format!("host{h} nic{}", r - 2),
+            }
+        }
+        32..=47 => {
+            let ch = (track - 32) / 2;
+            if (track - 32) % 2 == 0 {
+                format!("wire{ch} ->")
+            } else {
+                format!("wire{ch} <-")
+            }
+        }
+        48 => "flow 0->1".to_string(),
+        49 => "flow 1->0".to_string(),
+        _ => format!("host{} lib", track.saturating_sub(56)),
+    }
+}
 
 /// Runtime state for one host.
 pub struct HostRt {
@@ -55,6 +129,12 @@ pub struct Fabric {
     pub wires: Vec<[Resource; 2]>,
     /// All open connections.
     pub conns: Vec<Conn>,
+    /// Installed trace sink, if any (see [`instrument`]). Write-only:
+    /// transports record spans here but never read it for decisions.
+    pub tracer: Option<SharedSink>,
+    /// Monotonic message-id allocator (advances identically whether or
+    /// not a tracer is installed, preserving determinism).
+    next_msg: u64,
 }
 
 /// Shorthand for the engine type every transport event runs on.
@@ -102,6 +182,8 @@ impl Fabric {
                 .collect(),
             conns: Vec::new(),
             spec,
+            tracer: None,
+            next_msg: 0,
         }
     }
 
@@ -121,6 +203,78 @@ impl Fabric {
     pub fn path_latency(&self) -> SimDuration {
         SimDuration::from_micros_f64(self.spec.path_latency_us())
     }
+
+    /// Install `sink` on every hardware resource (CPU, PCI, NIC, wire)
+    /// with its canonical track id, and keep a handle for protocol and
+    /// library spans. Prefer [`instrument`], which also hooks the engine.
+    pub fn install_tracer(&mut self, sink: SharedSink) {
+        for (h, host) in self.hosts.iter_mut().enumerate() {
+            host.cpu.set_trace(sink.clone(), cpu_track(h));
+            host.pci.set_trace(sink.clone(), pci_track(h));
+            for (ch, nic) in host.nics.iter_mut().enumerate() {
+                nic.set_trace(sink.clone(), nic_track(h, ch));
+            }
+        }
+        for (ch, pair) in self.wires.iter_mut().enumerate() {
+            for (dir, wire) in pair.iter_mut().enumerate() {
+                wire.set_trace(sink.clone(), wire_track(ch, dir));
+            }
+        }
+        self.tracer = Some(sink);
+    }
+
+    /// Allocate the next message-correlation id (1-based; 0 means
+    /// "unattributed"). Advances even when untraced so that enabling
+    /// tracing cannot perturb anything.
+    pub fn alloc_msg(&mut self) -> u64 {
+        self.next_msg += 1;
+        self.next_msg
+    }
+
+    /// Point the sink's message register at `id`: subsequent resource
+    /// spans are attributed to that message.
+    pub fn set_trace_msg(&self, id: u64) {
+        if let Some(t) = &self.tracer {
+            t.set_message(id);
+        }
+    }
+
+    /// Record an explicit span if a tracer is installed.
+    pub fn trace_span(
+        &self,
+        stage: &'static str,
+        track: u32,
+        start: SimTime,
+        end: SimTime,
+        bytes: u64,
+        msg: u64,
+    ) {
+        if let Some(t) = &self.tracer {
+            t.span(SpanRec {
+                stage,
+                track,
+                start,
+                end,
+                bytes,
+                msg,
+            });
+        }
+    }
+
+    /// Record an instantaneous event if a tracer is installed.
+    pub fn trace_instant(&self, name: &'static str, track: u32, at: SimTime, bytes: u64, msg: u64) {
+        if let Some(t) = &self.tracer {
+            t.instant(name, track, at, bytes, msg);
+        }
+    }
+}
+
+/// Install `sink` on the fabric's resources *and* the engine (event
+/// dispatch counter). The one-call entry point used by
+/// `netpipe::SimDriver`, `clusterlab::measure_breakdown`, and tests.
+pub fn instrument(eng: &mut Net, sink: SharedSink) {
+    eng.world.install_tracer(sink.clone());
+    eng.set_trace_sink(sink);
 }
 
 /// Dispatch a message send on any connection type.
@@ -185,5 +339,75 @@ mod tests {
         let b = fab.push_conn(Conn::Local(crate::local::LocalConn::loopback(1)));
         assert_eq!(a, ConnId(0));
         assert_eq!(b, ConnId(1));
+    }
+
+    #[test]
+    fn track_labels_match_breakdown_stage_names() {
+        assert_eq!(track_label(cpu_track(0)), "host0 cpu");
+        assert_eq!(track_label(pci_track(1)), "host1 pci");
+        assert_eq!(track_label(nic_track(0, 1)), "host0 nic1");
+        assert_eq!(track_label(wire_track(0, 0)), "wire0 ->");
+        assert_eq!(track_label(wire_track(1, 1)), "wire1 <-");
+        assert_eq!(track_label(flow_track(0)), "flow 0->1");
+        assert_eq!(track_label(lib_track(1)), "host1 lib");
+        assert!(is_hw_track(wire_track(3, 1)));
+        assert!(!is_hw_track(flow_track(0)));
+        assert!(!is_hw_track(lib_track(0)));
+    }
+
+    #[test]
+    fn tracks_are_unique_across_resources() {
+        let mut seen = std::collections::BTreeSet::new();
+        for h in 0..2 {
+            assert!(seen.insert(cpu_track(h)));
+            assert!(seen.insert(pci_track(h)));
+            for ch in 0..4 {
+                assert!(seen.insert(nic_track(h, ch)));
+            }
+            assert!(seen.insert(lib_track(h)));
+            assert!(seen.insert(flow_track(h)));
+        }
+        for ch in 0..4 {
+            for dir in 0..2 {
+                assert!(seen.insert(wire_track(ch, dir)));
+            }
+        }
+    }
+
+    #[test]
+    fn install_tracer_reaches_every_resource() {
+        use simcore::trace::{SpanRec, TraceSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Log(RefCell<Vec<u32>>);
+        impl TraceSink for Log {
+            fn span(&self, rec: SpanRec) {
+                self.0.borrow_mut().push(rec.track);
+            }
+        }
+
+        let log = Rc::new(Log::default());
+        let mut fab = Fabric::new(pcs_ga620());
+        fab.install_tracer(log.clone());
+        let now = SimTime::ZERO;
+        fab.hosts[0].cpu.serve(now, 10);
+        fab.hosts[1].pci.serve(now, 10);
+        fab.hosts[1].nics[0].serve(now, 10);
+        fab.wires[0][1].serve(now, 10);
+        assert_eq!(
+            *log.0.borrow(),
+            vec![
+                cpu_track(0),
+                pci_track(1),
+                nic_track(1, 0),
+                wire_track(0, 1)
+            ]
+        );
+
+        // Message ids allocate monotonically from 1.
+        assert_eq!(fab.alloc_msg(), 1);
+        assert_eq!(fab.alloc_msg(), 2);
     }
 }

@@ -25,7 +25,10 @@ pub mod multinode;
 pub mod raw;
 pub mod tcp;
 
-pub use fabric::{send, Conn, ConnId, Continuation, Fabric, Net};
+pub use fabric::{
+    cpu_track, flow_track, instrument, is_hw_track, lib_track, nic_track, pci_track, send,
+    track_label, wire_track, Conn, ConnId, Continuation, Fabric, Net,
+};
 pub use multinode::{ring_halo_steps, MultiEngine, MultiNet};
 pub use raw::{RawParams, RecvMode};
 pub use tcp::TcpParams;

@@ -17,9 +17,10 @@
 
 use std::collections::VecDeque;
 
+use simcore::trace::{stages, SpanRec};
 use simcore::{SimDuration, SimTime};
 
-use crate::fabric::{Conn, ConnId, Continuation, Fabric, Net};
+use crate::fabric::{flow_track, Conn, ConnId, Continuation, Fabric, Net};
 
 /// How the receiving process learns of a completed message (GM's
 /// `--gm-recv` flag, §5).
@@ -100,6 +101,8 @@ impl RawParams {
 struct RawJob {
     delivered: u64,
     total: u64,
+    /// Trace message-correlation id (allocated even when untraced).
+    msg: u64,
     on_delivered: Option<Continuation>,
 }
 
@@ -138,6 +141,7 @@ pub fn open_on_channel(fabric: &mut Fabric, params: RawParams, channel: usize) -
 /// flow control never limits a two-node ping-pong.
 pub fn send(eng: &mut Net, conn: ConnId, from: usize, bytes: u64, on_delivered: Continuation) {
     let now = eng.now();
+    let msg = eng.world.alloc_msg();
     let mut deliveries: Vec<(SimTime, u64)> = Vec::new();
     {
         let Fabric {
@@ -145,6 +149,8 @@ pub fn send(eng: &mut Net, conn: ConnId, from: usize, bytes: u64, on_delivered: 
             hosts,
             wires,
             conns,
+            tracer,
+            ..
         } = &mut eng.world;
         let raw = match &mut conns[conn.0] {
             Conn::Raw(r) => r,
@@ -156,10 +162,16 @@ pub fn send(eng: &mut Net, conn: ConnId, from: usize, bytes: u64, on_delivered: 
         raw.dirs[from].push_back(RawJob {
             delivered: 0,
             total: bytes.max(1),
+            msg,
             on_delivered: Some(on_delivered),
         });
         let (sender, receiver) = (from, 1 - from);
         let path = SimDuration::from_micros_f64(spec.path_latency_us());
+        let ft = flow_track(from);
+        if let Some(t) = tracer.as_ref() {
+            t.set_message(msg);
+            t.instant(stages::SEND, ft, now, bytes.max(1), msg);
+        }
         let mut remaining = bytes.max(1);
         let mut first = true;
         while remaining > 0 {
@@ -179,6 +191,18 @@ pub fn send(eng: &mut Net, conn: ConnId, from: usize, bytes: u64, on_delivered: 
             let t3 = hosts[sender].nics[channel].serve(t2, on_bus);
             let t4 = wires[channel][from].serve(t3, on_bus);
             let t5 = hosts[receiver].pci.serve(t4 + path, on_bus);
+            if let Some(t) = tracer.as_ref() {
+                if path.as_nanos() > 0 {
+                    t.span(SpanRec {
+                        stage: stages::WIRE_LATENCY,
+                        track: ft,
+                        start: t4,
+                        end: t4 + path,
+                        bytes: seg,
+                        msg,
+                    });
+                }
+            }
             deliveries.push((t5, seg));
             remaining -= seg;
         }
@@ -191,6 +215,7 @@ pub fn send(eng: &mut Net, conn: ConnId, from: usize, bytes: u64, on_delivered: 
 fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
     let now = eng.now();
     let mut completion: Option<(Continuation, SimDuration)> = None;
+    let mut done = (0u64, 0u64); // (msg, total)
     {
         let raw = match &mut eng.world.conns[conn.0] {
             Conn::Raw(r) => r,
@@ -207,12 +232,18 @@ fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
             // lint:allow(expect) -- front_mut() above proved the queue is non-empty under the same borrow
             let mut job = raw.dirs[dir].pop_front().expect("front job vanished");
             let cost = SimDuration::from_micros_f64(raw.params.recv_mode.completion_us());
+            done = (job.msg, job.total);
             if let Some(k) = job.on_delivered.take() {
                 completion = Some((k, cost));
             }
         }
     }
     if let Some((k, cost)) = completion {
+        let (msg, total) = done;
+        eng.world
+            .trace_span(stages::COMPLETION, flow_track(dir), now, now + cost, 0, msg);
+        eng.world
+            .trace_instant(stages::RECV, flow_track(dir), now + cost, total, msg);
         eng.schedule_at(now + cost, k);
     }
 }

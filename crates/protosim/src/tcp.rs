@@ -34,9 +34,10 @@
 use std::collections::VecDeque;
 
 use hwmodel::nic::TCPIP_HEADERS;
+use simcore::trace::{stages, SpanRec};
 use simcore::{SimDuration, SimTime};
 
-use crate::fabric::{Conn, ConnId, Continuation, Fabric, Net};
+use crate::fabric::{flow_track, Conn, ConnId, Continuation, Fabric, Net};
 
 /// Per-connection TCP tuning, the knobs the paper turns.
 #[derive(Debug, Clone)]
@@ -72,6 +73,8 @@ struct TcpJob {
     total: u64,
     /// Whether the first segment has been dispatched (syscall charged).
     started: bool,
+    /// Trace message-correlation id (allocated even when untraced).
+    msg: u64,
     on_delivered: Option<Continuation>,
 }
 
@@ -165,6 +168,8 @@ pub fn open_default(fabric: &mut Fabric) -> ConnId {
 /// Queue `bytes` from endpoint `from`; `on_delivered` fires when the
 /// receiving process returns from its final `recv()`.
 pub fn send(eng: &mut Net, conn: ConnId, from: usize, bytes: u64, on_delivered: Continuation) {
+    let msg = eng.world.alloc_msg();
+    let now = eng.now();
     {
         let tcp = tcp_mut(&mut eng.world, conn);
         tcp.dirs[from].jobs.push_back(TcpJob {
@@ -172,9 +177,12 @@ pub fn send(eng: &mut Net, conn: ConnId, from: usize, bytes: u64, on_delivered: 
             delivered: 0,
             total: bytes.max(1),
             started: false,
+            msg,
             on_delivered: Some(on_delivered),
         });
     }
+    eng.world
+        .trace_instant(stages::SEND, flow_track(from), now, bytes.max(1), msg);
     pump(eng, conn, from);
 }
 
@@ -197,6 +205,8 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
             hosts,
             wires,
             conns,
+            tracer,
+            ..
         } = &mut eng.world;
         let tcp = match &mut conns[conn.0] {
             Conn::Tcp(t) => t,
@@ -215,8 +225,13 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
         let kernel_copy = cpu.kernel_copy_bps;
         let coalesce = SimDuration::from_micros_f64(spec.nic.rx_coalesce_us);
         let path = SimDuration::from_micros_f64(spec.path_latency_us());
+        let ft = flow_track(dir);
 
         'jobs: for job in d.jobs.iter_mut() {
+            // Attribute the resource spans below to this message.
+            if let Some(t) = tracer.as_ref() {
+                t.set_message(job.msg);
+            }
             while job.remaining > 0 {
                 // Sender-side silly-window avoidance (RFC 1122 §4.2.3.4):
                 // send a full segment, or a partial of at least MSS/2 —
@@ -250,6 +265,30 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
                 let rx = SimDuration::from_micros_f64(cpu.kernel_pkt_rx_us)
                     + SimDuration::for_bytes(seg, kernel_copy);
                 let t6 = hosts[receiver].cpu.serve_for(t5 + coalesce, rx, seg);
+                if let Some(t) = tracer.as_ref() {
+                    // Protocol gaps between resource spans, on the flow
+                    // track (segments pipeline, so these may overlap).
+                    if path.as_nanos() > 0 {
+                        t.span(SpanRec {
+                            stage: stages::WIRE_LATENCY,
+                            track: ft,
+                            start: t4,
+                            end: t4 + path,
+                            bytes: seg,
+                            msg: job.msg,
+                        });
+                    }
+                    if coalesce.as_nanos() > 0 {
+                        t.span(SpanRec {
+                            stage: stages::COALESCE,
+                            track: ft,
+                            start: t5,
+                            end: t5 + coalesce,
+                            bytes: seg,
+                            msg: job.msg,
+                        });
+                    }
+                }
                 deliveries.push((t6, seg));
                 d.in_flight += seg;
                 d.undelivered += seg;
@@ -271,6 +310,8 @@ fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
         Complete(Continuation, SimDuration),
     }
     let mut actions: Vec<Next> = Vec::new();
+    let front_msg;
+    let mut done_total = 0u64;
     {
         let Fabric { spec, conns, .. } = &mut eng.world;
         let tcp = match &mut conns[conn.0] {
@@ -312,10 +353,12 @@ fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
             // lint:allow(expect) -- a delivery event is only scheduled while its job is queued; an empty queue is an engine bug
             .expect("delivery with no in-progress job");
         job.delivered += seg;
+        front_msg = job.msg;
         debug_assert!(job.delivered <= job.total);
         if job.delivered == job.total {
             // lint:allow(expect) -- front_mut() above proved the queue is non-empty under the same borrow
             let mut job = d.jobs.pop_front().expect("front job vanished");
+            done_total = job.total;
             let wakeup =
                 SimDuration::from_micros_f64(spec.kernel.rx_extra_us + spec.host.cpu.syscall_us);
             if let Some(k) = job.on_delivered.take() {
@@ -327,6 +370,14 @@ fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
         match a {
             Next::Pump => pump(eng, conn, dir),
             Next::Reopen(stall) => {
+                eng.world.trace_span(
+                    stages::WINDOW_STALL,
+                    flow_track(dir),
+                    now,
+                    now + stall,
+                    0,
+                    front_msg,
+                );
                 eng.schedule_at(now + stall, move |e| {
                     {
                         let tcp = tcp_mut(&mut e.world, conn);
@@ -338,6 +389,21 @@ fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
                 });
             }
             Next::Complete(k, wakeup) => {
+                eng.world.trace_span(
+                    stages::WAKEUP,
+                    flow_track(dir),
+                    now,
+                    now + wakeup,
+                    0,
+                    front_msg,
+                );
+                eng.world.trace_instant(
+                    stages::RECV,
+                    flow_track(dir),
+                    now + wakeup,
+                    done_total,
+                    front_msg,
+                );
                 eng.schedule_at(now + wakeup, k);
             }
         }

@@ -16,6 +16,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::SharedSink;
 
 /// A one-shot event callback.
 pub type EventFn<W> = Box<dyn FnOnce(&mut Engine<W>)>;
@@ -60,6 +61,7 @@ pub struct Engine<W> {
     /// Hard cap on executed events; guards against runaway event loops in
     /// buggy models. `u64::MAX` by default.
     pub event_limit: u64,
+    trace: Option<SharedSink>,
 }
 
 impl<W> Engine<W> {
@@ -72,7 +74,20 @@ impl<W> Engine<W> {
             queue: BinaryHeap::new(),
             executed: 0,
             event_limit: u64::MAX,
+            trace: None,
         }
+    }
+
+    /// Attach a [`TraceSink`](crate::trace::TraceSink) notified once per
+    /// dispatched event (a cheap kernel-load counter). Observational only:
+    /// the sink cannot influence ordering or timing.
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.trace = Some(sink);
+    }
+
+    /// Detach any installed trace sink.
+    pub fn clear_trace_sink(&mut self) {
+        self.trace = None;
     }
 
     /// The current simulated instant.
@@ -138,6 +153,9 @@ impl<W> Engine<W> {
         debug_assert!(ev.time >= self.now, "event queue went backwards");
         self.now = ev.time;
         self.executed += 1;
+        if let Some(sink) = &self.trace {
+            sink.event_dispatched(ev.time);
+        }
         (ev.f)(self);
         true
     }

@@ -16,6 +16,9 @@
 //! * [`SimRng`] — splittable deterministic RNG (xoshiro256**), used for the
 //!   NetPIPE size-schedule perturbations and synthetic workload jitter.
 //! * [`units`] — Mbps/bytes-per-second/kB conversions kept in one place.
+//! * [`trace`] — observability hooks: a [`TraceSink`] installed on
+//!   resources/engines receives structured spans without perturbing the
+//!   simulation (the `tracelab` crate provides the standard sink).
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@ mod resource;
 mod rng;
 mod stats;
 mod time;
+pub mod trace;
 pub mod units;
 
 pub use engine::{Engine, EventFn};
@@ -54,3 +58,4 @@ pub use resource::Resource;
 pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats};
 pub use time::{SimDuration, SimTime};
+pub use trace::{SharedSink, SpanRec, TraceSink};

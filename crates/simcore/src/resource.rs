@@ -17,9 +17,10 @@
 //! work" guidance of the Rust Performance Book.
 
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{SharedSink, SpanRec};
 
 /// A non-preemptive FIFO server with a service rate and per-item overhead.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Resource {
     name: &'static str,
     /// Service rate in bytes/second; `f64::INFINITY` (or <= 0) disables the
@@ -32,6 +33,26 @@ pub struct Resource {
     items_served: u64,
     bytes_served: u64,
     busy_time: SimDuration,
+    // --- observability (write-only; never consulted for scheduling) ---
+    sink: Option<SharedSink>,
+    track: u32,
+}
+
+impl std::fmt::Debug for Resource {
+    // Manual: `sink` is a trait object and opting it out of Debug keeps
+    // the derive-visible fields identical to the pre-tracing output.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resource")
+            .field("name", &self.name)
+            .field("rate_bytes_per_sec", &self.rate_bytes_per_sec)
+            .field("per_item", &self.per_item)
+            .field("busy_until", &self.busy_until)
+            .field("items_served", &self.items_served)
+            .field("bytes_served", &self.bytes_served)
+            .field("busy_time", &self.busy_time)
+            .field("traced", &self.sink.is_some())
+            .finish()
+    }
 }
 
 impl Resource {
@@ -56,6 +77,8 @@ impl Resource {
             items_served: 0,
             bytes_served: 0,
             busy_time: SimDuration::ZERO,
+            sink: None,
+            track: 0,
         }
     }
 
@@ -84,6 +107,38 @@ impl Resource {
         self.per_item + per_byte
     }
 
+    /// Attach a [`TraceSink`](crate::trace::TraceSink): every subsequent
+    /// reservation is reported as a span on timeline `track`. Purely
+    /// observational — service times and FIFO order are unaffected.
+    pub fn set_trace(&mut self, sink: SharedSink, track: u32) {
+        self.sink = Some(sink);
+        self.track = track;
+    }
+
+    /// Detach any installed trace sink.
+    pub fn clear_trace(&mut self) {
+        self.sink = None;
+    }
+
+    /// The timeline id given to [`set_trace`](Resource::set_trace).
+    pub fn track(&self) -> u32 {
+        self.track
+    }
+
+    #[inline]
+    fn record(&self, start: SimTime, done: SimTime, bytes: u64) {
+        if let Some(sink) = &self.sink {
+            sink.span(SpanRec {
+                stage: self.name,
+                track: self.track,
+                start,
+                end: done,
+                bytes,
+                msg: 0,
+            });
+        }
+    }
+
     /// Reserve the resource for `bytes` starting no earlier than `now`.
     /// Returns the completion instant. FIFO: the request queues behind any
     /// previously accepted request.
@@ -95,6 +150,7 @@ impl Resource {
         self.items_served += 1;
         self.bytes_served += bytes;
         self.busy_time += dur;
+        self.record(start, done, bytes);
         done
     }
 
@@ -116,6 +172,7 @@ impl Resource {
         self.items_served += 1;
         self.bytes_served += bytes;
         self.busy_time += dur;
+        self.record(start, done, bytes);
         done
     }
 
@@ -229,5 +286,42 @@ mod tests {
     fn zero_horizon_utilization_is_zero() {
         let r = Resource::new("wire", GBPS);
         assert_eq!(r.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn traced_spans_match_reservations() {
+        use crate::trace::{SpanRec, TraceSink};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Log(RefCell<Vec<SpanRec>>);
+        impl TraceSink for Log {
+            fn span(&self, rec: SpanRec) {
+                self.0.borrow_mut().push(rec);
+            }
+        }
+
+        let log = Rc::new(Log::default());
+        let mut traced = Resource::new("wire", GBPS);
+        traced.set_trace(log.clone(), 42);
+        let mut plain = Resource::new("wire", GBPS);
+
+        // Tracing must not change the schedule.
+        assert_eq!(traced.serve(SimTime(0), 125), plain.serve(SimTime(0), 125));
+        assert_eq!(traced.serve(SimTime(0), 125), plain.serve(SimTime(0), 125));
+
+        let spans = log.0.borrow();
+        assert_eq!(spans.len(), 2);
+        // Second request queued behind the first: span starts at 1us.
+        assert_eq!(spans[1].start, SimTime(1_000));
+        assert_eq!(spans[1].end, SimTime(2_000));
+        assert_eq!(spans[1].track, 42);
+        assert_eq!(spans[1].stage, "wire");
+
+        drop(spans);
+        traced.clear_trace();
+        traced.serve(SimTime(10_000), 125);
+        assert_eq!(log.0.borrow().len(), 2, "cleared sink records nothing");
     }
 }

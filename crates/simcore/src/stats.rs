@@ -40,6 +40,26 @@ impl OnlineStats {
         }
     }
 
+    /// Reconstruct an accumulator from precomputed moments: count,
+    /// mean, sum of squared deviations from the mean (`m2`), min, max.
+    ///
+    /// For callers (e.g. tracelab's per-span recorder) that accumulate
+    /// plain `Σx` / `Σx²` on a hot path and only materialize the
+    /// Welford form on demand. `m2` is clamped at zero so cancellation
+    /// in `Σx² − n·mean²` can never produce a negative variance.
+    pub fn from_moments(n: u64, mean: f64, m2: f64, min: f64, max: f64) -> Self {
+        if n == 0 {
+            return OnlineStats::new();
+        }
+        OnlineStats {
+            n,
+            mean,
+            m2: m2.max(0.0),
+            min,
+            max,
+        }
+    }
+
     /// Number of observations.
     pub fn count(&self) -> u64 {
         self.n
@@ -112,6 +132,9 @@ impl OnlineStats {
 pub struct Histogram {
     lo: f64,
     hi: f64,
+    /// Buckets per unit of `x`, precomputed so `push` multiplies
+    /// instead of dividing (it sits on per-span tracing hot paths).
+    scale: f64,
     buckets: Vec<u64>,
     underflow: u64,
     overflow: u64,
@@ -128,6 +151,7 @@ impl Histogram {
         Histogram {
             lo,
             hi,
+            scale: n as f64 / (hi - lo),
             buckets: vec![0; n],
             underflow: 0,
             overflow: 0,
@@ -141,8 +165,7 @@ impl Histogram {
         } else if x >= self.hi {
             self.overflow += 1;
         } else {
-            let frac = (x - self.lo) / (self.hi - self.lo);
-            let idx = ((frac * self.buckets.len() as f64) as usize).min(self.buckets.len() - 1);
+            let idx = (((x - self.lo) * self.scale) as usize).min(self.buckets.len() - 1);
             self.buckets[idx] += 1;
         }
     }

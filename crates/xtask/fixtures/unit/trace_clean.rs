@@ -1,0 +1,16 @@
+//! Fixture: sim-side tracing done right — records stamped with SimTime
+//! through the deterministic sink API. Never compiled.
+use simcore::trace::{stages, SpanRec, TraceSink};
+use simcore::SimTime;
+
+fn record(sink: &dyn TraceSink, now: SimTime) {
+    sink.span(SpanRec {
+        stage: stages::KERNEL,
+        track: 0,
+        start: now,
+        end: now,
+        bytes: 0,
+        msg: 1,
+    });
+    sink.instant(stages::RECV, 0, now, 0, 1);
+}

@@ -1,0 +1,9 @@
+//! Fixture: trace-hygiene violations — wall-clock tracing API reached
+//! from simulation code. Never compiled.
+use tracelab::{WallStamp, WallTracer};
+
+fn record(t: &WallTracer, start: WallStamp) {
+    t.span_wall("kernel", 0, start, 0, 0);
+    t.instant_wall("recv", 0, 0, 0);
+    let _s = t.now_wall();
+}

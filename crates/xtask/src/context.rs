@@ -29,11 +29,18 @@ pub struct FileCtx {
 pub const ROOT_CRATE: &str = "netpipe-rs";
 
 /// Sim crates: the determinism rule family applies to their library code.
-pub const SIM_CRATES: &[&str] = &["simcore", "hwmodel", "protosim", "mpsim", "clusterlab"];
+pub const SIM_CRATES: &[&str] = &[
+    "simcore",
+    "hwmodel",
+    "protosim",
+    "mpsim",
+    "clusterlab",
+    "tracelab",
+];
 
 /// Library crates: the panic-hygiene rule family applies to their
 /// library code.
-pub const PANIC_CRATES: &[&str] = &["mplite", "netpipe", "protosim"];
+pub const PANIC_CRATES: &[&str] = &["mplite", "netpipe", "protosim", "tracelab"];
 
 /// Crates whose library code is allowed to print (reporting/tooling
 /// crates whose whole purpose is console output).
@@ -76,6 +83,14 @@ impl FileCtx {
     /// Does the panic-hygiene family apply to this file?
     pub fn panic_scope(&self) -> bool {
         self.kind == FileKind::Lib && PANIC_CRATES.contains(&self.crate_name.as_str())
+    }
+
+    /// Does the trace-hygiene rule apply to this file? Simulation crates
+    /// may only stamp trace records with `SimTime`; `tracelab` itself is
+    /// exempt because it *implements* the wall-clock recorder (behind its
+    /// own annotated `wall-clock` allowances).
+    pub fn trace_hygiene_scope(&self) -> bool {
+        self.determinism_scope() && self.crate_name != "tracelab"
     }
 
     /// Does the no-print rule apply to this file?

@@ -3,7 +3,9 @@
 //! Three families (see DESIGN "Static analysis & invariants"):
 //!
 //! * **determinism** (sim crates' library code): `wall-clock`, `sleep`,
-//!   `ambient-rng`, `hash-container`;
+//!   `ambient-rng`, `hash-container`, and `trace-hygiene` (sim crates
+//!   must stamp trace records with `SimTime`, never the wall-clock
+//!   tracing API);
 //! * **panic-hygiene** (library crates' library code): `unwrap`,
 //!   `expect`, `panic`;
 //! * **workspace-hygiene** (everywhere it makes sense): `print`, `dbg`,
@@ -25,6 +27,7 @@ pub const RULES: &[&str] = &[
     "sleep",
     "ambient-rng",
     "hash-container",
+    "trace-hygiene",
     "unwrap",
     "expect",
     "panic",
@@ -113,6 +116,25 @@ pub fn check_file(rel_path: &str, source: &str, ctx: &FileCtx) -> FileReport {
                     rule: "hash-container",
                     message: "HashMap/HashSet in sim code has nondeterministic iteration order; \
                          use BTreeMap/BTreeSet or sort explicitly"
+                        .into(),
+                });
+            }
+        }
+
+        if ctx.trace_hygiene_scope() {
+            const WALL_APIS: [&str; 5] = [
+                "WallTracer",
+                "WallStamp",
+                "span_wall",
+                "instant_wall",
+                "now_wall",
+            ];
+            if WALL_APIS.iter().any(|api| contains_ident(code, api)) {
+                findings.push(Finding {
+                    line: lineno,
+                    rule: "trace-hygiene",
+                    message: "wall-clock tracing API in sim code; stamp trace records with \
+                         SimTime (tracelab::Tracer)"
                         .into(),
                 });
             }

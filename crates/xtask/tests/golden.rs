@@ -53,6 +53,36 @@ fn sim_clean_is_silent() {
 }
 
 #[test]
+fn trace_violations_golden() {
+    let rel = "crates/mpsim/src/fixture.rs";
+    let got = diags_for(rel, "unit/trace_violations.rs");
+    let msg = "trace-hygiene: wall-clock tracing API in sim code; \
+               stamp trace records with SimTime (tracelab::Tracer)";
+    let want = vec![
+        format!("{rel}:3: {msg}"),
+        format!("{rel}:5: {msg}"),
+        format!("{rel}:6: {msg}"),
+        format!("{rel}:7: {msg}"),
+        format!("{rel}:8: {msg}"),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn trace_clean_is_silent() {
+    let got = diags_for("crates/mpsim/src/fixture.rs", "unit/trace_clean.rs");
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn tracelab_itself_is_exempt_from_trace_hygiene() {
+    // The crate that implements the wall-clock recorder must be able to
+    // name its own API without tripping the rule meant for everyone else.
+    let got = diags_for("crates/tracelab/src/fixture.rs", "unit/trace_violations.rs");
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
 fn panic_violations_golden() {
     let rel = "crates/mplite/src/fixture.rs";
     let got = diags_for(rel, "unit/panic_violations.rs");
@@ -93,6 +123,8 @@ fn fixture_tree_end_to_end() {
         .collect();
     let want = vec![
         "crates/mplite/Cargo.toml:0: lints-table: crate does not declare `[lints] workspace = true`"
+            .to_string(),
+        "crates/simcore/src/lib.rs:3: trace-hygiene: wall-clock tracing API in sim code; stamp trace records with SimTime (tracelab::Tracer)"
             .to_string(),
         "crates/simcore/src/lib.rs:3: wall-clock: wall-clock read in sim code; use the simulated clock (Engine::now)"
             .to_string(),

@@ -18,6 +18,7 @@
 //! | [`pipe`] | `netpipe` | the NetPIPE harness (sim + real sockets) |
 //! | [`lab`] | `clusterlab` | per-figure experiments + calibration |
 //! | [`mplite`](mod@mplite) | `mplite` | real message passing over TCP |
+//! | [`trace`](mod@trace) | `tracelab` | per-message tracing, metrics, timeline export |
 //!
 //! ## Quickstart
 //!
@@ -37,6 +38,7 @@ pub use mpsim as mp;
 pub use netpipe as pipe;
 pub use protosim as proto;
 pub use simcore as sim;
+pub use tracelab as trace;
 
 /// The most commonly used items in one import.
 pub mod prelude {

@@ -1,0 +1,112 @@
+//! The tracelab contract, enforced end to end:
+//!
+//! * **non-perturbing** — enabling tracing changes no simulated result
+//!   (fig1-style sweep traced vs untraced is point-for-point identical);
+//! * **deterministic** — the same simulated run records a byte-identical
+//!   Chrome trace, every time;
+//! * **accountable** — for a gapless single-segment transfer, the span
+//!   durations sum exactly (integer nanoseconds) to the elapsed time.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use hwmodel::presets::pcs_ga620;
+use mpsim::libs::{mpich, MpichConfig};
+use netpipe::{run, to_csv, RunOptions, ScheduleOptions, SimDriver};
+use protosim::{tcp, Fabric, TcpParams};
+use simcore::units::kib;
+use tracelab::{TraceKind, Tracer};
+
+fn fig1_opts(perturbation: u64) -> RunOptions {
+    RunOptions {
+        schedule: ScheduleOptions {
+            max: 64 * 1024,
+            perturbation,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// One fig1-style sweep; returns (signature CSV, chrome JSON if traced).
+fn sweep(traced: bool, perturbation: u64) -> (String, Option<String>) {
+    let mut d = SimDriver::new(pcs_ga620(), mpich(MpichConfig::tuned()));
+    let tracer = traced.then(Tracer::new);
+    if let Some(t) = &tracer {
+        d.set_trace_sink(t.clone());
+    }
+    let sig = run(&mut d, &fig1_opts(perturbation)).expect("sweep failed");
+    let csv = to_csv(std::slice::from_ref(&sig));
+    let json = tracer
+        .map(|t| tracelab::export::chrome_trace_json(&t.events(), &|tr| protosim::track_label(tr)));
+    (csv, json)
+}
+
+#[test]
+fn tracing_does_not_perturb_the_measurement() {
+    let (off, _) = sweep(false, 3);
+    let (on, json) = sweep(true, 3);
+    assert_eq!(off, on, "traced and untraced sweeps must agree exactly");
+    let json = json.expect("traced run produced no trace");
+    assert!(json.contains("\"ph\":\"X\""), "trace has no spans");
+}
+
+#[test]
+fn same_run_records_byte_identical_traces() {
+    let (_, a) = sweep(true, 3);
+    let (_, b) = sweep(true, 3);
+    assert_eq!(
+        a.expect("first trace"),
+        b.expect("second trace"),
+        "identical runs must serialize identical traces"
+    );
+}
+
+#[test]
+fn different_schedule_still_traces_and_curves_stay_identical() {
+    // The "different seed" case: perturb the message-size schedule.
+    let (off, _) = sweep(false, 7);
+    let (on, json) = sweep(true, 7);
+    assert_eq!(off, on);
+    let json = json.expect("traced run produced no trace");
+    assert!(json.trim_start().starts_with('['));
+    assert!(json.trim_end().ends_with(']'));
+    assert!(json.contains("\"ph\":\"X\""));
+}
+
+/// A single sub-MSS TCP segment on the GA620 moves through a gapless
+/// span chain (cpu → pci → nic → wire → latency → pci → coalesce → cpu
+/// → wakeup), so span durations must sum to the elapsed time *exactly*.
+#[test]
+fn span_durations_sum_to_elapsed_for_a_single_segment() {
+    let mut eng = Fabric::engine(pcs_ga620());
+    let tracer = Tracer::new();
+    protosim::instrument(&mut eng, tracer.clone());
+    let conn = tcp::open(&mut eng.world, TcpParams::with_bufs(kib(512)));
+    let done = Rc::new(Cell::new(None));
+    let d = Rc::clone(&done);
+    protosim::send(
+        &mut eng,
+        conn,
+        0,
+        1024,
+        Box::new(move |e| d.set(Some(e.now()))),
+    );
+    eng.run();
+    let elapsed_ns = done.get().expect("transfer never completed").as_nanos();
+
+    let span_ns: u64 = tracer
+        .events()
+        .iter()
+        .filter(|e| e.kind == TraceKind::Span)
+        .map(|e| e.end_ns - e.start_ns)
+        .sum();
+    assert_eq!(
+        span_ns, elapsed_ns,
+        "per-stage spans must account for every nanosecond of the transfer"
+    );
+
+    // And the registry agrees with the raw events.
+    let total_ns: u64 = tracer.stage_totals().iter().map(|t| t.busy_ns).sum();
+    assert_eq!(total_ns, span_ns);
+}
