@@ -21,6 +21,7 @@ fn main() {
         let mut driver = RealTcpDriver::new(RealTcpOptions {
             sockbuf,
             nodelay: true,
+            ..Default::default()
         })
         .expect("echo server");
         g.bench(&format!("1MB_roundtrip/{sockbuf}"), || {

@@ -30,6 +30,7 @@ fn main() {
         let mut d = RealTcpDriver::new(RealTcpOptions {
             sockbuf,
             nodelay: true,
+            ..Default::default()
         })
         .expect("echo server");
         let mut sig = run(&mut d, &options()).expect("real TCP sweep");

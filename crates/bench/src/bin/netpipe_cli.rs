@@ -1,9 +1,9 @@
 //! A NetPIPE command-line front end.
 //!
 //! ```text
-//! netpipe_cli sim  [--cluster NAME] [--lib NAME] [--max BYTES] [--csv] [--trace OUT.json]
-//! netpipe_cli real [--sockbuf BYTES] [--max BYTES] [--csv] [--trace OUT.json]
-//! netpipe_cli mplite [--max BYTES] [--csv] [--trace OUT.json]
+//! netpipe_cli sim  [--cluster NAME] [--lib NAME] [--max BYTES] [--csv] [--trace OUT.json] [--faults PLAN]
+//! netpipe_cli real [--sockbuf BYTES] [--max BYTES] [--csv] [--trace OUT.json] [--faults PLAN]
+//! netpipe_cli mplite [--max BYTES] [--csv] [--trace OUT.json] [--faults PLAN]
 //! netpipe_cli list
 //! ```
 //!
@@ -16,15 +16,27 @@
 //! Chrome trace-event file (open in `chrome://tracing` or Perfetto) and
 //! prints a per-stage busy-time summary after the figure. Simulated runs
 //! trace with exact virtual timestamps; real runs use the wall clock.
+//!
+//! `--faults PLAN` injects a deterministic fault plan (e.g.
+//! `seed=42,loss=0.02,rto=2ms`, see `faultlab::FaultPlan`) and enables
+//! graceful degradation: failing size points are retried, then annotated
+//! as degraded/failed, and the run exits 0 with a partial report instead
+//! of dying. In `sim` mode the plan drives seeded packet loss /
+//! duplication / jitter / degradation windows on the modeled wire; in
+//! `real` and `mplite` modes it sets the I/O deadlines, reconnect
+//! backoff and (for `real`) the chaos knobs (`kill-after=N`,
+//! `kill-listener`).
 
 use std::sync::Arc;
 
+use faultlab::FaultPlan;
 use hwmodel::ClusterSpec;
 use mpsim::libs as L;
 use mpsim::MpLib;
 use netpipe::{
-    analyze, ascii_figure, run, run_streaming, summary_table, to_csv, Driver, DriverError,
-    MpliteDriver, RealTcpDriver, RealTcpOptions, RunOptions, ScheduleOptions, SimDriver,
+    analyze, ascii_figure, fault_report, run, run_streaming, summary_table, to_csv, Driver,
+    DriverError, MpliteDriver, RealTcpDriver, RealTcpOptions, RunOptions, ScheduleOptions,
+    SimDriver,
 };
 use protosim::{RawParams, RecvMode};
 use simcore::units::kib;
@@ -83,6 +95,7 @@ struct Args {
     csv: bool,
     stream: u32,
     trace: Option<String>,
+    faults: Option<FaultPlan>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -99,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
         csv: false,
         stream: 0,
         trace: None,
+        faults: None,
     };
     while let Some(flag) = argv.next() {
         match flag.as_str() {
@@ -120,6 +134,11 @@ fn parse_args() -> Result<Args, String> {
             }
             "--csv" => args.csv = true,
             "--trace" => args.trace = Some(argv.next().ok_or("--trace needs an output path")?),
+            "--faults" => {
+                let plan = argv.next().ok_or("--faults needs a plan string")?;
+                args.faults =
+                    Some(FaultPlan::parse(&plan).map_err(|e| format!("bad fault plan: {e}"))?);
+            }
             "--stream" => {
                 args.stream = argv
                     .next()
@@ -133,20 +152,26 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn report(driver: &mut dyn Driver, max: u64, csv: bool, stream: u32) {
-    let opts = RunOptions {
+fn report(driver: &mut dyn Driver, args: &Args) {
+    let mut opts = RunOptions {
         schedule: ScheduleOptions {
-            max,
+            max: args.max,
             ..Default::default()
         },
         ..Default::default()
     };
-    let sig = if stream > 0 {
-        run_streaming(driver, &opts, stream).expect("measurement failed")
+    // A fault plan switches the runner to graceful degradation: failing
+    // points become annotated gaps and the process still exits 0 with a
+    // (partial) report — a chaos run that dies is a bug, not a result.
+    if let Some(plan) = &args.faults {
+        opts = opts.with_resilience(plan.sweep.clone());
+    }
+    let sig = if args.stream > 0 {
+        run_streaming(driver, &opts, args.stream).expect("measurement failed")
     } else {
         run(driver, &opts).expect("measurement failed")
     };
-    if csv {
+    if args.csv {
         print!("{}", to_csv(std::slice::from_ref(&sig)));
         return;
     }
@@ -163,6 +188,9 @@ fn report(driver: &mut dyn Driver, max: u64, csv: bool, stream: u32) {
         a.t0_s * 1e6,
         a.r_inf_bps * 8.0 / 1e6
     );
+    if sig.is_partial() {
+        println!("\n{}", fault_report(std::slice::from_ref(&sig)));
+    }
 }
 
 /// Wall-clock tracing for real drivers: each round trip (or burst)
@@ -209,7 +237,7 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: netpipe_cli <sim|real|mplite|list> [--cluster C] [--lib L] [--max N] [--sockbuf N] [--stream N] [--csv] [--trace OUT.json]");
+            eprintln!("usage: netpipe_cli <sim|real|mplite|list> [--cluster C] [--lib L] [--max N] [--sockbuf N] [--stream N] [--csv] [--trace OUT.json] [--faults PLAN]");
             std::process::exit(2);
         }
     };
@@ -244,11 +272,17 @@ fn main() {
                 .1;
             println!("# {} on {}\n", lib.name(), spec.name);
             let mut d = SimDriver::new(spec, lib);
+            if let Some(plan) = &args.faults {
+                d.set_fault_plan(plan.clone());
+            }
             let tracer = args.trace.as_ref().map(|_| Tracer::new());
             if let Some(t) = &tracer {
                 d.set_trace_sink(t.clone());
             }
-            report(&mut d, args.max, args.csv, args.stream);
+            report(&mut d, &args);
+            if let Some(counters) = d.fault_counters() {
+                println!("faults: {counters}");
+            }
             if let (Some(path), Some(t)) = (&args.trace, &tracer) {
                 let label = |tr: u32| protosim::track_label(tr);
                 write_trace(
@@ -259,22 +293,34 @@ fn main() {
             }
         }
         "real" => {
-            let d = RealTcpDriver::new(RealTcpOptions {
+            let mut opts = RealTcpOptions {
                 sockbuf: args.sockbuf,
                 nodelay: true,
-            })
-            .expect("cannot start loopback echo server");
+                ..Default::default()
+            };
+            if let Some(plan) = &args.faults {
+                opts.apply_plan(plan);
+            }
+            let d = RealTcpDriver::new(opts).expect("cannot start loopback echo server");
             let (snd, rcv) = d.effective_buffers();
             println!("# real loopback TCP (granted sndbuf={snd}, rcvbuf={rcv})\n");
             match &args.trace {
-                None => report(&mut { d }, args.max, args.csv, args.stream),
+                None => {
+                    let mut d = d;
+                    report(&mut d, &args);
+                    let counters = d.fault_counters();
+                    if counters.any() {
+                        println!("faults: {counters}");
+                    }
+                }
                 Some(path) => {
                     let tracer = WallTracer::new();
                     let mut traced = TracedDriver {
                         inner: d,
                         tracer: Arc::clone(&tracer),
                     };
-                    report(&mut traced, args.max, args.csv, args.stream);
+                    traced.inner.set_wall_tracer(Arc::clone(&tracer));
+                    report(&mut traced, &args);
                     let label = |_: u32| "loopback tcp".to_string();
                     write_trace(
                         path,
@@ -292,9 +338,17 @@ fn main() {
                 mplite::trace::install(Arc::clone(&t));
                 t
             });
+            if let Some(plan) = &args.faults {
+                // mplite reads its per-operation socket deadline from the
+                // environment at job boot.
+                std::env::set_var(
+                    "MPLITE_IO_DEADLINE_MS",
+                    plan.io_deadline.as_millis().to_string(),
+                );
+            }
             let mut d = MpliteDriver::new().expect("cannot boot mplite job");
             println!("# real mplite over loopback TCP\n");
-            report(&mut d, args.max, args.csv, args.stream);
+            report(&mut d, &args);
             if let (Some(path), Some(t)) = (&args.trace, &tracer) {
                 let label = |tr: u32| mplite::trace::track_label(tr);
                 write_trace(

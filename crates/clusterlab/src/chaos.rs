@@ -1,0 +1,122 @@
+//! Graceful-degradation sweeps: how a library's signature erodes as the
+//! simulated fabric loses packets.
+//!
+//! The paper's measurements repeatedly ran into runs that "simply die"
+//! on flaky gigabit hardware; `faultlab` reproduces that failure mode
+//! deterministically. A [`degradation_sweep`] measures one library at a
+//! ladder of packet-loss rates (same seed ⇒ byte-identical results),
+//! recording for each rung the (possibly partial) signature and the
+//! fault counters — so "how much loss until the curve collapses?" is a
+//! runnable experiment instead of an anecdote.
+
+use faultlab::{FaultCounters, FaultPlan};
+use hwmodel::ClusterSpec;
+use mpsim::MpLib;
+use netpipe::{run, RunOptions, Signature, SimDriver};
+
+/// One rung of a degradation ladder.
+pub struct ChaosPoint {
+    /// Per-segment packet-loss probability injected on the wire.
+    pub loss: f64,
+    /// The measured (possibly partial) signature under that loss rate.
+    pub signature: Signature,
+    /// Fault-injection counters accumulated over the sweep.
+    pub counters: FaultCounters,
+}
+
+/// Measure `lib` on `spec` at each loss rate, under a seeded fault plan.
+///
+/// Every rung runs with the plan's [`faultlab::SweepPolicy`], so a loss
+/// rate high enough to kill the modeled connection yields a partial,
+/// annotated signature rather than an error. The ladder is fully
+/// deterministic: the same `seed` and rates reproduce every byte.
+pub fn degradation_sweep(
+    spec: &ClusterSpec,
+    lib: &MpLib,
+    loss_rates: &[f64],
+    seed: u64,
+    opts: &RunOptions,
+) -> Vec<ChaosPoint> {
+    loss_rates
+        .iter()
+        .map(|&loss| {
+            let plan = FaultPlan::parse(&format!("seed={seed},loss={loss},rto=2ms"))
+                .expect("generated plan string is valid");
+            let resilience = plan.sweep.clone();
+            let mut driver = SimDriver::new(spec.clone(), lib.clone());
+            driver.set_fault_plan(plan);
+            let sig = run(&mut driver, &opts.clone().with_resilience(resilience))
+                .expect("resilient sweep reports failures in-band");
+            ChaosPoint {
+                loss,
+                signature: sig,
+                counters: driver.fault_counters().unwrap_or_default(),
+            }
+        })
+        .collect()
+}
+
+/// Render a degradation ladder as an aligned text table.
+pub fn chaos_table(points: &[ChaosPoint]) -> String {
+    let mut out = String::from(
+        "loss      peak Mbps   latency us   degraded   failed   drops   retrans   deaths\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:<8}  {:>9.1}   {:>10.1}   {:>8}   {:>6}   {:>5}   {:>7}   {:>6}\n",
+            format!("{:.3}", p.loss),
+            p.signature.max_mbps,
+            p.signature.latency_us,
+            p.signature.degraded_count(),
+            p.signature.failed_count(),
+            p.counters.dropped,
+            p.counters.retransmits,
+            p.counters.conn_deaths,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hwmodel::presets::pcs_ga620;
+    use mpsim::libs::raw_tcp;
+    use simcore::units::kib;
+
+    #[test]
+    fn ladder_is_deterministic_and_degrades_monotonically() {
+        let spec = pcs_ga620();
+        let lib = raw_tcp(kib(512));
+        let rates = [0.0, 0.02];
+        let opts = RunOptions::quick(1 << 17);
+        let a = degradation_sweep(&spec, &lib, &rates, 42, &opts);
+        let b = degradation_sweep(&spec, &lib, &rates, 42, &opts);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.signature.points.len(), y.signature.points.len());
+            for (p, q) in x.signature.points.iter().zip(&y.signature.points) {
+                assert_eq!(p.seconds, q.seconds, "seeded ladder must reproduce");
+            }
+            assert_eq!(x.counters.dropped, y.counters.dropped);
+        }
+        // Loss only hurts: the lossless rung is the performance ceiling.
+        assert_eq!(a[0].counters.dropped, 0);
+        assert!(a[1].counters.dropped > 0);
+        assert!(a[1].signature.max_mbps < a[0].signature.max_mbps);
+
+        let table = chaos_table(&a);
+        assert!(table.contains("0.020"));
+        assert!(table.lines().count() == rates.len() + 1);
+    }
+
+    #[test]
+    fn lethal_loss_yields_partial_not_error() {
+        let spec = pcs_ga620();
+        let lib = raw_tcp(kib(512));
+        let points = degradation_sweep(&spec, &lib, &[1.0], 7, &RunOptions::quick(1 << 12));
+        let sig = &points[0].signature;
+        assert!(sig.failed_count() > 0, "certain loss must kill points");
+        assert!(sig.is_partial());
+        assert!(points[0].counters.conn_deaths > 0);
+    }
+}

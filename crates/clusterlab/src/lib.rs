@@ -9,11 +9,14 @@
 //!   "reproduced": orderings, loss factors, dip locations, tuning deltas.
 //! * [`comparison`] — paper-vs-measured tables (EXPERIMENTS.md is
 //!   generated from these).
+//! * [`chaos`] — seeded packet-loss ladders measuring graceful
+//!   degradation (how much loss until a curve collapses).
 
 #![warn(missing_docs)]
 
 pub mod breakdown;
 pub mod calibration;
+pub mod chaos;
 pub mod comparison;
 pub mod overlap;
 pub mod presets;
@@ -22,6 +25,7 @@ pub mod sweep;
 
 pub use breakdown::{measure_breakdown, Breakdown, StageBusy};
 pub use calibration::{checks_for, evaluate, Check, CheckResult};
+pub use chaos::{chaos_table, degradation_sweep, ChaosPoint};
 pub use comparison::{compare, digest, to_markdown, ComparisonRow};
 pub use overlap::{measure_overlap, section7_panel, OverlapPoint};
 pub use presets::{all_experiments, Entry, Experiment, PaperValues};

@@ -1,0 +1,102 @@
+//! Fault-event accounting, summarizable across runs.
+
+use std::fmt;
+
+/// Counts of injected and observed fault events.
+///
+/// The sim fabric fills these as its [`crate::FaultLottery`] decides;
+/// real-mode drivers bump the timeout/reconnect counters as they retry.
+/// `merge` lets a driver that builds a fresh world per measurement keep
+/// a running total for the whole sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Segments dropped on the wire.
+    pub dropped: u64,
+    /// Segments duplicated on the wire.
+    pub duplicated: u64,
+    /// Segments delayed (jitter, reorder hold-back, degradation window).
+    pub delayed: u64,
+    /// TCP retransmissions performed.
+    pub retransmits: u64,
+    /// Connections declared dead after exhausting retransmissions.
+    pub conn_deaths: u64,
+    /// Real-mode operation timeouts.
+    pub timeouts: u64,
+    /// Real-mode reconnect attempts.
+    pub reconnects: u64,
+}
+
+impl FaultCounters {
+    /// Add another counter set into this one.
+    pub fn merge(&mut self, other: &FaultCounters) {
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.retransmits += other.retransmits;
+        self.conn_deaths += other.conn_deaths;
+        self.timeouts += other.timeouts;
+        self.reconnects += other.reconnects;
+    }
+
+    /// Did anything at all happen?
+    pub fn any(&self) -> bool {
+        *self != FaultCounters::default()
+    }
+}
+
+impl fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dropped={} duplicated={} delayed={} retransmits={} conn-deaths={} timeouts={} reconnects={}",
+            self.dropped,
+            self.duplicated,
+            self.delayed,
+            self.retransmits,
+            self.conn_deaths,
+            self.timeouts,
+            self.reconnects
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_fieldwise() {
+        let mut a = FaultCounters {
+            dropped: 1,
+            retransmits: 2,
+            ..Default::default()
+        };
+        let b = FaultCounters {
+            dropped: 3,
+            timeouts: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.dropped, 4);
+        assert_eq!(a.retransmits, 2);
+        assert_eq!(a.timeouts, 4);
+        assert!(a.any());
+        assert!(!FaultCounters::default().any());
+    }
+
+    #[test]
+    fn display_lists_every_field() {
+        let s = FaultCounters::default().to_string();
+        for key in [
+            "dropped",
+            "duplicated",
+            "delayed",
+            "retransmits",
+            "conn-deaths",
+            "timeouts",
+            "reconnects",
+        ] {
+            assert!(s.contains(key), "{s} missing {key}");
+        }
+    }
+}

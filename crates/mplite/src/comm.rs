@@ -11,11 +11,14 @@
 //! * the application threads only touch the matching engine and the
 //!   writer queue — never the sockets.
 
-use std::io::{Read, Write};
+use std::io::Read;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
+
+use faultlab::io::{is_timeout, read_exact_deadline, write_all_deadline};
 
 use crate::buf::Bytes;
 use crate::sync::{Condvar, Mutex};
@@ -169,6 +172,16 @@ impl Comm {
     /// Assemble a communicator from an established full mesh:
     /// `streams[p]` is the socket to peer `p` (`None` at index `rank`).
     pub fn from_mesh(rank: usize, streams: Vec<Option<TcpStream>>) -> Result<Comm> {
+        Comm::from_mesh_with_deadline(rank, streams, io_deadline())
+    }
+
+    /// `from_mesh` with an explicit per-operation socket deadline
+    /// (tests shrink it to exercise the timeout paths quickly).
+    pub(crate) fn from_mesh_with_deadline(
+        rank: usize,
+        streams: Vec<Option<TcpStream>>,
+        deadline: Duration,
+    ) -> Result<Comm> {
         let nprocs = streams.len();
         assert!(rank < nprocs, "rank out of range");
         assert!(streams[rank].is_none(), "no self-connection expected");
@@ -191,7 +204,7 @@ impl Comm {
             readers.push(
                 std::thread::Builder::new()
                     .name(format!("mplite-r{rank}<-{peer}"))
-                    .spawn(move || reader_loop(stream, rank, peer, engine, down))?,
+                    .spawn(move || reader_loop(stream, rank, peer, engine, down, deadline))?,
             );
         }
 
@@ -226,8 +239,8 @@ impl Comm {
                                     )
                                 })?;
                                 let hdr = encode_header(my_rank, tag, data.len() as u64);
-                                s.write_all(&hdr)?;
-                                s.write_all(&data)?;
+                                write_all_deadline(s, &hdr, deadline)?;
+                                write_all_deadline(s, &data, deadline)?;
                                 Ok(())
                             })();
                             if let (Some(t), Some(start)) = (trace::installed(), t0) {
@@ -368,6 +381,26 @@ fn sockbuf_request() -> u32 {
         .unwrap_or(1 << 20)
 }
 
+/// Per-operation socket deadline once a transfer is underway:
+/// `MPLITE_IO_DEADLINE_MS` or 5 s. Idle links are never timed out —
+/// only a peer that stops making progress *mid-message*.
+fn io_deadline() -> Duration {
+    std::env::var("MPLITE_IO_DEADLINE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(5))
+}
+
+/// "timed out" / "disconnected", for poison messages.
+fn stall_kind(e: &std::io::Error) -> &'static str {
+    if is_timeout(e) {
+        "timed out"
+    } else {
+        "disconnected"
+    }
+}
+
 // Linux socket-option constants (see <sys/socket.h>).
 const SOL_SOCKET: i32 = 1;
 const SO_SNDBUF: i32 = 7;
@@ -412,32 +445,29 @@ fn reader_loop(
     peer: usize,
     engine: Arc<MatchEngine>,
     shutting_down: Arc<AtomicBool>,
+    deadline: Duration,
 ) {
     loop {
-        // Read the header byte-by-byte so a clean EOF *between* messages
-        // (the peer finished its work and dropped its Comm — every byte it
-        // sent is already in our kernel buffer or delivered) is
-        // distinguishable from a connection dying mid-message.
+        // Block indefinitely for the *first* header byte — an idle link is
+        // healthy, and a clean EOF here (the peer finished its work and
+        // dropped its Comm — every byte it sent is already in our kernel
+        // buffer or delivered) is the normal end-of-job teardown. Once a
+        // message has started, every subsequent read runs under the
+        // deadline: a peer that stalls mid-message is dead, not idle.
         let mut hdr = [0u8; HEADER_LEN];
-        let mut got = 0usize;
-        while got < HEADER_LEN {
-            match stream.read(&mut hdr[got..]) {
-                Ok(0) if got == 0 => return, // clean end-of-job teardown
-                Ok(0) => {
-                    if !shutting_down.load(Ordering::Acquire) {
-                        engine.poison(&format!("peer {peer} disconnected mid-header"));
-                    }
-                    return;
-                }
-                Ok(n) => got += n,
+        loop {
+            match stream.read(&mut hdr[..1]) {
+                Ok(0) => return, // clean end-of-job teardown
+                Ok(_) => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => {
-                    if !shutting_down.load(Ordering::Acquire) && got > 0 {
-                        engine.poison(&format!("peer {peer} disconnected mid-header"));
-                    }
-                    return;
-                }
+                Err(_) => return,
             }
+        }
+        if let Err(e) = read_exact_deadline(&mut stream, &mut hdr[1..], deadline) {
+            if !shutting_down.load(Ordering::Acquire) {
+                engine.poison(&format!("peer {peer} {} mid-header", stall_kind(&e)));
+            }
+            return;
         }
         let (src, tag, len) = decode_header(&hdr);
         // The progress-thread span covers pulling the payload out of the
@@ -445,9 +475,9 @@ fn reader_loop(
         // paper's §3.4 progress discussion attributes to the library.
         let t0 = trace::installed().map(|t| t.now_wall());
         let mut buf = vec![0u8; len as usize];
-        if stream.read_exact(&mut buf).is_err() {
+        if let Err(e) = read_exact_deadline(&mut stream, &mut buf, deadline) {
             if !shutting_down.load(Ordering::Acquire) {
-                engine.poison(&format!("peer {peer} disconnected mid-message"));
+                engine.poison(&format!("peer {peer} {} mid-message", stall_kind(&e)));
             }
             return;
         }
@@ -485,3 +515,76 @@ impl Drop for Comm {
 // Silence unused-import warnings for wildcard constants used only by
 // callers of the public API.
 const _: (i32, i32) = (ANY_SOURCE, ANY_TAG);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultlab::io::accept_deadline;
+    use std::net::TcpListener;
+
+    fn socket_pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let server = accept_deadline(&listener, Duration::from_secs(5), || true).expect("accept");
+        (client, server)
+    }
+
+    #[test]
+    fn writer_deadline_times_out_on_stalled_peer() {
+        let (client, peer_side) = socket_pair();
+        let comm =
+            Comm::from_mesh_with_deadline(0, vec![None, Some(client)], Duration::from_millis(150))
+                .expect("mesh");
+        // Far more than the kernel buffers absorb; the peer never reads,
+        // so the writer thread must hit its deadline, not hang forever.
+        let req = comm.isend(1, 0, vec![0u8; 64 << 20]).expect("queued");
+        let err = req.wait().expect_err("peer is stalled");
+        assert!(err.to_string().contains("deadline"), "{err}");
+        drop(peer_side);
+    }
+
+    #[test]
+    fn reader_poisons_with_timeout_on_midmessage_stall() {
+        let (mut client, server) = socket_pair();
+        let engine = Arc::new(MatchEngine::new());
+        let down = Arc::new(AtomicBool::new(false));
+        let (e2, d2) = (Arc::clone(&engine), Arc::clone(&down));
+        let reader = std::thread::spawn(move || {
+            reader_loop(server, 0, 1, e2, d2, Duration::from_millis(80));
+        });
+        // Header promises 100 payload bytes; only 10 ever arrive.
+        let hdr = encode_header(1, 0, 100);
+        write_all_deadline(&mut client, &hdr, Duration::from_secs(1)).expect("header");
+        write_all_deadline(&mut client, &[7u8; 10], Duration::from_secs(1)).expect("partial");
+        let err = engine
+            .post(ANY_SOURCE, ANY_TAG)
+            .wait()
+            .expect_err("message can never complete");
+        assert!(err.to_string().contains("timed out mid-message"), "{err}");
+        reader.join().expect("reader exits");
+    }
+
+    #[test]
+    fn reader_poisons_with_disconnect_on_midmessage_eof() {
+        let (mut client, server) = socket_pair();
+        let engine = Arc::new(MatchEngine::new());
+        let down = Arc::new(AtomicBool::new(false));
+        let (e2, d2) = (Arc::clone(&engine), Arc::clone(&down));
+        let reader = std::thread::spawn(move || {
+            reader_loop(server, 0, 1, e2, d2, Duration::from_secs(5));
+        });
+        let hdr = encode_header(1, 0, 100);
+        write_all_deadline(&mut client, &hdr, Duration::from_secs(1)).expect("header");
+        drop(client); // EOF mid-message, not a stall
+        let err = engine
+            .post(ANY_SOURCE, ANY_TAG)
+            .wait()
+            .expect_err("message can never complete");
+        assert!(
+            err.to_string().contains("disconnected mid-message"),
+            "{err}"
+        );
+        reader.join().expect("reader exits");
+    }
+}

@@ -10,11 +10,19 @@
 //!   `MPLITE_HOSTS` (comma-separated, defaults to loopback), like a
 //!   minimal `.nodes` file.
 
-use std::net::{TcpListener, TcpStream};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+use faultlab::io::{accept_deadline, connect_retry, read_exact_deadline, write_all_deadline};
+use faultlab::RetryPolicy;
 
 use crate::comm::Comm;
 use crate::error::{MpError, Result};
+
+/// Deadline on each mesh-building handshake step. Boot is the one phase
+/// where a long wait is legitimate (peers may still be starting), so this
+/// is generous — but a vanished peer still cannot hang the job forever.
+const BOOT_STEP: Duration = Duration::from_secs(30);
 
 /// Job construction entry points.
 pub struct Universe;
@@ -40,9 +48,14 @@ impl Universe {
             // Indexing both [j][i] and [i][j] rules out an iterator here.
             #[allow(clippy::needless_range_loop)]
             for j in (i + 1)..n {
-                // j "dials" i; both ends live in this process.
-                let client = TcpStream::connect(addrs[i])?;
-                let (server, _) = listeners[i].accept()?;
+                // j "dials" i; both ends live in this process, so short
+                // deadlines suffice — a failure here is a local bug, not
+                // a slow-booting peer.
+                let client =
+                    connect_retry(addrs[i], Duration::from_secs(1), &RetryPolicy::default())
+                        .map_err(|e| MpError::from_io("mesh connect", e))?;
+                let server = accept_deadline(&listeners[i], Duration::from_secs(5), || true)
+                    .map_err(|e| MpError::from_io("mesh accept", e))?;
                 streams[j][i] = Some(client);
                 streams[i][j] = Some(server);
             }
@@ -107,22 +120,39 @@ impl Universe {
         let listener = TcpListener::bind(("0.0.0.0", port_base + rank as u16))?;
         let mut mesh: Vec<Option<TcpStream>> = (0..nprocs).map(|_| None).collect();
 
-        // Dial every lower rank (with retry while it boots).
+        // Dial every lower rank, with bounded exponential backoff while
+        // it boots (~30 s of patience, like the old fixed-interval loop).
+        let boot_retry = RetryPolicy {
+            max_attempts: 12,
+            base: Duration::from_millis(100),
+            factor: 2.0,
+            cap: Duration::from_secs(5),
+        };
         for peer in 0..rank {
-            let addr = (hosts[peer].as_str(), port_base + peer as u16);
-            let stream = connect_retry(addr, Duration::from_secs(30))?;
-            use std::io::Write;
+            let addr = (hosts[peer].as_str(), port_base + peer as u16)
+                .to_socket_addrs()?
+                .next()
+                .ok_or_else(|| {
+                    MpError::Io(std::io::Error::other(format!(
+                        "host {} did not resolve",
+                        hosts[peer]
+                    )))
+                })?;
+            let stream = connect_retry(addr, Duration::from_secs(2), &boot_retry)
+                .map_err(|e| MpError::from_io("boot connect", e))?;
             let mut s = stream.try_clone()?;
-            s.write_all(&(rank as u32).to_le_bytes())?;
+            write_all_deadline(&mut s, &(rank as u32).to_le_bytes(), BOOT_STEP)
+                .map_err(|e| MpError::from_io("boot hello", e))?;
             mesh[peer] = Some(stream);
         }
         // Accept every higher rank; they identify themselves.
         for _ in (rank + 1)..nprocs {
-            let (stream, _) = listener.accept()?;
-            use std::io::Read;
+            let stream = accept_deadline(&listener, BOOT_STEP, || true)
+                .map_err(|e| MpError::from_io("boot accept", e))?;
             let mut id = [0u8; 4];
             let mut s = stream.try_clone()?;
-            s.read_exact(&mut id)?;
+            read_exact_deadline(&mut s, &mut id, BOOT_STEP)
+                .map_err(|e| MpError::from_io("boot hello", e))?;
             let peer = u32::from_le_bytes(id) as usize;
             if peer <= rank || peer >= nprocs {
                 return Err(MpError::BadRank { rank: peer, nprocs });
@@ -138,21 +168,6 @@ fn env_parse<T: std::str::FromStr>(key: &str) -> Result<T> {
         .map_err(|_| MpError::Io(std::io::Error::other(format!("{key} not set"))))?
         .parse()
         .map_err(|_| MpError::Io(std::io::Error::other(format!("{key} unparsable"))))
-}
-
-fn connect_retry(addr: (&str, u16), timeout: Duration) -> Result<TcpStream> {
-    let deadline = std::time::Instant::now() + timeout;
-    loop {
-        match TcpStream::connect(addr) {
-            Ok(s) => return Ok(s),
-            Err(e) => {
-                if std::time::Instant::now() >= deadline {
-                    return Err(MpError::Io(e));
-                }
-                std::thread::sleep(Duration::from_millis(50));
-            }
-        }
-    }
 }
 
 #[cfg(test)]

@@ -93,6 +93,7 @@ mod tests {
                     seconds,
                     mbps: throughput_mbps(bytes, seconds),
                     jitter: 0.0,
+                    status: crate::runner::PointStatus::Ok,
                 }
             })
             .collect();

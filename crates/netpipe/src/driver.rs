@@ -13,33 +13,94 @@ use std::cell::Cell;
 use std::fmt;
 use std::rc::Rc;
 
+use faultlab::{FaultCounters, FaultLottery, FaultPlan};
 use hwmodel::ClusterSpec;
 use mpsim::{MpLib, Session};
 use protosim::Fabric;
 
-/// Measurement errors.
+/// Measurement errors, classified so the runner's graceful-degradation
+/// logic (and a human reading a partial report) can tell a slow peer
+/// from a dead one from a corrupted one.
 #[derive(Debug)]
-pub enum DriverError {
-    /// The transfer never completed (model deadlock or peer failure).
+pub enum NetpipeError {
+    /// The transfer never completed (model deadlock, a simulated
+    /// connection that died under fault injection, or peer failure).
     Stalled,
-    /// An I/O error from a real-socket driver.
+    /// A real-socket operation exceeded its deadline.
+    Timeout {
+        /// The operation that timed out ("read", "write", "connect", …).
+        op: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The peer went away (connection reset, broken pipe, early EOF).
+    Disconnected {
+        /// The operation that observed the disconnect.
+        op: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The wire protocol was violated (corrupt or mismatched payload).
+    Protocol(String),
+    /// Any other I/O error from a real-socket driver.
     Io(std::io::Error),
 }
 
-impl fmt::Display for DriverError {
+/// Historical name for [`NetpipeError`], kept for downstream code.
+pub type DriverError = NetpipeError;
+
+impl NetpipeError {
+    /// Classify an I/O error from operation `op` into timeout /
+    /// disconnect / other.
+    pub fn from_io(op: &'static str, e: std::io::Error) -> NetpipeError {
+        if faultlab::io::is_timeout(&e) {
+            NetpipeError::Timeout { op, source: e }
+        } else if faultlab::io::is_disconnect(&e) {
+            NetpipeError::Disconnected { op, source: e }
+        } else {
+            NetpipeError::Io(e)
+        }
+    }
+
+    /// Is this a deadline expiry?
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, NetpipeError::Timeout { .. })
+    }
+
+    /// Is this the peer going away?
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, NetpipeError::Disconnected { .. })
+    }
+}
+
+impl fmt::Display for NetpipeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DriverError::Stalled => write!(f, "transfer did not complete"),
-            DriverError::Io(e) => write!(f, "i/o error: {e}"),
+            NetpipeError::Stalled => write!(f, "transfer did not complete"),
+            NetpipeError::Timeout { op, source } => write!(f, "{op} timed out: {source}"),
+            NetpipeError::Disconnected { op, source } => {
+                write!(f, "peer disconnected during {op}: {source}")
+            }
+            NetpipeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetpipeError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
 }
 
-impl std::error::Error for DriverError {}
+impl std::error::Error for NetpipeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetpipeError::Timeout { source, .. }
+            | NetpipeError::Disconnected { source, .. }
+            | NetpipeError::Io(source) => Some(source),
+            _ => None,
+        }
+    }
+}
 
-impl From<std::io::Error> for DriverError {
+impl From<std::io::Error> for NetpipeError {
     fn from(e: std::io::Error) -> Self {
-        DriverError::Io(e)
+        NetpipeError::from_io("socket", e)
     }
 }
 
@@ -70,6 +131,15 @@ pub trait Driver {
     fn is_deterministic(&self) -> bool {
         false
     }
+
+    /// Attempt to restore a usable transport after a failed measurement
+    /// (reconnect a dropped socket, re-establish a session). Called by
+    /// the runner between per-point retries when a
+    /// [`faultlab::SweepPolicy`] is in force. The default is a no-op:
+    /// stateless and simulated drivers need no recovery.
+    fn recover(&mut self) -> Result<(), DriverError> {
+        Ok(())
+    }
 }
 
 /// Drives an `mpsim` library model over a simulated cluster.
@@ -80,6 +150,11 @@ pub struct SimDriver {
     spec: ClusterSpec,
     lib: MpLib,
     trace: Option<simcore::trace::SharedSink>,
+    /// The fault lottery is carried across the fresh per-measurement
+    /// fabrics so its RNG stream — and therefore the fault pattern —
+    /// keeps advancing over a sweep, while staying fully reproducible
+    /// for a given plan seed.
+    faults: Option<Box<FaultLottery>>,
 }
 
 impl SimDriver {
@@ -89,6 +164,7 @@ impl SimDriver {
             spec,
             lib,
             trace: None,
+            faults: None,
         }
     }
 
@@ -104,12 +180,35 @@ impl SimDriver {
         self.trace = Some(sink);
     }
 
-    fn engine(&self) -> protosim::Net {
+    /// Inject faults: every subsequent measurement submits its wire
+    /// segments to a lottery seeded from `plan.seed`. A lossless plan is
+    /// guaranteed not to perturb any timing.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(FaultLottery::new(plan)));
+    }
+
+    /// Accumulated fault-event counters, if a plan is installed.
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.faults.as_ref().map(|f| f.counters)
+    }
+
+    fn engine(&mut self) -> protosim::Net {
         let mut eng = Fabric::engine(self.spec.clone());
         if let Some(sink) = &self.trace {
             protosim::instrument(&mut eng, Rc::clone(sink));
         }
+        if let Some(lottery) = self.faults.take() {
+            eng.world.adopt_faults(lottery);
+        }
         eng
+    }
+
+    /// Recover the lottery (with advanced RNG state and counters) from a
+    /// finished engine.
+    fn reclaim(&mut self, eng: &mut protosim::Net) {
+        if let Some(lottery) = eng.world.take_faults() {
+            self.faults = Some(lottery);
+        }
     }
 }
 
@@ -131,6 +230,7 @@ impl Driver for SimDriver {
             Box::new(move |_, t| out2.set(Some(t))),
         );
         eng.run();
+        self.reclaim(&mut eng);
         out.get().ok_or(DriverError::Stalled)
     }
 
@@ -161,6 +261,7 @@ impl Driver for SimDriver {
             );
         }
         eng.run();
+        self.reclaim(&mut eng);
         out.get().ok_or(DriverError::Stalled)
     }
 }

@@ -3,13 +3,15 @@
 
 use std::fmt::Write as _;
 
-use crate::runner::Signature;
+use crate::runner::{PointStatus, Signature};
 
-/// CSV with one row per point: `library,bytes,seconds,mbps`.
+/// CSV with one row per point: `library,bytes,seconds,mbps`. Failed
+/// points leave a gap (no row) rather than a bogus zero; see
+/// [`fault_report`] for the annotation.
 pub fn to_csv(sigs: &[Signature]) -> String {
     let mut out = String::from("library,bytes,seconds,mbps\n");
     for sig in sigs {
-        for p in &sig.points {
+        for p in sig.measured_points() {
             let _ = writeln!(
                 out,
                 "{},{},{:.9},{:.3}",
@@ -21,14 +23,58 @@ pub fn to_csv(sigs: &[Signature]) -> String {
 }
 
 /// The classic NetPIPE `.np` plotfile for one signature: three columns —
-/// `bytes  throughput_mbps  time_seconds` (gnuplot-ready).
+/// `bytes  throughput_mbps  time_seconds` (gnuplot-ready). Failed points
+/// become comment lines so the gap is visible in the file.
 pub fn to_plotfile(sig: &Signature) -> String {
     let mut out = format!(
         "# NetPIPE signature: {}\n# bytes  Mbps  seconds\n",
         sig.name
     );
     for p in &sig.points {
-        let _ = writeln!(out, "{:>10} {:>12.3} {:>14.9}", p.bytes, p.mbps, p.seconds);
+        match &p.status {
+            PointStatus::Failed { error } => {
+                let _ = writeln!(out, "# {:>8}  FAILED: {error}", p.bytes);
+            }
+            _ => {
+                let _ = writeln!(out, "{:>10} {:>12.3} {:>14.9}", p.bytes, p.mbps, p.seconds);
+            }
+        }
+    }
+    out
+}
+
+/// Human-readable annotation of a partial sweep: one line per degraded
+/// or failed point. Empty when every point measured cleanly.
+pub fn fault_report(sigs: &[Signature]) -> String {
+    let mut out = String::new();
+    for sig in sigs {
+        if !sig.is_partial() {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{}: {} degraded, {} failed of {} points",
+            sig.name,
+            sig.degraded_count(),
+            sig.failed_count(),
+            sig.points.len()
+        );
+        for p in &sig.points {
+            match &p.status {
+                PointStatus::Ok => {}
+                PointStatus::Degraded { retries } => {
+                    let _ = writeln!(
+                        out,
+                        "  {:>10} B  degraded ({retries} retr{})",
+                        p.bytes,
+                        if *retries == 1 { "y" } else { "ies" }
+                    );
+                }
+                PointStatus::Failed { error } => {
+                    let _ = writeln!(out, "  {:>10} B  FAILED: {error}", p.bytes);
+                }
+            }
+        }
     }
     out
 }
@@ -39,9 +85,10 @@ pub fn summary_table(sigs: &[Signature]) -> String {
     out.push_str("| library | latency (us) | max throughput (Mbps) | at 8MB (Mbps) |\n");
     out.push_str("|---|---:|---:|---:|\n");
     for sig in sigs {
+        let flag = if sig.is_partial() { " (partial)" } else { "" };
         let _ = writeln!(
             out,
-            "| {} | {:.1} | {:.0} | {:.0} |",
+            "| {}{flag} | {:.1} | {:.0} | {:.0} |",
             sig.name,
             sig.latency_us,
             sig.max_mbps,
@@ -71,7 +118,7 @@ pub fn ascii_figure(title: &str, sigs: &[Signature], width: usize, height: usize
     let marks: &[u8] = b"TMLPVGCI*#@%";
     for (si, sig) in sigs.iter().enumerate() {
         let mark = marks[si % marks.len()];
-        for p in &sig.points {
+        for p in sig.measured_points() {
             let fx = ((p.bytes.max(1) as f64).ln() - min_lx) / (max_lx - min_lx).max(1e-9);
             let fy = p.mbps / max_y;
             let x = ((fx * (width - 1) as f64).round() as usize).min(width - 1);
@@ -181,8 +228,7 @@ pub fn svg_figure(title: &str, sigs: &[Signature], width: u32, height: u32) -> S
     for (i, sig) in sigs.iter().enumerate() {
         let color = COLORS[i % COLORS.len()];
         let pts: Vec<String> = sig
-            .points
-            .iter()
+            .measured_points()
             .map(|p| format!("{:.1},{:.1}", x(p.bytes), y(p.mbps)))
             .collect();
         let _ = write!(
@@ -219,6 +265,7 @@ mod tests {
                     seconds: bytes as f64 * 8.0 / (mbps * 1e6),
                     mbps: mbps * (i as f64 + 1.0) / 10.0,
                     jitter: 0.0,
+                    status: PointStatus::Ok,
                 }
             })
             .collect();
@@ -273,6 +320,37 @@ mod tests {
     #[should_panic]
     fn ascii_figure_rejects_tiny_canvas() {
         let _ = ascii_figure("t", &[fake_sig("a", 1.0)], 10, 2);
+    }
+
+    #[test]
+    fn partial_signature_annotated_not_plotted() {
+        let mut sig = fake_sig("lossy", 100.0);
+        sig.points[3].status = PointStatus::Degraded { retries: 2 };
+        sig.points[7].status = PointStatus::Failed {
+            error: "read timed out".into(),
+        };
+        sig.points[7].seconds = 0.0;
+        sig.points[7].mbps = 0.0;
+        let failed_bytes = sig.points[7].bytes;
+
+        assert!(sig.is_partial());
+        let csv = to_csv(&[sig.clone()]);
+        assert_eq!(csv.lines().count(), 1 + 9, "failed row omitted");
+        assert!(!csv.contains(&format!("lossy,{failed_bytes},")));
+
+        let pf = to_plotfile(&sig);
+        assert!(pf.contains("FAILED: read timed out"));
+
+        let table = summary_table(&[sig.clone()]);
+        assert!(table.contains("lossy (partial)"));
+
+        let report = fault_report(&[sig]);
+        assert!(report.contains("1 degraded, 1 failed of 10 points"));
+        assert!(report.contains("degraded (2 retries)"));
+        assert!(report.contains("FAILED: read timed out"));
+
+        // A clean sweep needs no annotation at all.
+        assert_eq!(fault_report(&[fake_sig("clean", 10.0)]), "");
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! The measurement loop: run a [`Driver`] over a size schedule and build
 //! its latency/throughput signature.
+//!
+//! With a [`SweepPolicy`] installed ([`RunOptions::resilience`]) the
+//! runner degrades gracefully instead of aborting: a failing point is
+//! retried (with [`Driver::recover`] between attempts), then marked
+//! [`PointStatus::Degraded`] or [`PointStatus::Failed`], and the sweep
+//! carries on — producing a partial, annotated [`Signature`] even when
+//! the peer dies halfway through.
 
+use faultlab::SweepPolicy;
 use simcore::units::throughput_mbps;
 use simcore::OnlineStats;
 
@@ -22,6 +30,10 @@ pub struct RunOptions {
     /// (the paper: "round trip time divided by two for messages smaller
     /// than 64 bytes").
     pub latency_bound: u64,
+    /// Graceful degradation: per-point retry budget and
+    /// continue-on-failure. `None` (the default) keeps the historical
+    /// behavior — the first error aborts the sweep.
+    pub resilience: Option<SweepPolicy>,
 }
 
 impl Default for RunOptions {
@@ -31,6 +43,7 @@ impl Default for RunOptions {
             trials: 7,
             warmup: 2,
             latency_bound: 64,
+            resilience: None,
         }
     }
 }
@@ -44,6 +57,37 @@ impl RunOptions {
             warmup: 1,
             ..Default::default()
         }
+    }
+
+    /// Enable graceful degradation under `policy`.
+    pub fn with_resilience(mut self, policy: SweepPolicy) -> RunOptions {
+        self.resilience = Some(policy);
+        self
+    }
+}
+
+/// Health of one measured point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointStatus {
+    /// Measured cleanly.
+    Ok,
+    /// Measured, but only after `retries` recovery attempt(s).
+    Degraded {
+        /// Recovery attempts consumed before the point succeeded.
+        retries: u32,
+    },
+    /// Never measured: every attempt failed. `seconds`/`mbps` are zero
+    /// and reports annotate the gap instead of plotting it.
+    Failed {
+        /// Display form of the last error.
+        error: String,
+    },
+}
+
+impl PointStatus {
+    /// Did this point produce a usable timing?
+    pub fn is_measured(&self) -> bool {
+        !matches!(self, PointStatus::Failed { .. })
     }
 }
 
@@ -59,6 +103,9 @@ pub struct Point {
     /// Relative spread across trials (max/min − 1); 0 for deterministic
     /// drivers.
     pub jitter: f64,
+    /// Measurement health (always [`PointStatus::Ok`] without a
+    /// resilience policy — errors abort the sweep instead).
+    pub status: PointStatus,
 }
 
 /// A full NetPIPE signature for one driver.
@@ -75,14 +122,42 @@ pub struct Signature {
 }
 
 impl Signature {
-    /// Throughput at the largest measured size, Mbps.
-    pub fn final_mbps(&self) -> f64 {
-        self.points.last().map_or(0.0, |p| p.mbps)
+    /// Points that produced a usable timing (everything but `Failed`).
+    pub fn measured_points(&self) -> impl Iterator<Item = &Point> {
+        self.points.iter().filter(|p| p.status.is_measured())
     }
 
-    /// Linear interpolation of throughput at `bytes` (Mbps).
+    /// Number of points that needed retries to complete.
+    pub fn degraded_count(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| matches!(p.status, PointStatus::Degraded { .. }))
+            .count()
+    }
+
+    /// Number of points that never completed.
+    pub fn failed_count(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| matches!(p.status, PointStatus::Failed { .. }))
+            .count()
+    }
+
+    /// True when any point degraded or failed — the signature is an
+    /// annotated partial result, not a clean curve.
+    pub fn is_partial(&self) -> bool {
+        self.degraded_count() + self.failed_count() > 0
+    }
+
+    /// Throughput at the largest measured size, Mbps.
+    pub fn final_mbps(&self) -> f64 {
+        self.measured_points().last().map_or(0.0, |p| p.mbps)
+    }
+
+    /// Linear interpolation of throughput at `bytes` (Mbps), over the
+    /// measured points (failed points leave a gap, not a zero).
     pub fn mbps_at(&self, bytes: u64) -> f64 {
-        let ps = &self.points;
+        let ps: Vec<&Point> = self.measured_points().collect();
         if ps.is_empty() {
             return 0.0;
         }
@@ -110,6 +185,89 @@ impl Signature {
     }
 }
 
+/// Measure one point under the (optional) resilience policy: retry a
+/// failing measurement with [`Driver::recover`] in between, then either
+/// mark it failed (sweep continues) or propagate the error (no policy /
+/// `continue_on_failure` off).
+fn resilient_point(
+    driver: &mut dyn Driver,
+    resilience: Option<&SweepPolicy>,
+    measure: &mut dyn FnMut(&mut dyn Driver) -> Result<OnlineStats, DriverError>,
+) -> Result<(Option<OnlineStats>, PointStatus), DriverError> {
+    let Some(policy) = resilience else {
+        return Ok((Some(measure(driver)?), PointStatus::Ok));
+    };
+    let mut retries = 0u32;
+    loop {
+        match measure(driver) {
+            Ok(stats) => {
+                let status = if retries == 0 {
+                    PointStatus::Ok
+                } else {
+                    PointStatus::Degraded { retries }
+                };
+                return Ok((Some(stats), status));
+            }
+            Err(e) => {
+                if retries < policy.point_retries {
+                    retries += 1;
+                    // Heal the transport if possible; a failed recovery
+                    // just burns the retry (the next measure errors
+                    // immediately and we land in the arms below).
+                    let _ = driver.recover();
+                } else if policy.continue_on_failure {
+                    return Ok((
+                        None,
+                        PointStatus::Failed {
+                            error: e.to_string(),
+                        },
+                    ));
+                } else {
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// Fold one resolved point into the signature accumulators.
+fn push_point(
+    points: &mut Vec<Point>,
+    lat: &mut OnlineStats,
+    latency_bound: u64,
+    bytes: u64,
+    resolved: (Option<OnlineStats>, PointStatus),
+) {
+    let (stats, status) = resolved;
+    match stats {
+        Some(stats) => {
+            let best = stats.min();
+            let jitter = if stats.min() > 0.0 {
+                stats.max() / stats.min() - 1.0
+            } else {
+                0.0
+            };
+            if bytes <= latency_bound {
+                lat.push(best);
+            }
+            points.push(Point {
+                bytes,
+                seconds: best,
+                mbps: throughput_mbps(bytes, best),
+                jitter,
+                status,
+            });
+        }
+        None => points.push(Point {
+            bytes,
+            seconds: 0.0,
+            mbps: 0.0,
+            jitter: 0.0,
+            status,
+        }),
+    }
+}
+
 /// Run `driver` over the schedule and build its signature.
 pub fn run(driver: &mut dyn Driver, opts: &RunOptions) -> Result<Signature, DriverError> {
     let deterministic = driver.is_deterministic();
@@ -117,32 +275,29 @@ pub fn run(driver: &mut dyn Driver, opts: &RunOptions) -> Result<Signature, Driv
     let warmup = if deterministic { 0 } else { opts.warmup };
 
     for _ in 0..warmup {
-        driver.roundtrip(64)?;
+        match driver.roundtrip(64) {
+            Ok(_) => {}
+            // Under a resilience policy a sick warm-up is survivable;
+            // give the transport one healing attempt and move on.
+            Err(_) if opts.resilience.is_some() => {
+                let _ = driver.recover();
+            }
+            Err(e) => return Err(e),
+        }
     }
 
     let mut points = Vec::new();
     let mut lat = OnlineStats::new();
     for bytes in sizes(&opts.schedule) {
-        let mut stats = OnlineStats::new();
-        for _ in 0..trials {
-            let rt = driver.roundtrip(bytes)?;
-            stats.push(rt / 2.0);
-        }
-        let best = stats.min();
-        let jitter = if stats.min() > 0.0 {
-            stats.max() / stats.min() - 1.0
-        } else {
-            0.0
-        };
-        if bytes <= opts.latency_bound {
-            lat.push(best);
-        }
-        points.push(Point {
-            bytes,
-            seconds: best,
-            mbps: throughput_mbps(bytes, best),
-            jitter,
-        });
+        let resolved = resilient_point(driver, opts.resilience.as_ref(), &mut |d| {
+            let mut stats = OnlineStats::new();
+            for _ in 0..trials {
+                let rt = d.roundtrip(bytes)?;
+                stats.push(rt / 2.0);
+            }
+            Ok(stats)
+        })?;
+        push_point(&mut points, &mut lat, opts.latency_bound, bytes, resolved);
     }
     let max_mbps = points.iter().map(|p| p.mbps).fold(0.0, f64::max);
     Ok(Signature {
@@ -167,26 +322,15 @@ pub fn run_streaming(
     let mut points = Vec::new();
     let mut lat = OnlineStats::new();
     for bytes in sizes(&opts.schedule) {
-        let mut stats = OnlineStats::new();
-        for _ in 0..trials {
-            let total = driver.burst(bytes, burst_count)?;
-            stats.push(total / f64::from(burst_count));
-        }
-        let per_msg = stats.min();
-        if bytes <= opts.latency_bound {
-            lat.push(per_msg);
-        }
-        let jitter = if stats.min() > 0.0 {
-            stats.max() / stats.min() - 1.0
-        } else {
-            0.0
-        };
-        points.push(Point {
-            bytes,
-            seconds: per_msg,
-            mbps: throughput_mbps(bytes, per_msg),
-            jitter,
-        });
+        let resolved = resilient_point(driver, opts.resilience.as_ref(), &mut |d| {
+            let mut stats = OnlineStats::new();
+            for _ in 0..trials {
+                let total = d.burst(bytes, burst_count)?;
+                stats.push(total / f64::from(burst_count));
+            }
+            Ok(stats)
+        })?;
+        push_point(&mut points, &mut lat, opts.latency_bound, bytes, resolved);
     }
     let max_mbps = points.iter().map(|p| p.mbps).fold(0.0, f64::max);
     Ok(Signature {
@@ -289,6 +433,115 @@ mod tests {
         // Large messages converge to the same asymptote.
         let ratio = st.final_mbps() / pp.final_mbps();
         assert!((0.9..1.6).contains(&ratio), "{ratio}");
+    }
+
+    /// A driver whose transport breaks at specific sizes: sizes in
+    /// `flaky` error until `recover()` heals the link; sizes in `poison`
+    /// error on every attempt, healed or not.
+    struct BreakableDriver {
+        flaky: Vec<u64>,
+        poison: Vec<u64>,
+        healthy: bool,
+        recoveries: u32,
+    }
+
+    impl BreakableDriver {
+        fn new(flaky: &[u64], poison: &[u64]) -> Self {
+            BreakableDriver {
+                flaky: flaky.to_vec(),
+                poison: poison.to_vec(),
+                healthy: true,
+                recoveries: 0,
+            }
+        }
+    }
+
+    impl Driver for BreakableDriver {
+        fn name(&self) -> String {
+            "breakable".into()
+        }
+        fn roundtrip(&mut self, bytes: u64) -> Result<f64, DriverError> {
+            if self.poison.contains(&bytes) {
+                return Err(DriverError::Protocol("poisoned size".into()));
+            }
+            if let Some(i) = self.flaky.iter().position(|&b| b == bytes) {
+                // First touch of a flaky size drops the connection; a
+                // recovered link does not trip on it again.
+                self.flaky.remove(i);
+                self.healthy = false;
+            }
+            if !self.healthy {
+                return Err(DriverError::Protocol("link down".into()));
+            }
+            Ok(2.0 * (10e-6 + bytes as f64 / 1e8))
+        }
+        fn recover(&mut self) -> Result<(), DriverError> {
+            self.healthy = true;
+            self.recoveries += 1;
+            Ok(())
+        }
+        fn is_deterministic(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn resilience_degrades_and_continues_past_failures() {
+        let opts = RunOptions::quick(1 << 14);
+        let all: Vec<u64> = sizes(&opts.schedule);
+        let flaky = all[2];
+        let poison = all[5];
+        let mut d = BreakableDriver::new(&[flaky], &[poison]);
+        let sig = run(
+            &mut d,
+            &opts.clone().with_resilience(SweepPolicy::default()),
+        )
+        .unwrap();
+
+        assert!(sig.is_partial());
+        assert_eq!(sig.degraded_count(), 1);
+        assert_eq!(sig.failed_count(), 1);
+        assert!(d.recoveries >= 1);
+
+        let deg = sig.points.iter().find(|p| p.bytes == flaky).unwrap();
+        assert!(matches!(deg.status, PointStatus::Degraded { retries } if retries >= 1));
+        assert!(deg.mbps > 0.0, "degraded point still measured");
+
+        let dead = sig.points.iter().find(|p| p.bytes == poison).unwrap();
+        assert!(matches!(&dead.status, PointStatus::Failed { error } if error.contains("poison")));
+        assert_eq!(dead.mbps, 0.0);
+
+        // Failed points are gaps: interpolation and the final rate skip
+        // them instead of averaging in zeros.
+        assert!(sig.mbps_at(poison) > 0.0);
+        assert!(sig.final_mbps() > 0.0);
+        assert_eq!(sig.measured_points().count(), all.len() - 1);
+    }
+
+    #[test]
+    fn without_resilience_first_error_aborts() {
+        let opts = RunOptions::quick(1 << 14);
+        let all: Vec<u64> = sizes(&opts.schedule);
+        let mut d = BreakableDriver::new(&[all[2]], &[]);
+        let err = run(&mut d, &opts).unwrap_err();
+        assert!(err.to_string().contains("link down"), "{err}");
+        assert_eq!(d.recoveries, 0, "no recovery without a policy");
+    }
+
+    #[test]
+    fn streaming_respects_resilience_policy() {
+        let opts = RunOptions::quick(1 << 14);
+        let all: Vec<u64> = sizes(&opts.schedule);
+        let mut d = BreakableDriver::new(&[], &[all[1]]);
+        let sig = run_streaming(
+            &mut d,
+            &opts.clone().with_resilience(SweepPolicy::default()),
+            4,
+        )
+        .unwrap();
+        assert_eq!(sig.failed_count(), 1);
+        assert!(sig.is_partial());
+        assert!(sig.final_mbps() > 0.0);
     }
 
     #[test]

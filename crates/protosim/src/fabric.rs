@@ -9,6 +9,7 @@
 //! while the kernel processes packets on the same CPU) emerges from the
 //! event schedule rather than from closed-form formulas.
 
+use faultlab::{FaultCounters, FaultLottery, FaultPlan};
 use hwmodel::ClusterSpec;
 use simcore::trace::{SharedSink, SpanRec};
 use simcore::{Engine, Resource, SimDuration, SimTime};
@@ -132,6 +133,12 @@ pub struct Fabric {
     /// Installed trace sink, if any (see [`instrument`]). Write-only:
     /// transports record spans here but never read it for decisions.
     pub tracer: Option<SharedSink>,
+    /// Installed fault-injection lottery, if any (see
+    /// [`Fabric::install_faults`]). Unlike the tracer this *is* consulted
+    /// by the transport — that is its purpose — but every decision is a
+    /// pure function of the plan's seed and the call order, so runs stay
+    /// reproducible.
+    pub faults: Option<Box<FaultLottery>>,
     /// Monotonic message-id allocator (advances identically whether or
     /// not a tracer is installed, preserving determinism).
     next_msg: u64,
@@ -183,6 +190,7 @@ impl Fabric {
             conns: Vec::new(),
             spec,
             tracer: None,
+            faults: None,
             next_msg: 0,
         }
     }
@@ -221,6 +229,31 @@ impl Fabric {
             }
         }
         self.tracer = Some(sink);
+    }
+
+    /// Install a fault-injection plan: segments crossing the wires are
+    /// from now on submitted to a [`FaultLottery`] seeded from
+    /// `plan.seed`. A lossless plan is guaranteed not to perturb the
+    /// schedule at all (the lottery short-circuits without drawing).
+    pub fn install_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(FaultLottery::new(plan)));
+    }
+
+    /// Re-install an existing lottery (drivers that build a fresh fabric
+    /// per measurement carry the lottery across so the RNG stream — and
+    /// therefore the fault pattern — keeps advancing over the sweep).
+    pub fn adopt_faults(&mut self, lottery: Box<FaultLottery>) {
+        self.faults = Some(lottery);
+    }
+
+    /// Remove and return the installed lottery (with its counters).
+    pub fn take_faults(&mut self) -> Option<Box<FaultLottery>> {
+        self.faults.take()
+    }
+
+    /// Fault-event counters so far, if a plan is installed.
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.faults.as_ref().map(|f| f.counters)
     }
 
     /// Allocate the next message-correlation id (1-based; 0 means

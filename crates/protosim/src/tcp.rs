@@ -33,6 +33,7 @@
 
 use std::collections::VecDeque;
 
+use faultlab::SegFault;
 use hwmodel::nic::TCPIP_HEADERS;
 use simcore::trace::{stages, SpanRec};
 use simcore::{SimDuration, SimTime};
@@ -106,6 +107,12 @@ pub struct TcpConn {
     dirs: [TcpDir; 2],
     /// Total bytes delivered on this connection (both directions).
     pub bytes_delivered: u64,
+    /// The connection exhausted its retransmissions and gave up: no
+    /// further segments are dispatched and pending completions never
+    /// fire, so the engine runs dry — the simulated analogue of the
+    /// paper's runs that "simply die" under load. Queried by drivers to
+    /// distinguish a dead connection from a deadlocked model.
+    pub dead: bool,
 }
 
 /// Open a TCP connection between the two hosts. Requested buffer sizes are
@@ -154,6 +161,7 @@ pub fn open_on_channel(fabric: &mut Fabric, mut params: TcpParams, channel: usiz
         channel,
         dirs: [TcpDir::default(), TcpDir::default()],
         bytes_delivered: 0,
+        dead: false,
     }))
 }
 
@@ -206,6 +214,7 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
             wires,
             conns,
             tracer,
+            faults,
             ..
         } = &mut eng.world;
         let tcp = match &mut conns[conn.0] {
@@ -213,8 +222,12 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
             // lint:allow(panic) -- pump() is only scheduled against conns created as TCP
             _ => panic!("connection {conn:?} is not TCP"),
         };
+        if tcp.dead {
+            return;
+        }
         let window = tcp.window;
         let channel = tcp.channel;
+        let mut conn_died = false;
         let d = &mut tcp.dirs[dir];
         if d.stalled {
             return;
@@ -259,7 +272,99 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
                 let t2 = hosts[sender].pci.serve(t1, on_bus);
                 let frame = seg + u64::from(TCPIP_HEADERS) + u64::from(spec.nic.framing_bytes);
                 let t3 = hosts[sender].nics[channel].serve(t2, frame);
-                let t4 = wires[channel][dir].serve(t3, frame);
+                let mut t4 = wires[channel][dir].serve(t3, frame);
+                // --- fault injection on the wire ---
+                if let Some(fl) = faults.as_mut() {
+                    let rate = wires[channel][dir].rate();
+                    let frame_us = if rate.is_finite() && rate > 0.0 {
+                        frame as f64 / rate * 1e6
+                    } else {
+                        0.0
+                    };
+                    let rto = SimDuration::from_micros_f64(fl.plan().rto_us);
+                    let max_retrans = fl.plan().max_retrans;
+                    let mut attempt = 0u32;
+                    loop {
+                        match fl.segment(t4.as_micros_f64(), frame_us) {
+                            SegFault::Drop => {
+                                if let Some(t) = tracer.as_ref() {
+                                    t.instant(stages::FAULT_DROP, ft, t4, seg, job.msg);
+                                }
+                                if attempt >= max_retrans {
+                                    // Retransmissions exhausted: the
+                                    // connection gives up for good.
+                                    fl.counters.conn_deaths += 1;
+                                    if let Some(t) = tracer.as_ref() {
+                                        t.instant(stages::CONN_DEAD, ft, t4, seg, job.msg);
+                                    }
+                                    conn_died = true;
+                                    break;
+                                }
+                                // The lost copy burned its wire slot;
+                                // the sender sits out the RTO, then the
+                                // retransmitted copy crosses again and
+                                // faces the lottery afresh.
+                                attempt += 1;
+                                fl.counters.retransmits += 1;
+                                let resend = t4 + rto;
+                                if let Some(t) = tracer.as_ref() {
+                                    t.span(SpanRec {
+                                        stage: stages::RETRANSMIT,
+                                        track: ft,
+                                        start: t4,
+                                        end: resend,
+                                        bytes: seg,
+                                        msg: job.msg,
+                                    });
+                                }
+                                t4 = wires[channel][dir].serve(resend, frame);
+                            }
+                            SegFault::Deliver {
+                                extra_us,
+                                slow_us,
+                                duplicate,
+                            } => {
+                                if duplicate {
+                                    // The spurious copy burns a second
+                                    // wire slot and receiver bus crossing
+                                    // before being discarded.
+                                    let dup_done = wires[channel][dir].serve(t4, frame);
+                                    hosts[receiver].pci.serve(dup_done + path, on_bus);
+                                    if let Some(t) = tracer.as_ref() {
+                                        t.instant(stages::FAULT_DUP, ft, dup_done, seg, job.msg);
+                                    }
+                                }
+                                let fault_start = t4;
+                                if slow_us > 0.0 && rate.is_finite() {
+                                    // Degraded link: the segment holds
+                                    // the wire longer, queueing every
+                                    // later segment behind it.
+                                    let extra_bytes = (slow_us * 1e-6 * rate).round() as u64;
+                                    t4 = wires[channel][dir].serve(t4, extra_bytes);
+                                }
+                                if extra_us > 0.0 {
+                                    t4 = t4 + SimDuration::from_micros_f64(extra_us);
+                                }
+                                if t4 > fault_start {
+                                    if let Some(t) = tracer.as_ref() {
+                                        t.span(SpanRec {
+                                            stage: stages::FAULT_DELAY,
+                                            track: ft,
+                                            start: fault_start,
+                                            end: t4,
+                                            bytes: seg,
+                                            msg: job.msg,
+                                        });
+                                    }
+                                }
+                                break;
+                            }
+                        }
+                    }
+                    if conn_died {
+                        break 'jobs;
+                    }
+                }
                 // --- receiver side ---
                 let t5 = hosts[receiver].pci.serve(t4 + path, on_bus);
                 let rx = SimDuration::from_micros_f64(cpu.kernel_pkt_rx_us)
@@ -295,6 +400,9 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
                 job.remaining -= seg;
             }
         }
+        if conn_died {
+            tcp.dead = true;
+        }
     }
     for (t, seg) in deliveries {
         eng.schedule_at(t, move |e| on_deliver(e, conn, dir, seg));
@@ -319,6 +427,11 @@ fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
             // lint:allow(panic) -- delivery events on this conn are only scheduled by TCP code paths
             _ => unreachable!(),
         };
+        if tcp.dead {
+            // Segments already in flight when the connection died still
+            // land, but drive no further progress.
+            return;
+        }
         tcp.bytes_delivered += seg;
         let window = tcp.window;
         let block_sync = tcp.params.block_sync_writes;
@@ -571,6 +684,107 @@ mod tests {
     fn zero_byte_send_still_delivers() {
         let t = one_way(pcs_ga620(), 0, TcpParams::with_bufs(kib(512)));
         assert!(t > 0.0);
+    }
+
+    #[test]
+    fn lossless_fault_plan_does_not_perturb() {
+        let base = one_way(pcs_ga620(), mib(1), TcpParams::with_bufs(kib(512)));
+        let mut eng = Fabric::engine(pcs_ga620());
+        eng.world
+            .install_faults(faultlab::FaultPlan::parse("seed=9").expect("plan"));
+        let conn = open(&mut eng.world, TcpParams::with_bufs(kib(512)));
+        let done = Rc::new(Cell::new(None));
+        let done2 = Rc::clone(&done);
+        send(
+            &mut eng,
+            conn,
+            0,
+            mib(1),
+            Box::new(move |e| done2.set(Some(e.now()))),
+        );
+        eng.run();
+        let t = done.get().expect("delivered").as_secs_f64();
+        assert_eq!(t, base, "lossless plan must be byte-identical");
+        assert!(!eng.world.fault_counters().expect("installed").any());
+    }
+
+    #[test]
+    fn packet_loss_costs_throughput_via_retransmits() {
+        let base = one_way(pcs_ga620(), mib(1), TcpParams::with_bufs(kib(512)));
+        let mut eng = Fabric::engine(pcs_ga620());
+        eng.world
+            .install_faults(faultlab::FaultPlan::parse("seed=4,loss=0.02,rto=2ms").expect("plan"));
+        let conn = open(&mut eng.world, TcpParams::with_bufs(kib(512)));
+        let done = Rc::new(Cell::new(None));
+        let done2 = Rc::clone(&done);
+        send(
+            &mut eng,
+            conn,
+            0,
+            mib(1),
+            Box::new(move |e| done2.set(Some(e.now()))),
+        );
+        eng.run();
+        let t = done.get().expect("delivered despite loss").as_secs_f64();
+        let counters = eng.world.fault_counters().expect("installed");
+        assert!(counters.dropped > 0, "{counters}");
+        assert!(counters.retransmits > 0, "{counters}");
+        assert_eq!(counters.conn_deaths, 0, "{counters}");
+        assert!(t > 1.5 * base, "loss barely hurt: {t} vs {base}");
+    }
+
+    #[test]
+    fn certain_loss_kills_the_connection() {
+        // loss=1 with a small retransmission budget: the transfer never
+        // completes and the connection marks itself dead — the paper's
+        // large-message runs that "simply die".
+        let mut eng = Fabric::engine(pcs_ga620());
+        eng.world.install_faults(
+            faultlab::FaultPlan::parse("seed=1,loss=1.0,retrans=3,rto=1ms").expect("plan"),
+        );
+        let conn = open(&mut eng.world, TcpParams::with_bufs(kib(512)));
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        send(
+            &mut eng,
+            conn,
+            0,
+            100_000,
+            Box::new(move |_| done2.set(true)),
+        );
+        eng.run();
+        assert!(!done.get(), "delivery must never fire on a dead conn");
+        let tcp = tcp_mut(&mut eng.world, conn);
+        assert!(tcp.dead);
+        let counters = eng.world.fault_counters().expect("installed");
+        assert_eq!(counters.conn_deaths, 1, "{counters}");
+        assert_eq!(counters.retransmits, 3, "{counters}");
+    }
+
+    #[test]
+    fn degradation_window_slows_only_affected_interval() {
+        // A transfer that starts inside a 4x-slowdown window takes longer
+        // than the fault-free one; one far past the window does not.
+        let base = one_way(pcs_ga620(), mib(1), TcpParams::with_bufs(kib(512)));
+        let mut eng = Fabric::engine(pcs_ga620());
+        eng.world
+            .install_faults(faultlab::FaultPlan::parse("degrade=0us..1s@0.25").expect("plan"));
+        let conn = open(&mut eng.world, TcpParams::with_bufs(kib(512)));
+        let done = Rc::new(Cell::new(None));
+        let done2 = Rc::clone(&done);
+        send(
+            &mut eng,
+            conn,
+            0,
+            mib(1),
+            Box::new(move |e| done2.set(Some(e.now()))),
+        );
+        eng.run();
+        let slowed = done.get().expect("delivered").as_secs_f64();
+        assert!(
+            slowed > 1.5 * base,
+            "window did not bite: {slowed} vs {base}"
+        );
     }
 
     #[test]

@@ -58,6 +58,21 @@ pub mod stages {
     pub const SEND: &str = "send";
     /// Instant: a message was delivered to the application.
     pub const RECV: &str = "recv";
+    /// Instant: fault injection dropped a segment on the wire.
+    pub const FAULT_DROP: &str = "fault-drop";
+    /// Instant: fault injection duplicated a segment on the wire.
+    pub const FAULT_DUP: &str = "fault-dup";
+    /// Extra segment delay injected by a fault plan (jitter, reorder
+    /// hold-back, or a link-degradation window).
+    pub const FAULT_DELAY: &str = "fault-delay";
+    /// Sender waiting out a retransmission timeout for a lost segment.
+    pub const RETRANSMIT: &str = "retransmit";
+    /// Instant: the connection gave up after exhausting retransmissions.
+    pub const CONN_DEAD: &str = "conn-dead";
+    /// Instant: a real-mode socket operation exceeded its deadline.
+    pub const IO_TIMEOUT: &str = "io-timeout";
+    /// Instant: a real-mode driver re-established its connection.
+    pub const RECONNECT: &str = "reconnect";
 }
 
 /// One completed span: `stage` was busy on timeline `track` over

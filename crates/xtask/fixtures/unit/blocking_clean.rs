@@ -1,0 +1,9 @@
+//! Fixture: clean counterpart of `blocking_violations.rs`. Never compiled.
+fn f(s: &mut std::net::TcpStream, l: &std::net::TcpListener, d: std::time::Duration) {
+    let mut buf = [0u8; 4];
+    faultlab::io::read_exact_deadline(s, &mut buf, d).ok();
+    faultlab::io::write_all_deadline(s, b"x", d).ok();
+    let _ = faultlab::io::accept_deadline(l, d, || true);
+    // Plain read/write are progress-loop primitives, not banned forms.
+    let _ = std::io::Read::read(s, &mut buf);
+}

@@ -1,0 +1,8 @@
+//! Fixture: deadline-free blocking socket calls. Never compiled.
+fn f(s: &mut std::net::TcpStream, l: &std::net::TcpListener) {
+    s.read_exact(&mut [0u8; 4]).ok();
+    s.write_all(b"x").ok();
+    let _ = l.accept();
+    // lint:allow(blocking-hygiene) -- fixture demonstrates an annotated raw accept
+    let _ = l.accept();
+}

@@ -40,7 +40,14 @@ pub const SIM_CRATES: &[&str] = &[
 
 /// Library crates: the panic-hygiene rule family applies to their
 /// library code.
-pub const PANIC_CRATES: &[&str] = &["mplite", "netpipe", "protosim", "tracelab"];
+pub const PANIC_CRATES: &[&str] = &["faultlab", "mplite", "netpipe", "protosim", "tracelab"];
+
+/// Real-mode crates: library code that touches genuine kernel sockets.
+/// The `blocking-hygiene` rule bans deadline-free blocking socket calls
+/// here — a dead peer must never hang a sweep forever. `faultlab` is in
+/// scope too: it *implements* the deadline wrappers, and its one
+/// unavoidable raw call carries an annotated allowance.
+pub const REAL_CRATES: &[&str] = &["faultlab", "mplite", "netpipe"];
 
 /// Crates whose library code is allowed to print (reporting/tooling
 /// crates whose whole purpose is console output).
@@ -93,6 +100,13 @@ impl FileCtx {
         self.determinism_scope() && self.crate_name != "tracelab"
     }
 
+    /// Does the `blocking-hygiene` rule apply to this file? Real-mode
+    /// library code must bound every potentially-blocking socket call
+    /// with a deadline (`faultlab::io`).
+    pub fn blocking_scope(&self) -> bool {
+        self.kind == FileKind::Lib && REAL_CRATES.contains(&self.crate_name.as_str())
+    }
+
     /// Does the no-print rule apply to this file?
     pub fn print_scope(&self) -> bool {
         self.kind == FileKind::Lib && !PRINT_EXEMPT_CRATES.contains(&self.crate_name.as_str())
@@ -123,6 +137,26 @@ mod tests {
         let c = classify("crates/protosim/src/tcp.rs").expect("classified");
         assert!(c.panic_scope());
         assert!(c.determinism_scope());
+    }
+
+    #[test]
+    fn blocking_scope_covers_real_mode_lib_code_only() {
+        assert!(classify("crates/mplite/src/comm.rs")
+            .expect("classified")
+            .blocking_scope());
+        assert!(classify("crates/netpipe/src/real_tcp.rs")
+            .expect("classified")
+            .blocking_scope());
+        assert!(classify("crates/faultlab/src/io.rs")
+            .expect("classified")
+            .blocking_scope());
+        // Sim crates never block on sockets; tests may block freely.
+        assert!(!classify("crates/protosim/src/tcp.rs")
+            .expect("classified")
+            .blocking_scope());
+        assert!(!classify("crates/mplite/tests/t.rs")
+            .expect("classified")
+            .blocking_scope());
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub const RULES: &[&str] = &[
     "ambient-rng",
     "hash-container",
     "trace-hygiene",
+    "blocking-hygiene",
     "unwrap",
     "expect",
     "panic",
@@ -137,6 +138,25 @@ pub fn check_file(rel_path: &str, source: &str, ctx: &FileCtx) -> FileReport {
                          SimTime (tracelab::Tracer)"
                         .into(),
                 });
+            }
+        }
+
+        if ctx.blocking_scope() {
+            for (pattern, name) in [
+                (".read_exact(", "read_exact"),
+                (".write_all(", "write_all"),
+                (".accept()", "accept"),
+            ] {
+                if code.contains(pattern) {
+                    findings.push(Finding {
+                        line: lineno,
+                        rule: "blocking-hygiene",
+                        message: format!(
+                            "deadline-free blocking `{name}` in real-mode code; use \
+                             faultlab::io::{name}_deadline"
+                        ),
+                    });
+                }
             }
         }
 
@@ -338,6 +358,29 @@ mod tests {
     fn determinism_rules_silent_outside_sim() {
         let r = check("crates/mplite/src/x.rs", "use std::time::Instant;\n");
         assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn blocking_hygiene_fires_in_real_mode_lib() {
+        let src = "s.read_exact(&mut buf)?;\ns.write_all(&buf)?;\nlet (c, _) = l.accept()?;\n";
+        for path in ["crates/mplite/src/x.rs", "crates/netpipe/src/x.rs"] {
+            let r = check(path, src);
+            let rules: Vec<_> = r.diagnostics.iter().map(|d| d.rule).collect();
+            assert_eq!(rules, ["blocking-hygiene"; 3], "{path}: {rules:?}");
+        }
+        // Sim code and test code are out of scope.
+        assert!(check("crates/protosim/src/x.rs", src)
+            .diagnostics
+            .is_empty());
+        assert!(check("crates/mplite/tests/x.rs", src)
+            .diagnostics
+            .is_empty());
+        // The deadline wrappers themselves never match the banned forms.
+        let clean = "faultlab::io::read_exact_deadline(s, &mut buf, d)?;\n\
+                     faultlab::io::accept_deadline(l, d, || true)?;\n";
+        assert!(check("crates/mplite/src/x.rs", clean)
+            .diagnostics
+            .is_empty());
     }
 
     #[test]

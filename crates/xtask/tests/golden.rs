@@ -83,6 +83,39 @@ fn tracelab_itself_is_exempt_from_trace_hygiene() {
 }
 
 #[test]
+fn blocking_violations_golden() {
+    let rel = "crates/netpipe/src/fixture.rs";
+    let got = diags_for(rel, "unit/blocking_violations.rs");
+    let want = vec![
+        format!("{rel}:3: blocking-hygiene: deadline-free blocking `read_exact` in real-mode code; use faultlab::io::read_exact_deadline"),
+        format!("{rel}:4: blocking-hygiene: deadline-free blocking `write_all` in real-mode code; use faultlab::io::write_all_deadline"),
+        format!("{rel}:5: blocking-hygiene: deadline-free blocking `accept` in real-mode code; use faultlab::io::accept_deadline"),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn blocking_clean_is_silent() {
+    let got = diags_for("crates/mplite/src/fixture.rs", "unit/blocking_clean.rs");
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn blocking_rule_ignores_sim_crates() {
+    let got = diags_for(
+        "crates/protosim/src/fixture.rs",
+        "unit/blocking_violations.rs",
+    );
+    // The annotated allow is stale there (the rule never fires), which is
+    // exactly why the fixture must not be linted under a sim path in the
+    // real tree — but the blocking findings themselves must be absent.
+    assert!(
+        got.iter().all(|d| !d.contains("blocking-hygiene:")),
+        "{got:?}"
+    );
+}
+
+#[test]
 fn panic_violations_golden() {
     let rel = "crates/mplite/src/fixture.rs";
     let got = diags_for(rel, "unit/panic_violations.rs");

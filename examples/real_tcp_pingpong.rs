@@ -20,6 +20,7 @@ fn main() {
         let mut driver = RealTcpDriver::new(RealTcpOptions {
             sockbuf,
             nodelay: true,
+            ..Default::default()
         })
         .expect("echo server failed to start");
         let (snd, rcv) = driver.effective_buffers();

@@ -1,0 +1,105 @@
+//! The faultlab contract, enforced end to end:
+//!
+//! * **deterministic chaos** — the same seed and fault plan reproduce a
+//!   byte-identical signature (CSV) *and* a byte-identical trace;
+//! * **lossless ⇒ invisible** — a plan that injects nothing yields a
+//!   sweep exactly equal to a run with no faultlab installed at all
+//!   (the lottery draws zero random numbers on that path);
+//! * **lethal ⇒ partial, never fatal** — certain loss produces an
+//!   annotated partial signature under a resilience policy, not an
+//!   error, and the failed points are excluded from the reports.
+
+use faultlab::FaultPlan;
+use hwmodel::presets::pcs_ga620;
+use mpsim::libs::raw_tcp;
+use netpipe::{run, to_csv, RunOptions, ScheduleOptions, SimDriver};
+use simcore::units::kib;
+use tracelab::Tracer;
+
+fn opts(max: u64) -> RunOptions {
+    RunOptions {
+        schedule: ScheduleOptions {
+            max,
+            ..Default::default()
+        },
+        ..Default::default()
+    }
+}
+
+/// One seeded lossy sweep; returns (signature CSV, chrome trace JSON).
+fn lossy_sweep(plan: &str, max: u64) -> (String, String) {
+    let plan = FaultPlan::parse(plan).expect("valid plan");
+    let resilience = plan.sweep.clone();
+    let mut d = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
+    d.set_fault_plan(plan);
+    let tracer = Tracer::new();
+    d.set_trace_sink(tracer.clone());
+    let sig = run(&mut d, &opts(max).with_resilience(resilience)).expect("resilient sweep");
+    let csv = to_csv(std::slice::from_ref(&sig));
+    let json =
+        tracelab::export::chrome_trace_json(&tracer.events(), &|tr| protosim::track_label(tr));
+    (csv, json)
+}
+
+#[test]
+fn seeded_lossy_sweep_is_byte_identical() {
+    let plan = "seed=1234,loss=0.03,dup=0.01,jitter=5us,rto=2ms";
+    let (csv_a, json_a) = lossy_sweep(plan, 1 << 17);
+    let (csv_b, json_b) = lossy_sweep(plan, 1 << 17);
+    assert_eq!(csv_a, csv_b, "same seed+plan must reproduce the signature");
+    assert_eq!(json_a, json_b, "same seed+plan must reproduce the trace");
+    assert!(
+        json_a.contains("fault-drop") || json_a.contains("retransmit"),
+        "a 3% loss sweep must record fault events in the trace"
+    );
+}
+
+#[test]
+fn different_seed_changes_the_lossy_sweep() {
+    let (a, _) = lossy_sweep("seed=1,loss=0.05,rto=2ms", 1 << 16);
+    let (b, _) = lossy_sweep("seed=2,loss=0.05,rto=2ms", 1 << 16);
+    assert_ne!(a, b, "loss landing on different segments must show up");
+}
+
+#[test]
+fn lossless_plan_is_indistinguishable_from_no_faultlab() {
+    let max = 1 << 17;
+    let mut bare = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
+    let bare_sig = run(&mut bare, &opts(max)).expect("bare sweep");
+
+    let mut chaotic = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
+    chaotic.set_fault_plan(FaultPlan::parse("seed=99").expect("valid plan"));
+    let lossless_sig = run(&mut chaotic, &opts(max)).expect("lossless sweep");
+
+    assert_eq!(
+        to_csv(std::slice::from_ref(&bare_sig)),
+        to_csv(std::slice::from_ref(&lossless_sig)),
+        "a lossless plan must not perturb the simulation at all"
+    );
+    let counters = chaotic.fault_counters().expect("plan installed");
+    assert!(!counters.any(), "lossless plan recorded faults: {counters}");
+}
+
+#[test]
+fn lethal_plan_degrades_gracefully_with_annotated_gaps() {
+    let plan = FaultPlan::parse("seed=5,loss=1.0,retrans=2,rto=1ms").expect("valid plan");
+    let resilience = plan.sweep.clone();
+    let mut d = SimDriver::new(pcs_ga620(), raw_tcp(kib(512)));
+    d.set_fault_plan(plan);
+    let sig = run(&mut d, &opts(1 << 12).with_resilience(resilience))
+        .expect("lethal plan must degrade, not error");
+    assert!(sig.failed_count() > 0);
+    assert!(sig.is_partial());
+
+    // Failed points are annotated everywhere, plotted nowhere.
+    let csv = to_csv(std::slice::from_ref(&sig));
+    assert_eq!(
+        csv.lines().count(),
+        1 + sig.measured_points().count(),
+        "failed points must not appear as CSV rows"
+    );
+    let report = netpipe::fault_report(std::slice::from_ref(&sig));
+    assert!(report.contains("FAILED"), "{report}");
+    let table = netpipe::summary_table(std::slice::from_ref(&sig));
+    assert!(table.contains("(partial)"), "{table}");
+}
