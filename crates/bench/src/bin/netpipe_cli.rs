@@ -39,7 +39,7 @@ use netpipe::{
     SimDriver,
 };
 use protosim::{RawParams, RecvMode};
-use simcore::units::kib;
+use simcore::units::{bytes_per_sec_to_mbps, kib, secs_to_us};
 use tracelab::{Tracer, WallTracer};
 
 fn clusters() -> Vec<(&'static str, ClusterSpec)> {
@@ -185,8 +185,8 @@ fn report(driver: &mut dyn Driver, args: &Args) {
         "n1/2 = {} B   saturation at {} B   fit: t0 = {:.1} us, r_inf = {:.0} Mbps",
         a.n_half,
         a.saturation_bytes,
-        a.t0_s * 1e6,
-        a.r_inf_bps * 8.0 / 1e6
+        secs_to_us(a.t0_s),
+        bytes_per_sec_to_mbps(a.r_inf_bps)
     );
     if sig.is_partial() {
         println!("\n{}", fault_report(std::slice::from_ref(&sig)));

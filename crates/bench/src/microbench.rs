@@ -10,6 +10,8 @@
 
 use std::time::{Duration, Instant};
 
+use simcore::units::{bytes_per_sec_to_mbytes, ns_to_ms, ns_to_secs, ns_to_us};
+
 /// Default measurement budget per benchmark.
 const DEFAULT_BUDGET_MS: u64 = 500;
 
@@ -82,7 +84,7 @@ impl Group {
         let n = times_ns.len() as u128;
         let mean = times_ns.iter().sum::<u128>() / n;
         let mbps = if mean > 0 {
-            (bytes as f64) / (mean as f64 / 1e9) / 1e6
+            bytes_per_sec_to_mbytes(bytes as f64 / ns_to_secs(mean as f64))
         } else {
             f64::INFINITY
         };
@@ -98,11 +100,11 @@ impl Group {
 
 fn fmt_ns(ns: u128) -> String {
     if ns >= 1_000_000_000 {
-        format!("{:.2} s", ns as f64 / 1e9)
+        format!("{:.2} s", ns_to_secs(ns as f64))
     } else if ns >= 1_000_000 {
-        format!("{:.2} ms", ns as f64 / 1e6)
+        format!("{:.2} ms", ns_to_ms(ns as f64))
     } else if ns >= 1_000 {
-        format!("{:.2} µs", ns as f64 / 1e3)
+        format!("{:.2} µs", ns_to_us(ns as f64))
     } else {
         format!("{ns} ns")
     }

@@ -11,6 +11,7 @@
 use hwmodel::ClusterSpec;
 use mpsim::{MpLib, Session};
 use protosim::{cpu_track, nic_track, pci_track, track_label, wire_track, Fabric};
+use simcore::units::secs_to_us;
 use simcore::SimDuration;
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -68,7 +69,7 @@ impl Breakdown {
             "{} — {} bytes, one-way {:.1} us\n",
             self.name,
             self.bytes,
-            self.elapsed_s * 1e6
+            secs_to_us(self.elapsed_s)
         );
         let rows: Vec<(String, f64, u64)> = self
             .stages

@@ -15,6 +15,7 @@
 use hwmodel::ClusterSpec;
 use mpsim::{MpLib, Session};
 use protosim::Fabric;
+use simcore::units::secs_to_ms;
 use simcore::SimDuration;
 use std::cell::Cell;
 use std::rc::Rc;
@@ -127,9 +128,9 @@ pub fn to_markdown(points: &[OverlapPoint]) -> String {
             out,
             "| {} | {:.2} | {:.2} | {:.2} | {:.0}% |",
             p.name,
-            p.transfer_alone_s * 1e3,
-            p.busy_s * 1e3,
-            p.total_s * 1e3,
+            secs_to_ms(p.transfer_alone_s),
+            secs_to_ms(p.busy_s),
+            secs_to_ms(p.total_s),
             p.efficiency() * 100.0
         );
     }

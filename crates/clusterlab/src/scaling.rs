@@ -19,6 +19,7 @@
 //!   overlappable fraction of communication behind the computation.
 
 use netpipe::Signature;
+use simcore::units;
 
 /// A bulk-synchronous halo-exchange application.
 #[derive(Debug, Clone)]
@@ -83,8 +84,8 @@ pub fn strong_scaling(
             } else {
                 let bytes = app.halo_bytes(p).max(1);
                 let mbps = sig.mbps_at(bytes).max(1e-6);
-                let wire_s = bytes as f64 * 8.0 / (mbps * 1e6);
-                f64::from(app.neighbours) * (sig.latency_us * 1e-6) + wire_s
+                let wire_s = bytes as f64 / units::mbps_to_bytes_per_sec(mbps);
+                f64::from(app.neighbours) * units::us_to_secs(sig.latency_us) + wire_s
             };
             // The overlappable fraction hides behind compute; the rest
             // serializes after it.

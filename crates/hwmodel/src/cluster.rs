@@ -6,6 +6,8 @@
 //! back-to-back with no intervening switch, except for the Giganet VIA
 //! tests" (8-port cLAN switch).
 
+use simcore::units;
+
 use crate::host::{compaq_ds20, pc_pentium4, HostModel};
 use crate::kernel::{linux_2_4, linux_2_4_2_mvia, KernelModel};
 use crate::nic::{
@@ -45,7 +47,7 @@ impl ClusterSpec {
         } else {
             self.host.pci.width_bits.min(32)
         };
-        f64::from(width) / 8.0 * self.host.pci.mhz * 1e6 * self.nic.dma_eff
+        units::bus_bytes_per_sec(width, self.host.pci.mhz) * self.nic.dma_eff
     }
 
     /// Total propagation + switching delay of the path, microseconds.

@@ -3,7 +3,7 @@
 //! PCs (32-bit 33 MHz PCI, PC133 memory) and Compaq DS20 Alphas (64-bit
 //! 33 MHz PCI).
 
-use simcore::units::mbytes_to_bytes_per_sec;
+use simcore::units::{bus_bytes_per_sec, mbytes_to_bytes_per_sec};
 
 /// CPU + memory system costs for protocol processing.
 ///
@@ -51,7 +51,7 @@ pub struct PciModel {
 impl PciModel {
     /// Theoretical burst rate, bytes/second.
     pub fn raw_bps(&self) -> f64 {
-        f64::from(self.width_bits) / 8.0 * self.mhz * 1e6
+        bus_bytes_per_sec(self.width_bits, self.mhz)
     }
 
     /// Effective sustained DMA rate, bytes/second.

@@ -34,6 +34,14 @@ pub enum MpError {
     BadArg(&'static str),
 }
 
+impl MpError {
+    /// Wrap an I/O error from operation `op`, keeping the kind so
+    /// timeout/disconnect classification still works upstream.
+    pub fn from_io(op: &'static str, e: io::Error) -> MpError {
+        MpError::Io(io::Error::new(e.kind(), format!("{op}: {e}")))
+    }
+}
+
 impl fmt::Display for MpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

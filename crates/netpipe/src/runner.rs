@@ -9,7 +9,7 @@
 //! the peer dies halfway through.
 
 use faultlab::SweepPolicy;
-use simcore::units::throughput_mbps;
+use simcore::units::{secs_to_us, throughput_mbps};
 use simcore::OnlineStats;
 
 use crate::driver::{Driver, DriverError};
@@ -303,7 +303,7 @@ pub fn run(driver: &mut dyn Driver, opts: &RunOptions) -> Result<Signature, Driv
     Ok(Signature {
         name: driver.name(),
         points,
-        latency_us: lat.mean() * 1e6,
+        latency_us: secs_to_us(lat.mean()),
         max_mbps,
     })
 }
@@ -336,7 +336,7 @@ pub fn run_streaming(
     Ok(Signature {
         name: format!("{} [stream x{burst_count}]", driver.name()),
         points,
-        latency_us: lat.mean() * 1e6,
+        latency_us: secs_to_us(lat.mean()),
         max_mbps,
     })
 }

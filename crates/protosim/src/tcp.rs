@@ -36,7 +36,7 @@ use std::collections::VecDeque;
 use faultlab::SegFault;
 use hwmodel::nic::TCPIP_HEADERS;
 use simcore::trace::{stages, SpanRec};
-use simcore::{SimDuration, SimTime};
+use simcore::{units, SimDuration, SimTime};
 
 use crate::fabric::{flow_track, Conn, ConnId, Continuation, Fabric, Net};
 
@@ -150,7 +150,10 @@ pub fn open_on_channel(fabric: &mut Fabric, mut params: TcpParams, channel: usiz
     if let Some(cap) = spec.nic.driver_cap_bps {
         payload_rate = payload_rate.min(cap);
     }
-    let burst_bytes = (2.0 * payload_rate * spec.nic.ack_delay_us * 1e-6) as u64;
+    let burst_bytes = units::bytes_at_rate(
+        payload_rate,
+        SimDuration::from_micros_f64(2.0 * spec.nic.ack_delay_us),
+    );
     let min_smooth = (8 * mss).max(burst_bytes);
     let p4_rough = params.block_sync_writes && window < spec.kernel.delack_window_bytes;
     let smooth = !p4_rough && window >= min_smooth;
@@ -277,7 +280,7 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
                 if let Some(fl) = faults.as_mut() {
                     let rate = wires[channel][dir].rate();
                     let frame_us = if rate.is_finite() && rate > 0.0 {
-                        frame as f64 / rate * 1e6
+                        SimDuration::for_bytes(frame, rate).as_micros_f64()
                     } else {
                         0.0
                     };
@@ -339,7 +342,10 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
                                     // Degraded link: the segment holds
                                     // the wire longer, queueing every
                                     // later segment behind it.
-                                    let extra_bytes = (slow_us * 1e-6 * rate).round() as u64;
+                                    let extra_bytes = units::bytes_at_rate(
+                                        rate,
+                                        SimDuration::from_micros_f64(slow_us),
+                                    );
                                     t4 = wires[channel][dir].serve(t4, extra_bytes);
                                 }
                                 if extra_us > 0.0 {

@@ -38,6 +38,65 @@ pub fn throughput_mbps(bytes: u64, seconds: f64) -> f64 {
     bytes as f64 * 8.0 / seconds / 1e6
 }
 
+/// MB/s (decimal) for a byte rate — reporting form for memory benches.
+#[inline]
+pub fn bytes_per_sec_to_mbytes(bps: f64) -> f64 {
+    bps / 1e6
+}
+
+/// Seconds → microseconds (reporting form for latencies).
+#[inline]
+pub fn secs_to_us(s: f64) -> f64 {
+    s * 1e6
+}
+
+/// Seconds → milliseconds.
+#[inline]
+pub fn secs_to_ms(s: f64) -> f64 {
+    s * 1e3
+}
+
+/// Microseconds → seconds.
+#[inline]
+pub fn us_to_secs(us: f64) -> f64 {
+    us * 1e-6
+}
+
+/// Nanoseconds → seconds.
+#[inline]
+pub fn ns_to_secs(ns: f64) -> f64 {
+    ns / 1e9
+}
+
+/// Nanoseconds → milliseconds.
+#[inline]
+pub fn ns_to_ms(ns: f64) -> f64 {
+    ns / 1e6
+}
+
+/// Nanoseconds → microseconds.
+#[inline]
+pub fn ns_to_us(ns: f64) -> f64 {
+    ns / 1e3
+}
+
+/// Whole bytes a link of `bytes_per_sec` moves in `d`, rounded to the
+/// nearest byte. Non-finite or non-positive rates yield zero.
+#[inline]
+pub fn bytes_at_rate(bytes_per_sec: f64, d: crate::time::SimDuration) -> u64 {
+    if !bytes_per_sec.is_finite() || bytes_per_sec <= 0.0 {
+        return 0;
+    }
+    (bytes_per_sec * d.as_secs_f64()).round() as u64
+}
+
+/// Burst rate of a `width_bits`-wide bus clocked at `mhz`, bytes/second
+/// (the PCI model: 64 bit × 66 MHz = 528 MB/s).
+#[inline]
+pub fn bus_bytes_per_sec(width_bits: u32, mhz: f64) -> f64 {
+    f64::from(width_bits) / 8.0 * mhz * 1e6
+}
+
 /// Kibibytes → bytes (socket-buffer and threshold sizes in the paper are
 /// quoted in binary kB: "32 kB", "128 kB", "256 kB").
 #[inline]
@@ -85,5 +144,33 @@ mod tests {
     #[test]
     fn mbytes_conversion() {
         assert_eq!(mbytes_to_bytes_per_sec(300.0), 3e8);
+        assert_eq!(bytes_per_sec_to_mbytes(3e8), 300.0);
+    }
+
+    #[test]
+    fn time_scale_conversions() {
+        assert_eq!(secs_to_us(0.01), 10_000.0);
+        assert_eq!(secs_to_ms(0.25), 250.0);
+        assert_eq!(us_to_secs(10_000.0), 0.01);
+        assert_eq!(ns_to_secs(2_000_000_000.0), 2.0);
+        assert_eq!(ns_to_ms(1_500_000.0), 1.5);
+        assert_eq!(ns_to_us(2_500.0), 2.5);
+    }
+
+    #[test]
+    fn bytes_at_rate_rounds_and_clamps() {
+        use crate::time::SimDuration;
+        // 125 MB/s for 200 us = 25_000 bytes.
+        let d = SimDuration::from_micros_f64(200.0);
+        assert_eq!(bytes_at_rate(125_000_000.0, d), 25_000);
+        assert_eq!(bytes_at_rate(0.0, d), 0);
+        assert_eq!(bytes_at_rate(f64::INFINITY, d), 0);
+    }
+
+    #[test]
+    fn bus_rate_matches_paper_pci() {
+        // 64-bit 66 MHz PCI: 528 MB/s.
+        assert_eq!(bus_bytes_per_sec(64, 66.0), 528e6);
+        assert_eq!(bus_bytes_per_sec(32, 33.0), 132e6);
     }
 }

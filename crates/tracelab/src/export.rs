@@ -8,6 +8,8 @@
 
 use std::fmt::Write as _;
 
+use simcore::units::secs_to_us;
+
 use crate::tracer::{StageTotal, TraceEvent, TraceKind};
 
 /// Nanoseconds rendered as exact decimal microseconds ("12.345").
@@ -234,7 +236,7 @@ pub fn breakdown_table(rows: &[(String, f64, u64)], elapsed_s: f64) -> String {
             out,
             "{:<name_w$}  {:>12.3}  {:>5.1}%  {:>12}  {bar}",
             label,
-            busy_s * 1e6,
+            secs_to_us(*busy_s),
             share * 100.0,
             bytes,
         );

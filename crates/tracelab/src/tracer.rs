@@ -19,6 +19,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use simcore::trace::{SpanRec, TraceSink};
+use simcore::units::ns_to_us;
 use simcore::{Histogram, OnlineStats, SimTime};
 
 use crate::ring::Ring;
@@ -250,7 +251,7 @@ impl Core {
             msg,
         });
         self.spans += 1;
-        let dur_us = (end_ns - start_ns) as f64 / 1_000.0;
+        let dur_us = ns_to_us((end_ns - start_ns) as f64);
         let idx = self.acc_index(track, stage);
         let acc = &mut self.accs[idx].2;
         acc.spans += 1;

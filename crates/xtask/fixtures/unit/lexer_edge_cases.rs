@@ -1,0 +1,22 @@
+//! Lexer stress fixture: every construct here is a trap for a naive
+//! text scanner. Nothing in this file may trip any rule, under any
+//! crate path — mention of panic!("boom") or foo.unwrap() in a doc
+//! comment is just prose.
+
+/// Returns a pattern that *names* `thread::sleep` without calling it.
+/// Call sites may panic!("like this") — but only in documentation.
+pub fn patterns() -> &'static str {
+    // x.unwrap() in a line comment is also fine.
+    r#"x.unwrap(); y.expect("no"); panic!("boom"); Instant::now()"#
+}
+
+/* Nested /* block */ comments hide everything: HashMap::new().iter() */
+
+/// A quote char and an escaped quote byte are not lifetime openers.
+pub fn quotes() -> (char, u8, &'static str) {
+    ('\'', b'\'', "println!(\"not a print\")")
+}
+
+pub fn raw_bytes() -> &'static [u8] {
+    br##"dbg!(thread_rng()) " still inside "##
+}

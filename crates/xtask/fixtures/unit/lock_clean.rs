@@ -1,0 +1,24 @@
+//! Two mutexes taken in one consistent order everywhere.
+
+use crate::sync::Mutex;
+
+pub struct Pair {
+    pub(crate) first: Mutex<u32>,
+    pub(crate) second: Mutex<u32>,
+}
+
+impl Pair {
+    /// The canonical order: `first` before `second`.
+    pub fn sum(&self) -> u32 {
+        let a = self.first.lock();
+        let b = self.second.lock();
+        *a + *b
+    }
+
+    /// The first guard dies in its own block before `second` is taken.
+    pub fn staged(&self) -> u32 {
+        let head = { *self.first.lock() };
+        let tail = *self.second.lock();
+        head + tail
+    }
+}

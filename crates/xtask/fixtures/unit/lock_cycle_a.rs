@@ -1,0 +1,17 @@
+//! One half of a cross-file lock-order cycle: `first`, then `second`.
+
+use crate::sync::Mutex;
+
+pub struct Pair {
+    pub(crate) first: Mutex<u32>,
+    pub(crate) second: Mutex<u32>,
+}
+
+impl Pair {
+    /// Forward order: `second` is taken while `first` is held.
+    pub fn forward(&self) -> u32 {
+        let a = self.first.lock();
+        let b = self.second.lock();
+        *a + *b
+    }
+}

@@ -1,0 +1,12 @@
+//! The other half: `second`, then `first` — closing the cycle.
+
+use crate::lock_cycle_a::Pair;
+
+impl Pair {
+    /// Backward order: `first` is taken while `second` is held.
+    pub fn backward(&self) -> u32 {
+        let b = self.second.lock();
+        let a = self.first.lock();
+        *a + *b
+    }
+}

@@ -1,0 +1,16 @@
+//! The deterministic counterparts: timestamps come in as parameters,
+//! ordered containers replace hash maps.
+
+use std::collections::BTreeMap;
+
+pub fn elapsed_ns(t0_ns: u64, t1_ns: u64) -> u64 {
+    t1_ns.saturating_sub(t0_ns)
+}
+
+pub fn tally(pairs: &[(u32, u32)]) -> Vec<u32> {
+    let mut m: BTreeMap<u32, u32> = BTreeMap::new();
+    for (k, v) in pairs {
+        m.insert(*k, *v);
+    }
+    m.values().copied().collect()
+}

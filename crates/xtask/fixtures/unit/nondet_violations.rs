@@ -1,0 +1,17 @@
+//! Nondeterminism sources in real-mode code.
+
+use std::collections::HashMap;
+
+pub fn elapsed_ns() -> u64 {
+    let t0 = std::time::Instant::now();
+    work();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn tally(pairs: &[(u32, u32)]) -> Vec<u32> {
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    for (k, v) in pairs {
+        m.insert(*k, *v);
+    }
+    m.values().copied().collect()
+}

@@ -1,0 +1,12 @@
+//! The same conversions routed through the audited helpers.
+
+use simcore::units;
+use simcore::SimDuration;
+
+pub fn bus_rate(width_bits: u32, mhz: f64) -> f64 {
+    units::bus_bytes_per_sec(width_bits, mhz)
+}
+
+pub fn bytes_in_window(window_us: f64, rate_bps: f64) -> u64 {
+    units::bytes_at_rate(rate_bps, SimDuration::from_micros_f64(window_us))
+}

@@ -1,0 +1,9 @@
+//! Raw conversion arithmetic the units pass must catch.
+
+pub fn raw_bus_rate(width_bits: u32, mhz: f64) -> f64 {
+    f64::from(width_bits) / 8.0 * mhz * 1e6
+}
+
+pub fn bytes_in_window(window_us: f64, rate_bps: f64) -> u64 {
+    (window_us * 1e-6 * rate_bps) as u64
+}

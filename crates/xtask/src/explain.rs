@@ -1,0 +1,176 @@
+//! `--explain RULE`: one self-contained documentation page per rule.
+
+/// Documentation for a rule id, or `None` if the rule is unknown.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "wall-clock" => {
+            "wall-clock (lint, determinism family)\n\
+             scope: library code of sim crates\n\n\
+             Reading std::time::Instant or SystemTime makes a simulated result\n\
+             depend on the host's clock, so two runs of the same scenario stop\n\
+             being bit-identical. Use the simulated clock (Engine::now) instead.\n\
+             Real-mode crates are governed by the analyze-only rule\n\
+             nondet-wall-clock."
+        }
+        "sleep" => {
+            "sleep (lint, determinism family)\n\
+             scope: library code of sim crates\n\n\
+             thread::sleep stalls the host thread, not simulated time. Schedule\n\
+             an event at `now + delta` on the engine instead."
+        }
+        "ambient-rng" => {
+            "ambient-rng (lint, determinism family)\n\
+             scope: library code of sim crates\n\n\
+             thread_rng / rand::random / from_entropy seed from the OS, so runs\n\
+             are not reproducible. Route all randomness through SimRng, which is\n\
+             seeded explicitly by the scenario."
+        }
+        "hash-container" => {
+            "hash-container (lint, determinism family)\n\
+             scope: library code of sim crates\n\n\
+             HashMap/HashSet iteration order varies run to run (SipHash keys are\n\
+             randomized). Use BTreeMap/BTreeSet, or sort before iterating. In\n\
+             non-sim crates the weaker analyze-only rule nondet-hash-iter flags\n\
+             only the iteration, not the type."
+        }
+        "trace-hygiene" => {
+            "trace-hygiene (lint, determinism family)\n\
+             scope: library code of sim crates except tracelab\n\n\
+             Sim crates must stamp trace records with SimTime via\n\
+             tracelab::Tracer. The wall-clock tracing API (WallTracer, WallStamp,\n\
+             span_wall, instant_wall, now_wall) is for real runs only."
+        }
+        "blocking-hygiene" => {
+            "blocking-hygiene (lint)\n\
+             scope: library code of real-mode crates (faultlab, mplite, netpipe)\n\n\
+             A deadline-free read_exact/write_all/accept hangs the whole sweep\n\
+             when a peer dies. Use the bounded faultlab::io wrappers\n\
+             (read_exact_deadline, write_all_deadline, accept_deadline)."
+        }
+        "unwrap" | "expect" | "panic" => {
+            "unwrap / expect / panic (lint, panic-hygiene family; budgeted)\n\
+             scope: library code of library crates\n\n\
+             Library code must propagate errors, not abort the process: a panic\n\
+             inside mplite tears down a rank mid-collective. Counts are governed\n\
+             by lint-budget.toml — the budget only ratchets down. Annotate the\n\
+             few deliberate sites: // lint:allow(panic) -- <reason>."
+        }
+        "print" => {
+            "print (lint)\n\
+             scope: library code, except reporting crates (bench, xtask)\n\n\
+             Libraries return strings or take a writer; only binaries and the\n\
+             reporting crates print."
+        }
+        "dbg" => {
+            "dbg (lint)\n\
+             scope: all non-test code\n\n\
+             dbg! is a debugging leftover; remove it before committing."
+        }
+        "lints-table" => {
+            "lints-table (lint)\n\
+             scope: every crate manifest\n\n\
+             Each [package] manifest must declare `[lints] workspace = true` so\n\
+             rustc/clippy lint policy is set once, at the workspace root."
+        }
+        "bad-allow" => {
+            "bad-allow (lint)\n\n\
+             An annotation must carry a reason:\n\
+             // lint:allow(<rule>) -- <reason>\n\
+             The reason is the reviewable artifact; an allow without one is\n\
+             rejected."
+        }
+        "stale-allow" => {
+            "stale-allow (lint)\n\n\
+             A lint:allow annotation whose violation no longer exists on that\n\
+             line (or the line below) must be removed, or it will silently mask\n\
+             a future regression."
+        }
+        "budget" => {
+            "budget (lint)\n\n\
+             lint-budget.toml caps un-annotated unwrap/expect/panic (and, under\n\
+             analyze, units) counts per crate/rule. Counts above an entry fail;\n\
+             counts below fail too (ratchet) so the entry is lowered as debt is\n\
+             paid. Regenerate with --write-budget."
+        }
+        "lock-order" => {
+            "lock-order (analyze, cross-file)\n\
+             scope: library code, workspace-wide\n\n\
+             The analyzer collects every `.lock()` site, tracks held guards\n\
+             through function bodies (scope ends, drop(), statement-end for\n\
+             temporaries), and propagates acquisitions across same-crate calls.\n\
+             An edge A -> B means B was taken while A was held; a cycle in this\n\
+             graph is a deadlock waiting for the right thread interleaving. The\n\
+             diagnostic names every acquisition site on the cycle. Fix by\n\
+             ranking the locks and always acquiring in rank order (see\n\
+             DESIGN.md, \"Cross-file analysis\"). Lock identity is the field\n\
+             name qualified by crate — `self.state.lock()` is `mplite::state`."
+        }
+        "lock-across-blocking" => {
+            "lock-across-blocking (analyze, cross-file)\n\
+             scope: library code, workspace-wide\n\n\
+             Holding a mutex guard across wait / read_exact_deadline /\n\
+             write_all_deadline / accept_deadline stalls every thread contending\n\
+             for that lock for up to the full deadline. Drop the guard before\n\
+             blocking, or restructure so the slow call happens lock-free. The\n\
+             condvar idiom `cv.wait(&mut guard)` — where the guard is passed\n\
+             into the wait — is recognized and exempt."
+        }
+        "units" => {
+            "units (analyze; budgeted)\n\
+             scope: library code outside simcore::{time,units}\n\n\
+             Two shapes are flagged: (1) a magic conversion constant (1e6, 8.0,\n\
+             125_000.0, 1_000_000, ...) directly multiplied or divided —\n\
+             conversions must go through SimTime/SimDuration or the\n\
+             simcore::units helpers so each factor exists exactly once, in one\n\
+             audited file; (2) an `as u64`/`as f64` cast in a statement mixing\n\
+             time-suffixed (_us/_ns/_s) and rate (rate/bps) identifiers —\n\
+             use SimDuration::for_bytes / units::bytes_at_rate instead."
+        }
+        "nondet-wall-clock" => {
+            "nondet-wall-clock (analyze)\n\
+             scope: library code of real-mode crates, minus the clock owners\n\
+             (netpipe::real_tcp, netpipe::mplite_driver, faultlab::io)\n\n\
+             Real-mode code outside the driver/deadline layer must take\n\
+             timestamps as parameters rather than read Instant/SystemTime, so\n\
+             replay and fault sweeps stay reproducible."
+        }
+        "nondet-hash-iter" => {
+            "nondet-hash-iter (analyze)\n\
+             scope: library code of non-sim crates\n\n\
+             Iterating a HashMap/HashSet binding leaks SipHash ordering into\n\
+             results and reports. Keyed access is fine; iteration needs\n\
+             BTreeMap/BTreeSet or an explicit sort."
+        }
+        "nondet-float-reduction" => {
+            "nondet-float-reduction (analyze)\n\
+             scope: library code of sim crates\n\n\
+             Float addition is not associative: `.sum()` / `.fold(..)` over f64\n\
+             makes accumulation order part of the result. Use\n\
+             simcore::stats::OnlineStats (Welford) or a fixed-order loop.\n\
+             Integer reductions (`.sum::<u64>()`) and order-insensitive folds\n\
+             (f64::max / f64::min) are exempt."
+        }
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RULES;
+
+    #[test]
+    fn every_rule_has_an_explanation() {
+        for rule in RULES {
+            assert!(explain(rule).is_some(), "missing --explain for {rule}");
+        }
+        assert!(explain("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn explanations_name_their_rule() {
+        for rule in ["lock-order", "units", "nondet-hash-iter", "wall-clock"] {
+            assert!(explain(rule).expect("doc").starts_with(rule));
+        }
+    }
+}

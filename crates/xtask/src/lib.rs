@@ -1,26 +1,40 @@
 //! Workspace-native static analysis for the CLUSTER 2002 reproduction.
 //!
-//! `cargo run -p xtask -- lint` enforces the repo's two load-bearing
-//! invariants mechanically:
+//! Two passes share one engine:
 //!
-//! * **sim determinism** — the discrete-event results are only
-//!   meaningful because runs are exactly reproducible, so sim crates
-//!   must not read wall clocks, sleep, use ambient RNGs, or iterate
-//!   hash containers;
-//! * **panic hygiene** — `mplite` and friends are real libraries, so
-//!   `unwrap`/`expect`/`panic!` in library code must be burned down (a
-//!   checked-in budget ratchets the count toward zero).
+//! * `cargo run -p xtask -- lint` enforces the repo's two load-bearing
+//!   invariants mechanically — **sim determinism** (sim crates must not
+//!   read wall clocks, sleep, use ambient RNGs, or iterate hash
+//!   containers; the discrete-event results are only meaningful because
+//!   runs are exactly reproducible) and **panic hygiene** (`mplite` and
+//!   friends are real libraries, so `unwrap`/`expect`/`panic!` in
+//!   library code is burned down via a checked-in ratcheting budget);
+//! * `cargo run -p xtask -- analyze` runs everything lint runs *plus*
+//!   the cross-file passes: lock-order deadlock detection, units
+//!   hygiene, and nondeterminism dataflow. It can emit a JSON report
+//!   (`--report OUT.json`) for CI and documents every rule via
+//!   `--explain RULE`.
 //!
-//! See `DESIGN.md` ("Static analysis & invariants") for every rule id,
-//! its scope, and the `// lint:allow(<rule>) -- <reason>` annotation
-//! grammar. The implementation is a hand-rolled lexical scanner — no
-//! syn, no external dependencies — so it builds instantly and works
-//! offline.
+//! Both are built on an in-tree lexer ([`lex`]) feeding a token-stream
+//! file model ([`model`]) — no syn, no regex, no external dependencies
+//! — so the tool builds instantly and works offline. String and char
+//! literals are blanked and comments are side-channeled during lexing,
+//! so rules never misfire inside `r#"…unwrap()…"#` or doc comments.
+//!
+//! See `DESIGN.md` ("Static analysis & invariants" and "Cross-file
+//! analysis") for every rule id, its scope, and the
+//! `// lint:allow(<rule>) -- <reason>` annotation grammar.
 
+pub mod analyze;
 pub mod budget;
 pub mod context;
 pub mod diag;
+pub mod explain;
+pub mod lex;
 pub mod lint;
+pub mod locks;
+pub mod model;
+pub mod nondet;
 pub mod rules;
-pub mod scan;
+pub mod units;
 pub mod walk;

@@ -7,7 +7,7 @@ use std::path::Path;
 use crate::budget::Budget;
 use crate::context::classify;
 use crate::diag::Diagnostic;
-use crate::rules::check_file;
+use crate::rules::{check_file, ANALYZE_ONLY_RULES};
 use crate::walk::{collect_files, rel_str};
 
 /// Name of the burn-down budget file at the workspace root.
@@ -109,8 +109,13 @@ pub fn lint_workspace(root: &Path) -> Result<LintOutcome, String> {
             ));
         }
     }
-    // Budget entries for pairs with no live violations at all.
+    // Budget entries for pairs with no live violations at all. Entries
+    // for analyze-only rules (e.g. `units`) belong to the analyze pass,
+    // which counts them; lint must not call them stale.
     for (krate, rule, n) in budget.keys() {
+        if ANALYZE_ONLY_RULES.contains(&rule) {
+            continue;
+        }
         if n > 0
             && !out
                 .budget_counts
@@ -130,14 +135,26 @@ pub fn lint_workspace(root: &Path) -> Result<LintOutcome, String> {
     Ok(out)
 }
 
-/// Write a fresh budget file matching the live counts.
+/// Write a fresh budget file matching the live counts. Entries for
+/// analyze-only rules are carried over from the existing file — lint
+/// does not count those rules, so rewriting from lint counts alone
+/// would silently drop them.
 pub fn write_budget(root: &Path, outcome: &LintOutcome) -> Result<(), String> {
-    let text = Budget::render(&outcome.budget_counts);
+    let mut counts = outcome.budget_counts.clone();
+    let existing = fs::read_to_string(root.join(BUDGET_FILE)).unwrap_or_default();
+    if let Ok(budget) = Budget::parse(&existing) {
+        for (krate, rule, n) in budget.keys() {
+            if ANALYZE_ONLY_RULES.contains(&rule) {
+                counts.insert((krate.to_string(), rule.to_string()), n);
+            }
+        }
+    }
+    let text = Budget::render(&counts);
     fs::write(root.join(BUDGET_FILE), text).map_err(|e| format!("writing {BUDGET_FILE}: {e}"))
 }
 
 /// Does a manifest declare `[lints]` with `workspace = true`?
-fn has_workspace_lints(manifest: &str) -> bool {
+pub fn has_workspace_lints(manifest: &str) -> bool {
     let mut in_lints = false;
     for raw in manifest.lines() {
         let line = raw.trim();

@@ -3,24 +3,34 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use xtask::analyze::{analyze_workspace, render_report};
+use xtask::explain::explain;
 use xtask::lint::{lint_workspace, write_budget};
 
 const USAGE: &str = "\
 usage: cargo run -p xtask -- <command> [options]
 
 commands:
-  lint            run the workspace static-analysis pass
+  lint            run the per-file static-analysis pass
     --root <dir>      lint a different tree (default: this workspace)
     --write-budget    rewrite lint-budget.toml to match live counts
 
-The lint pass exits 0 when clean, 1 on violations, 2 on usage/IO errors.
+  analyze         lint plus the cross-file passes: lock-order deadlock
+                  detection, units hygiene, nondeterminism dataflow
+    --root <dir>      analyze a different tree (default: this workspace)
+    --report <file>   also write a machine-readable JSON report
+    --write-budget    rewrite lint-budget.toml to match live counts
+    --explain <rule>  print the documentation page for one rule id
+
+Both passes exit 0 when clean, 1 on violations, 2 on usage/IO errors.
 Rule ids, scopes, and the annotation grammar are documented in DESIGN.md
-(\"Static analysis & invariants\").";
+(\"Static analysis & invariants\" and \"Cross-file analysis\").";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint_cmd(&args[1..]),
+        Some("analyze") => analyze_cmd(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::from(2)
@@ -73,6 +83,85 @@ fn lint_cmd(args: &[String]) -> ExitCode {
     } else {
         println!(
             "xtask lint: {} violation(s) in {} files checked",
+            outcome.diagnostics.len(),
+            outcome.files_checked
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn analyze_cmd(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report: Option<PathBuf> = None;
+    let mut write = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--root needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--report" => match it.next() {
+                Some(p) => report = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--report needs a path\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--write-budget" => write = true,
+            "--explain" => {
+                return match it.next().and_then(|r| explain(r)) {
+                    Some(doc) => {
+                        println!("{doc}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!("--explain needs a known rule id\n{USAGE}");
+                        ExitCode::from(2)
+                    }
+                };
+            }
+            other => {
+                eprintln!("unknown option {other}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(workspace_root);
+
+    let outcome = match analyze_workspace(&root) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if write {
+        if let Err(e) = xtask::analyze::write_budget(&root, &outcome) {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::from(2);
+        }
+        println!("lint-budget.toml updated");
+    }
+    if let Some(path) = &report {
+        // The report is written clean or dirty — CI uploads it either way.
+        if let Err(e) = std::fs::write(path, render_report(&outcome)) {
+            eprintln!("xtask analyze: writing {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    for d in &outcome.diagnostics {
+        println!("{d}");
+    }
+    if outcome.clean() {
+        println!("xtask analyze: {} files clean", outcome.files_checked);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "xtask analyze: {} violation(s) in {} files checked",
             outcome.diagnostics.len(),
             outcome.files_checked
         );

@@ -1,4 +1,5 @@
-//! The lint rules and the per-file checking engine.
+//! The per-file lint rules (token-stream edition) and the shared
+//! finding/annotation resolution engine.
 //!
 //! Three families (see DESIGN "Static analysis & invariants"):
 //!
@@ -11,14 +12,17 @@
 //! * **workspace-hygiene** (everywhere it makes sense): `print`, `dbg`,
 //!   plus the manifest-level `lints-table` check in `lint.rs`.
 //!
-//! Any violation can be carried by an inline annotation
-//! `// lint:allow(<rule>) -- <reason>` on the same line or the line
-//! directly above; annotations without a reason (`bad-allow`) or
+//! The cross-file passes (`locks`, `units`, `nondet`) add their rules on
+//! top under `cargo run -p xtask -- analyze`; their findings flow
+//! through the same [`resolve`] engine, so the
+//! `// lint:allow(<rule>) -- <reason>` annotation grammar covers every
+//! rule uniformly. Annotations without a reason (`bad-allow`) or
 //! without a matching violation (`stale-allow`) are themselves errors.
 
 use crate::context::FileCtx;
 use crate::diag::Diagnostic;
-use crate::scan::{self, contains_ident, Line};
+use crate::lex::TokKind;
+use crate::model::FileModel;
 
 /// Rule identifiers, used in diagnostics, annotations, and the budget
 /// file.
@@ -38,27 +42,42 @@ pub const RULES: &[&str] = &[
     "bad-allow",
     "stale-allow",
     "budget",
+    "lock-order",
+    "lock-across-blocking",
+    "units",
+    "nondet-wall-clock",
+    "nondet-hash-iter",
+    "nondet-float-reduction",
 ];
 
 /// Rules whose counts are governed by the burn-down budget file rather
-/// than zero tolerance.
+/// than zero tolerance (`lint` subset).
 pub const BUDGETED_RULES: &[&str] = &["unwrap", "expect", "panic"];
+
+/// Budgeted rules under `analyze` (the lint set plus `units`, so legacy
+/// conversion debt can ratchet down instead of blocking).
+pub const ANALYZE_BUDGETED_RULES: &[&str] = &["unwrap", "expect", "panic", "units"];
+
+/// Rules only checked by `analyze`; `lint` must not report their
+/// annotations as stale and must ignore their budget entries.
+pub const ANALYZE_ONLY_RULES: &[&str] = &[
+    "lock-order",
+    "lock-across-blocking",
+    "units",
+    "nondet-wall-clock",
+    "nondet-hash-iter",
+    "nondet-float-reduction",
+];
 
 /// A raw (pre-annotation) finding inside one file.
 #[derive(Debug)]
-struct Finding {
-    line: usize, // 1-based
-    rule: &'static str,
-    message: String,
-}
-
-/// An `lint:allow` annotation found in a comment.
-#[derive(Debug)]
-struct Allow {
-    line: usize, // 1-based
-    rule: String,
-    has_reason: bool,
-    used: bool,
+pub struct RawFinding {
+    /// 1-based line.
+    pub line: u32,
+    /// Stable rule id.
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
 }
 
 /// Outcome of checking one file.
@@ -71,54 +90,78 @@ pub struct FileReport {
     pub budgeted: Vec<Diagnostic>,
 }
 
-/// Check one source file.
+/// Check one source file with the `lint` rule set (lexes internally).
 pub fn check_file(rel_path: &str, source: &str, ctx: &FileCtx) -> FileReport {
-    let lines = scan::scan(source);
-    let test_mask = cfg_test_mask(&lines);
-    let mut allows = collect_allows(&lines);
-    let mut findings: Vec<Finding> = Vec::new();
+    let model = FileModel::parse(rel_path, source);
+    let findings = file_findings(&model, ctx);
+    resolve(&model, findings, BUDGETED_RULES, ANALYZE_ONLY_RULES)
+}
 
-    for (i, line) in lines.iter().enumerate() {
-        if test_mask[i] {
+/// Run the per-file lint rules over an already-lexed model.
+pub fn file_findings(model: &FileModel, ctx: &FileCtx) -> Vec<RawFinding> {
+    let mut findings: Vec<RawFinding> = Vec::new();
+    let toks = &model.toks;
+
+    let mut push = |line: u32, rule: &'static str, message: String| {
+        // The regex-era linter reported at most one finding per
+        // (line, rule, message); keep that contract.
+        if !findings
+            .iter()
+            .any(|f| f.line == line && f.rule == rule && f.message == message)
+        {
+            findings.push(RawFinding {
+                line,
+                rule,
+                message,
+            });
+        }
+    };
+
+    for (i, t) in toks.iter().enumerate() {
+        if model.masked(t.line) {
             continue;
         }
-        let code = &line.code;
-        let lineno = i + 1;
+        let ident = (t.kind == TokKind::Ident).then_some(t.text.as_str());
 
         if ctx.determinism_scope() {
-            if contains_ident(code, "Instant") || contains_ident(code, "SystemTime") {
-                findings.push(Finding {
-                    line: lineno,
-                    rule: "wall-clock",
-                    message: "wall-clock read in sim code; use the simulated clock (Engine::now)"
-                        .into(),
-                });
+            if matches!(ident, Some("Instant") | Some("SystemTime")) {
+                push(
+                    t.line,
+                    "wall-clock",
+                    "wall-clock read in sim code; use the simulated clock (Engine::now)".into(),
+                );
             }
-            if code.contains("thread::sleep") {
-                findings.push(Finding {
-                    line: lineno,
-                    rule: "sleep",
-                    message: "thread::sleep in sim code; schedule an event instead".into(),
-                });
-            }
-            if contains_ident(code, "thread_rng")
-                || code.contains("rand::random")
-                || contains_ident(code, "from_entropy")
+            if ident == Some("sleep")
+                && i >= 2
+                && toks[i - 1].is_punct("::")
+                && toks[i - 2].is_ident("thread")
             {
-                findings.push(Finding {
-                    line: lineno,
-                    rule: "ambient-rng",
-                    message: "ambient RNG in sim code; route randomness through SimRng".into(),
-                });
+                push(
+                    t.line,
+                    "sleep",
+                    "thread::sleep in sim code; schedule an event instead".into(),
+                );
             }
-            if contains_ident(code, "HashMap") || contains_ident(code, "HashSet") {
-                findings.push(Finding {
-                    line: lineno,
-                    rule: "hash-container",
-                    message: "HashMap/HashSet in sim code has nondeterministic iteration order; \
+            if matches!(ident, Some("thread_rng") | Some("from_entropy"))
+                || (ident == Some("random")
+                    && i >= 2
+                    && toks[i - 1].is_punct("::")
+                    && toks[i - 2].is_ident("rand"))
+            {
+                push(
+                    t.line,
+                    "ambient-rng",
+                    "ambient RNG in sim code; route randomness through SimRng".into(),
+                );
+            }
+            if matches!(ident, Some("HashMap") | Some("HashSet")) {
+                push(
+                    t.line,
+                    "hash-container",
+                    "HashMap/HashSet in sim code has nondeterministic iteration order; \
                          use BTreeMap/BTreeSet or sort explicitly"
                         .into(),
-                });
+                );
             }
         }
 
@@ -130,118 +173,141 @@ pub fn check_file(rel_path: &str, source: &str, ctx: &FileCtx) -> FileReport {
                 "instant_wall",
                 "now_wall",
             ];
-            if WALL_APIS.iter().any(|api| contains_ident(code, api)) {
-                findings.push(Finding {
-                    line: lineno,
-                    rule: "trace-hygiene",
-                    message: "wall-clock tracing API in sim code; stamp trace records with \
+            if ident.is_some_and(|id| WALL_APIS.contains(&id)) {
+                push(
+                    t.line,
+                    "trace-hygiene",
+                    "wall-clock tracing API in sim code; stamp trace records with \
                          SimTime (tracelab::Tracer)"
                         .into(),
-                });
+                );
             }
         }
 
-        if ctx.blocking_scope() {
-            for (pattern, name) in [
-                (".read_exact(", "read_exact"),
-                (".write_all(", "write_all"),
-                (".accept()", "accept"),
-            ] {
-                if code.contains(pattern) {
-                    findings.push(Finding {
-                        line: lineno,
-                        rule: "blocking-hygiene",
-                        message: format!(
+        if ctx.blocking_scope() && i >= 1 && toks[i - 1].is_punct(".") {
+            let next_open = toks.get(i + 1).is_some_and(|n| n.is_punct("("));
+            match ident {
+                Some(name @ ("read_exact" | "write_all")) if next_open => {
+                    push(
+                        t.line,
+                        "blocking-hygiene",
+                        format!(
                             "deadline-free blocking `{name}` in real-mode code; use \
                              faultlab::io::{name}_deadline"
                         ),
-                    });
+                    );
                 }
+                Some("accept") if next_open && toks.get(i + 2).is_some_and(|n| n.is_punct(")")) => {
+                    push(
+                        t.line,
+                        "blocking-hygiene",
+                        "deadline-free blocking `accept` in real-mode code; use \
+                         faultlab::io::accept_deadline"
+                            .into(),
+                    );
+                }
+                _ => {}
             }
         }
 
         if ctx.panic_scope() {
-            if code.contains(".unwrap()") {
-                findings.push(Finding {
-                    line: lineno,
-                    rule: "unwrap",
-                    message: "unwrap() in library code; propagate the error instead".into(),
-                });
+            if i >= 1 && toks[i - 1].is_punct(".") {
+                if ident == Some("unwrap")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+                    && toks.get(i + 2).is_some_and(|n| n.is_punct(")"))
+                {
+                    push(
+                        t.line,
+                        "unwrap",
+                        "unwrap() in library code; propagate the error instead".into(),
+                    );
+                }
+                if ident == Some("expect") && toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+                    push(
+                        t.line,
+                        "expect",
+                        "expect() in library code; propagate the error instead".into(),
+                    );
+                }
             }
-            if code.contains(".expect(") {
-                findings.push(Finding {
-                    line: lineno,
-                    rule: "expect",
-                    message: "expect() in library code; propagate the error instead".into(),
-                });
-            }
-            for mac in ["panic", "todo", "unimplemented", "unreachable"] {
-                // `!` is not an identifier char, so `find_ident` on the
-                // bare name plus a `!` check gives exact macro matches.
-                if let Some(pos) = scan::find_ident(code, mac) {
-                    if code[pos + mac.len()..].starts_with('!') {
-                        findings.push(Finding {
-                            line: lineno,
-                            rule: "panic",
-                            message: format!("{mac}! in library code; return an error instead"),
-                        });
-                    }
+            if let Some(mac @ ("panic" | "todo" | "unimplemented" | "unreachable")) = ident {
+                if toks.get(i + 1).is_some_and(|n| n.is_punct("!")) {
+                    push(
+                        t.line,
+                        "panic",
+                        format!("{mac}! in library code; return an error instead"),
+                    );
                 }
             }
         }
 
         if ctx.print_scope()
-            && ["println!", "print!", "eprintln!", "eprint!"]
-                .iter()
-                .any(|m| code.contains(m))
+            && matches!(
+                ident,
+                Some("println") | Some("print") | Some("eprintln") | Some("eprint")
+            )
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
         {
-            findings.push(Finding {
-                line: lineno,
-                rule: "print",
-                message: "print in library code; return strings or take a writer".into(),
-            });
+            push(
+                t.line,
+                "print",
+                "print in library code; return strings or take a writer".into(),
+            );
         }
 
-        if ctx.dbg_scope() && code.contains("dbg!") {
-            findings.push(Finding {
-                line: lineno,
-                rule: "dbg",
-                message: "dbg! left in non-test code".into(),
-            });
+        if ctx.dbg_scope()
+            && ident == Some("dbg")
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+        {
+            push(t.line, "dbg", "dbg! left in non-test code".into());
         }
     }
+    findings
+}
 
-    // Resolve annotations: an allow on line N covers a finding on line N
-    // or line N+1 (comment-above style).
+/// Resolve findings against the file's annotations.
+///
+/// An allow on line N covers a finding on line N or line N+1
+/// (comment-above style). `budgeted_rules` routes surviving findings to
+/// the budget channel; allows naming a rule in `stale_exempt` are never
+/// reported stale (they belong to a checker that is not running).
+pub fn resolve(
+    model: &FileModel,
+    findings: Vec<RawFinding>,
+    budgeted_rules: &[&str],
+    stale_exempt: &[&str],
+) -> FileReport {
+    let mut used = vec![false; model.allows.len()];
     let mut report = FileReport::default();
     for f in findings {
-        let allowed = allows.iter_mut().any(|a| {
-            a.rule == f.rule && a.has_reason && (a.line == f.line || a.line + 1 == f.line) && {
-                a.used = true;
+        let line = f.line as usize;
+        let allowed = model.allows.iter().enumerate().any(|(ai, a)| {
+            a.rule == f.rule && a.has_reason && (a.line == line || a.line + 1 == line) && {
+                used[ai] = true;
                 true
             }
         });
         if allowed {
             continue;
         }
-        let d = Diagnostic::new(rel_path, f.line, f.rule, f.message);
-        if BUDGETED_RULES.contains(&f.rule) {
+        let d = Diagnostic::new(&model.rel, line, f.rule, f.message);
+        if budgeted_rules.contains(&f.rule) {
             report.budgeted.push(d);
         } else {
             report.diagnostics.push(d);
         }
     }
-    for a in &allows {
+    for (ai, a) in model.allows.iter().enumerate() {
         if !a.has_reason {
             report.diagnostics.push(Diagnostic::new(
-                rel_path,
+                &model.rel,
                 a.line,
                 "bad-allow",
                 "malformed annotation; use `lint:allow(<rule>) -- <reason>`",
             ));
-        } else if !a.used {
+        } else if !used[ai] && !stale_exempt.contains(&a.rule.as_str()) {
             report.diagnostics.push(Diagnostic::new(
-                rel_path,
+                &model.rel,
                 a.line,
                 "stale-allow",
                 format!(
@@ -252,85 +318,6 @@ pub fn check_file(rel_path: &str, source: &str, ctx: &FileCtx) -> FileReport {
         }
     }
     report
-}
-
-/// Per-line mask: inside a `#[cfg(test)]`-gated item (brace-delimited)?
-fn cfg_test_mask(lines: &[Line]) -> Vec<bool> {
-    #[derive(Clone, Copy)]
-    enum St {
-        Out,
-        Armed(u32),
-        In(u32),
-    }
-    let mut st = St::Out;
-    let mut mask = vec![false; lines.len()];
-    for (i, line) in lines.iter().enumerate() {
-        match st {
-            St::Out => {
-                if line.code.contains("#[cfg(test)]") {
-                    st = St::Armed(line.depth_at_start);
-                    mask[i] = true;
-                }
-            }
-            St::Armed(base) => {
-                mask[i] = true;
-                if line.depth_at_start > base {
-                    st = St::In(base);
-                }
-            }
-            St::In(base) => {
-                if line.depth_at_start > base {
-                    mask[i] = true;
-                } else {
-                    // Depth fell back to the attribute's level: region
-                    // closed on the previous line. Re-examine this one.
-                    st = St::Out;
-                    if line.code.contains("#[cfg(test)]") {
-                        st = St::Armed(line.depth_at_start);
-                        mask[i] = true;
-                    }
-                }
-            }
-        }
-    }
-    mask
-}
-
-/// Extract every `lint:allow(...)` annotation from comment channels.
-///
-/// Only a well-formed rule token (lowercase letters and dashes) between
-/// the parentheses makes an annotation — prose *about* the grammar,
-/// like "`lint:allow(<rule>)`" in documentation, is ignored. A
-/// well-formed token that names no known rule is still collected so it
-/// surfaces as `stale-allow` rather than silently doing nothing.
-fn collect_allows(lines: &[Line]) -> Vec<Allow> {
-    let mut out = Vec::new();
-    for (i, line) in lines.iter().enumerate() {
-        let mut rest = line.comment.as_str();
-        while let Some(pos) = rest.find("lint:allow(") {
-            let after = &rest[pos + "lint:allow(".len()..];
-            let Some(close) = after.find(')') else { break };
-            let rule = after[..close].trim().to_string();
-            let tail = &after[close + 1..];
-            rest = tail;
-            if rule.is_empty()
-                || !rule
-                    .chars()
-                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
-            {
-                continue;
-            }
-            let has_reason = tail.trim_start().starts_with("--")
-                && tail.trim_start().trim_start_matches("--").trim().len() >= 3;
-            out.push(Allow {
-                line: i + 1,
-                rule,
-                has_reason,
-                used: false,
-            });
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -419,6 +406,17 @@ mod tests {
             "let y = 1; // lint:allow(unwrap) -- nothing here\n",
         );
         assert!(r.diagnostics.iter().any(|d| d.rule == "stale-allow"));
+    }
+
+    #[test]
+    fn analyze_rule_allows_are_not_stale_under_lint() {
+        // `lint` does not run the cross-file passes, so an annotation
+        // carrying an analyze-only finding must not be reported stale.
+        let r = check(
+            "crates/mplite/src/x.rs",
+            "let y = 1; // lint:allow(lock-across-blocking) -- guard is private to this thread\n",
+        );
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
     }
 
     #[test]
