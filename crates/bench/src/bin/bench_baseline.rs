@@ -1,0 +1,111 @@
+//! Produce the committed perf baseline (`BENCH_seed.json`).
+//!
+//! ROADMAP item 1 asks for an events/sec ratchet anchor: a number a
+//! later optimization PR can be compared against. This binary measures
+//! the simulator core on a fixed workload — a two-rank NetPIPE-style
+//! ping-pong sweep (1 B … 64 KiB, powers of two) of the tuned MPICH
+//! model on the paper's PCs/GA-620 cluster — and reports how many
+//! simulation events the engine executes per wall-clock second, once
+//! bare and once with a `tracelab::Tracer` instrumenting every fabric.
+//! The traced run doubles as the tracing-overhead ratchet.
+//!
+//! Usage: `cargo run --release -p bench --bin bench_baseline [out.json]`
+//! (tune the per-mode measurement budget with `BENCH_MS`, default 500).
+//!
+//! The event *counts* are deterministic (assert-checked here); only the
+//! wall-clock figures vary by host, which is why the committed seed is
+//! a ratchet anchor for one machine rather than a portable claim.
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use bench::microbench::{measure, Sample};
+use hwmodel::presets::pcs_ga620;
+use mpsim::libs::{mpich, MpichConfig};
+use mpsim::Session;
+use protosim::Fabric;
+use tracelab::Tracer;
+
+/// Message sizes for the sweep: 1 B through 64 KiB, powers of two.
+fn sizes() -> Vec<u64> {
+    (0..=16).map(|p| 1u64 << p).collect()
+}
+
+/// Run the full sweep once, returning total engine events executed.
+fn sweep(traced: bool) -> u64 {
+    let lib = mpich(MpichConfig::tuned());
+    let mut events = 0u64;
+    for bytes in sizes() {
+        let mut eng = Fabric::engine(pcs_ga620());
+        if traced {
+            protosim::instrument(&mut eng, Tracer::new());
+        }
+        let session = Session::establish(&mut eng.world, &lib);
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        mpsim::pingpong(
+            &session,
+            &mut eng,
+            bytes,
+            1,
+            Box::new(move |_, _| done2.set(true)),
+        );
+        eng.run();
+        assert!(done.get(), "pingpong of {bytes} B stalled");
+        events += eng.events_executed();
+    }
+    events
+}
+
+fn mode_json(label: &str, events_per_run: u64, s: Sample) -> String {
+    let events_per_sec = events_per_run as f64 * s.per_sec();
+    format!(
+        "  \"{label}\": {{\n    \"events_per_run\": {events_per_run},\n    \
+         \"mean_ns\": {},\n    \"min_ns\": {},\n    \"iters\": {},\n    \
+         \"events_per_sec\": {events_per_sec:.0}\n  }}",
+        s.mean_ns, s.min_ns, s.iters
+    )
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_seed.json".to_string());
+
+    // Event counts are exact and reproducible; pin them before timing.
+    let bare_events = sweep(false);
+    let traced_events = sweep(true);
+    assert_eq!(
+        bare_events, traced_events,
+        "tracing must not change the event stream"
+    );
+
+    let bare = measure(|| sweep(false));
+    let traced = measure(|| sweep(true));
+
+    let sizes_json: Vec<String> = sizes().iter().map(u64::to_string).collect();
+    let json = format!(
+        "{{\n  \"tool\": \"bench-baseline\",\n  \"workload\": \
+         \"two-rank mpich(tuned) pingpong sweep on pcs_ga620\",\n  \
+         \"sweep_sizes_bytes\": [{}],\n{},\n{}\n}}\n",
+        sizes_json.join(", "),
+        mode_json("untraced", bare_events, bare),
+        mode_json("traced", traced_events, traced),
+    );
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+
+    let overhead = traced.mean_ns as f64 / bare.mean_ns as f64;
+    println!(
+        "untraced: {} events/run, {:.0} events/sec ({} iters)",
+        bare_events,
+        bare_events as f64 * bare.per_sec(),
+        bare.iters
+    );
+    println!(
+        "traced:   {} events/run, {:.0} events/sec ({} iters, {overhead:.2}x untraced)",
+        traced_events,
+        traced_events as f64 * traced.per_sec(),
+        traced.iters
+    );
+    println!("wrote {out}");
+}

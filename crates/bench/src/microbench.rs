@@ -23,6 +23,54 @@ fn budget() -> Duration {
     Duration::from_millis(ms)
 }
 
+/// One measurement: per-iteration statistics over the time budget.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Mean per-iteration time.
+    pub mean_ns: u128,
+    /// Fastest iteration.
+    pub min_ns: u128,
+    /// Timed iterations (warm-up excluded).
+    pub iters: usize,
+}
+
+impl Sample {
+    /// Iterations per wall-clock second, from the mean.
+    pub fn per_sec(&self) -> f64 {
+        if self.mean_ns == 0 {
+            f64::INFINITY
+        } else {
+            1.0 / ns_to_secs(self.mean_ns as f64)
+        }
+    }
+}
+
+/// Measure `f` under the `BENCH_MS` budget: one untimed warm-up call
+/// (fills caches, spawns lazy state), then timed iterations until the
+/// budget is spent (at least 3, at most 100k). The closure's return
+/// value is passed through `std::hint::black_box` so the work cannot
+/// be optimized away.
+pub fn measure<R>(mut f: impl FnMut() -> R) -> Sample {
+    std::hint::black_box(f());
+    let budget = budget();
+    let mut times_ns: Vec<u128> = Vec::new();
+    let started = Instant::now();
+    while started.elapsed() < budget || times_ns.len() < 3 {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times_ns.push(t0.elapsed().as_nanos());
+        if times_ns.len() >= 100_000 {
+            break;
+        }
+    }
+    let n = times_ns.len();
+    Sample {
+        mean_ns: times_ns.iter().sum::<u128>() / n as u128,
+        min_ns: times_ns.iter().min().copied().unwrap_or(0),
+        iters: n,
+    }
+}
+
 /// A named group of benchmarks (purely cosmetic: prints a header).
 pub struct Group {
     name: &'static str,
@@ -36,64 +84,32 @@ pub fn group(name: &'static str) -> Group {
 
 impl Group {
     /// Measure `f`, reporting per-iteration time under `name`.
-    ///
-    /// The closure's return value is passed through `std::hint::black_box`
-    /// so the work cannot be optimized away.
-    pub fn bench<R>(&self, name: &str, mut f: impl FnMut() -> R) {
-        // Warm-up: one untimed call (fills caches, spawns lazy state).
-        std::hint::black_box(f());
-
-        let budget = budget();
-        let mut times_ns: Vec<u128> = Vec::new();
-        let started = Instant::now();
-        while started.elapsed() < budget || times_ns.len() < 3 {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            times_ns.push(t0.elapsed().as_nanos());
-            if times_ns.len() >= 100_000 {
-                break;
-            }
-        }
-        let n = times_ns.len() as u128;
-        let mean = times_ns.iter().sum::<u128>() / n;
-        let min = times_ns.iter().min().copied().unwrap_or(0);
+    pub fn bench<R>(&self, name: &str, f: impl FnMut() -> R) {
+        let s = measure(f);
         println!(
             "{:<40} {:>12}/iter (min {:>12}, {} iters)",
             format!("{}/{}", self.name, name),
-            fmt_ns(mean),
-            fmt_ns(min),
-            n
+            fmt_ns(s.mean_ns),
+            fmt_ns(s.min_ns),
+            s.iters
         );
     }
 
     /// Like [`Group::bench`] but also reports throughput for `bytes`
     /// processed per iteration.
-    pub fn bench_bytes<R>(&self, name: &str, bytes: u64, mut f: impl FnMut() -> R) {
-        std::hint::black_box(f());
-        let budget = budget();
-        let mut times_ns: Vec<u128> = Vec::new();
-        let started = Instant::now();
-        while started.elapsed() < budget || times_ns.len() < 3 {
-            let t0 = Instant::now();
-            std::hint::black_box(f());
-            times_ns.push(t0.elapsed().as_nanos());
-            if times_ns.len() >= 100_000 {
-                break;
-            }
-        }
-        let n = times_ns.len() as u128;
-        let mean = times_ns.iter().sum::<u128>() / n;
-        let mbps = if mean > 0 {
-            bytes_per_sec_to_mbytes(bytes as f64 / ns_to_secs(mean as f64))
+    pub fn bench_bytes<R>(&self, name: &str, bytes: u64, f: impl FnMut() -> R) {
+        let s = measure(f);
+        let mbps = if s.mean_ns > 0 {
+            bytes_per_sec_to_mbytes(bytes as f64 / ns_to_secs(s.mean_ns as f64))
         } else {
             f64::INFINITY
         };
         println!(
             "{:<40} {:>12}/iter   {:>10.1} MB/s ({} iters)",
             format!("{}/{}", self.name, name),
-            fmt_ns(mean),
+            fmt_ns(s.mean_ns),
             mbps,
-            n
+            s.iters
         );
     }
 }

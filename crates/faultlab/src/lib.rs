@@ -36,11 +36,13 @@
 
 pub mod counters;
 pub mod io;
+pub mod lifecycle;
 pub mod lottery;
 pub mod plan;
 pub mod retry;
 
 pub use counters::FaultCounters;
+pub use lifecycle::SegLifeState;
 pub use lottery::{FaultLottery, SegFault};
 pub use plan::{DegradeWindow, FaultPlan, PlanError};
 pub use retry::{RetryPolicy, SweepPolicy};

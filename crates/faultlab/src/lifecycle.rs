@@ -1,0 +1,67 @@
+//! The segment RTO/retransmit/conn-death lifecycle, as an explicit
+//! protocol specification.
+//!
+//! `protosim::tcp` drives every faulted segment through this machine:
+//! a segment in flight faces the fault lottery; a drop parks the sender
+//! in the RTO wait, from which it either retransmits (and faces the
+//! lottery afresh) or — once `max_retrans` attempts are burned — kills
+//! the connection for good. The spec below is the single source of
+//! record; `xtask analyze`'s `protocol-*` rules cross-check the match
+//! arms in `protosim::tcp::pump` against it.
+
+protospec::protocol! {
+    /// Per-segment fault lifecycle (Linux 2.4 TCP semantics: fixed RTO,
+    /// bounded retransmissions, then the connection declares itself
+    /// dead rather than deadlock the sweep).
+    ///
+    /// Events are internal (`~`): the peer never sees drops or timer
+    /// expiries, only the delivered copy.
+    pub SegLifeState of faultlab.segment;
+    states InFlight, RtoWait, Delivered, Dead;
+    terminal Delivered, Dead;
+    InFlight --deliver~--> Delivered;
+    InFlight --drop~--> RtoWait;
+    RtoWait --retransmit~--> InFlight;
+    RtoWait --exhaust~--> Dead;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SegLifeState;
+
+    #[test]
+    fn spec_is_well_formed() {
+        let spec = SegLifeState::spec();
+        assert!(spec.check().is_empty(), "{:?}", spec.check());
+        assert_eq!(spec.name, "faultlab.segment");
+        assert_eq!(SegLifeState::initial(), SegLifeState::InFlight);
+    }
+
+    #[test]
+    fn lifecycle_paths_follow_the_table() {
+        // Happy path.
+        let s = SegLifeState::initial().step("deliver").expect("edge");
+        assert!(s.is_terminal());
+        // Drop → retransmit → deliver.
+        let s = SegLifeState::InFlight
+            .step("drop")
+            .and_then(|s| s.step("retransmit"))
+            .and_then(|s| s.step("deliver"))
+            .expect("declared chain");
+        assert_eq!(s, SegLifeState::Delivered);
+        // Exhaustion is terminal and absorbing.
+        let dead = SegLifeState::RtoWait.step("exhaust").expect("edge");
+        assert_eq!(dead, SegLifeState::Dead);
+        assert!(dead.is_terminal());
+        assert!(dead.step("retransmit").is_err());
+    }
+
+    #[test]
+    fn typestate_chain_compiles_for_the_happy_and_retry_paths() {
+        use super::{InFlight, RtoWait};
+        let _delivered = InFlight.deliver();
+        let w: RtoWait = InFlight.drop();
+        let _delivered = w.retransmit().deliver();
+        let _dead = InFlight.drop().exhaust();
+    }
+}

@@ -258,6 +258,10 @@ impl Comm {
                 }
             })?;
 
+        // Mesh connected, service threads up: boot is over. If a reader
+        // already poisoned the engine this is a no-op by design.
+        engine.ready();
+
         Ok(Comm {
             rank,
             nprocs,
@@ -508,7 +512,7 @@ impl Drop for Comm {
         for r in self.readers.drain(..) {
             let _ = r.join();
         }
-        self.engine.poison("communicator finalized");
+        self.engine.finalize("communicator finalized");
     }
 }
 

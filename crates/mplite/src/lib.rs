@@ -36,6 +36,7 @@ pub mod buf;
 pub mod collectives;
 pub mod comm;
 pub mod error;
+pub mod lifecycle;
 pub mod message;
 pub mod sync;
 pub mod trace;
@@ -46,6 +47,7 @@ pub use buf::Bytes;
 pub use collectives::{ReduceElem, ReduceOp};
 pub use comm::{Comm, RecvRequest, SendRequest, Status};
 pub use error::{MpError, Result};
+pub use lifecycle::ConnLifeState;
 pub use message::{ANY_SOURCE, ANY_TAG};
 pub use typed::{wait_all_recvs, wait_all_sends, wait_any_recv};
 pub use universe::Universe;

@@ -1,0 +1,58 @@
+//! The communicator connection lifecycle, as an explicit protocol
+//! specification.
+//!
+//! An MP_Lite-style communicator boots (full-mesh connect + hello
+//! exchange in [`crate::universe`], reader/writer threads spawned in
+//! [`crate::comm`]), runs steady-state, and leaves the steady state
+//! exactly one way per cause: a peer dying mid-message *poisons* the
+//! match engine (every posted and future receive fails fast, the sweep
+//! survives), and finalization — clean or after poison — retires it
+//! for good. [`crate::message::MatchEngine`] holds the live state and
+//! steps it through the match arms that `xtask analyze`'s `protocol-*`
+//! rules check against this table.
+
+protospec::protocol! {
+    /// Connection lifecycle: boot → steady, with poison and finalize
+    /// exits. `Finalized` is the only rest state — a communicator that
+    /// never finalizes is a leaked mesh.
+    pub ConnLifeState of mplite.connection;
+    states Booting, Steady, Poisoned, Finalized;
+    terminal Finalized;
+    Booting --ready~--> Steady;
+    Booting --poison~--> Poisoned;
+    Booting --finalize~--> Finalized;
+    Steady --poison~--> Poisoned;
+    Steady --finalize~--> Finalized;
+    Poisoned --finalize~--> Finalized;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ConnLifeState;
+
+    #[test]
+    fn spec_is_well_formed() {
+        let spec = ConnLifeState::spec();
+        assert!(spec.check().is_empty(), "{:?}", spec.check());
+        assert_eq!(ConnLifeState::initial(), ConnLifeState::Booting);
+        assert!(ConnLifeState::Finalized.is_terminal());
+    }
+
+    #[test]
+    fn lifecycle_paths_follow_the_table() {
+        // Clean life: boot → steady → finalized.
+        let s = ConnLifeState::initial()
+            .step("ready")
+            .and_then(|s| s.step("finalize"))
+            .expect("clean path");
+        assert_eq!(s, ConnLifeState::Finalized);
+        // Peer death: steady → poisoned → finalized.
+        let s = ConnLifeState::Steady
+            .step("poison")
+            .and_then(|s| s.step("finalize"))
+            .expect("poisoned path");
+        assert_eq!(s, ConnLifeState::Finalized);
+        // A finalized communicator cannot come back.
+        assert!(ConnLifeState::Finalized.step("ready").is_err());
+    }
+}

@@ -14,6 +14,7 @@ use crate::buf::Bytes;
 use crate::sync::{Condvar, Mutex};
 
 use crate::error::{MpError, Result};
+use crate::lifecycle::ConnLifeState;
 
 /// Wildcard source for receives.
 pub const ANY_SOURCE: i32 = -1;
@@ -131,15 +132,29 @@ struct PostedRecv {
 ///
 /// Thread-safe: reader threads call [`MatchEngine::deliver`], application
 /// threads call [`MatchEngine::post`].
+///
+/// The engine also owns the communicator's connection lifecycle state
+/// ([`ConnLifeState`], spec of record: `mplite.connection`): it is the
+/// one object every thread of a communicator shares, so poison/finalize
+/// transitions serialize under its lock.
 pub struct MatchEngine {
     inner: Mutex<MatchInner>,
 }
 
-#[derive(Default)]
 struct MatchInner {
     unexpected: VecDeque<InMsg>,
     posted: VecDeque<PostedRecv>,
-    dead: bool,
+    life: ConnLifeState,
+}
+
+impl Default for MatchInner {
+    fn default() -> MatchInner {
+        MatchInner {
+            unexpected: VecDeque::new(),
+            posted: VecDeque::new(),
+            life: ConnLifeState::initial(),
+        }
+    }
 }
 
 fn matches(want_src: i32, want_tag: i32, msg: &InMsg) -> bool {
@@ -183,7 +198,7 @@ impl MatchEngine {
         let slot = RecvSlot::new();
         let ready = {
             let mut inner = self.inner.lock();
-            if inner.dead {
+            if !matches!(inner.life, ConnLifeState::Booting | ConnLifeState::Steady) {
                 slot.fail("communicator shut down".into());
                 None
             } else if let Some(i) = inner.unexpected.iter().position(|m| matches(src, tag, m)) {
@@ -213,11 +228,42 @@ impl MatchEngine {
             .map(|m| (m.src, m.tag, m.data.len()))
     }
 
-    /// Fail every posted receive and refuse future posts (shutdown path).
+    /// Boot complete: the mesh is connected and the service threads are
+    /// up. A no-op if a reader already poisoned the engine — poison must
+    /// not be papered over by a late `ready`.
+    pub fn ready(&self) {
+        let mut inner = self.inner.lock();
+        inner.life = match inner.life {
+            ConnLifeState::Booting => ConnLifeState::Steady,
+            other => other,
+        };
+    }
+
+    /// Fail every posted receive and refuse future posts (peer-death
+    /// path). The engine stays usable for draining already-queued
+    /// unexpected messages until [`MatchEngine::finalize`].
     pub fn poison(&self, why: &str) {
         let posted: Vec<Arc<RecvSlot>> = {
             let mut inner = self.inner.lock();
-            inner.dead = true;
+            inner.life = match inner.life {
+                ConnLifeState::Booting | ConnLifeState::Steady | ConnLifeState::Poisoned => {
+                    ConnLifeState::Poisoned
+                }
+                ConnLifeState::Finalized => ConnLifeState::Finalized,
+            };
+            inner.posted.drain(..).map(|p| p.slot).collect()
+        };
+        for slot in posted {
+            slot.fail(why.to_string());
+        }
+    }
+
+    /// Retire the engine for good (communicator drop). Terminal: every
+    /// prior state finalizes, and nothing leaves `Finalized`.
+    pub fn finalize(&self, why: &str) {
+        let posted: Vec<Arc<RecvSlot>> = {
+            let mut inner = self.inner.lock();
+            inner.life = ConnLifeState::Finalized;
             inner.posted.drain(..).map(|p| p.slot).collect()
         };
         for slot in posted {
@@ -331,6 +377,24 @@ mod tests {
         let slot = m.post(0, 0);
         m.poison("bye");
         assert!(slot.wait().is_err());
+        assert!(m.post(0, 0).wait().is_err());
+    }
+
+    #[test]
+    fn finalize_fails_posted_and_future() {
+        let m = MatchEngine::new();
+        m.ready();
+        let slot = m.post(0, 0);
+        m.finalize("done");
+        assert!(slot.wait().is_err());
+        assert!(m.post(0, 0).wait().is_err());
+    }
+
+    #[test]
+    fn ready_does_not_resurrect_a_poisoned_engine() {
+        let m = MatchEngine::new();
+        m.poison("peer died during boot");
+        m.ready();
         assert!(m.post(0, 0).wait().is_err());
     }
 

@@ -20,6 +20,7 @@
 
 pub mod libs;
 pub mod profile;
+pub mod rendezvous;
 pub mod session;
 
 pub use profile::{FragmentCfg, LibProfile, MpLib, Progress, Routing, Transport};

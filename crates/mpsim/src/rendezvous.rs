@@ -1,0 +1,65 @@
+//! The eager→rendezvous handshake, as an explicit protocol pair.
+//!
+//! Above the library's rendezvous threshold a send is three moves —
+//! request-to-send over the transport, clear-to-send back, then the
+//! payload (§3 of the paper; every TCP library and the GM long-message
+//! path share the shape). [`Session`](crate::Session) threads the
+//! sender typestate through its continuation chain so the RTS→CTS→data
+//! order is pinned at compile time, and `send_while_receiver_busy`
+//! drives the receiver role (the CTS cannot leave a busy receiver until
+//! it re-enters the library — the paper's §7 overlap story).
+//!
+//! The two roles are declared dual: every message one side sends the
+//! other receives, checked by `protospec` at run time and by the
+//! `protocol-duality` rule in `xtask analyze` at lint time.
+
+/// Sender role of the rendezvous handshake.
+pub mod sender {
+    protospec::protocol! {
+        /// Sender: emit RTS, wait for CTS, then stream the payload.
+        pub RndvSendState of rendezvous.sender dual rendezvous.receiver;
+        states Idle, AwaitCts, Streaming;
+        terminal Idle;
+        Idle --rts!--> AwaitCts;
+        AwaitCts --cts?--> Streaming;
+        Streaming --data!--> Idle;
+    }
+}
+
+/// Receiver role of the rendezvous handshake.
+pub mod receiver {
+    protospec::protocol! {
+        /// Receiver: take the RTS, answer CTS once the library is
+        /// entered, then drain the payload.
+        pub RndvRecvState of rendezvous.receiver dual rendezvous.sender;
+        states Idle, CtsDue, Draining;
+        terminal Idle;
+        Idle --rts?--> CtsDue;
+        CtsDue --cts!--> Draining;
+        Draining --data?--> Idle;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{receiver, sender};
+
+    #[test]
+    fn specs_are_well_formed_and_dual() {
+        let s = sender::RndvSendState::spec();
+        let r = receiver::RndvRecvState::spec();
+        assert!(s.check().is_empty(), "{:?}", s.check());
+        assert!(r.check().is_empty(), "{:?}", r.check());
+        assert!(s.check_dual(r).is_empty(), "{:?}", s.check_dual(r));
+        assert!(r.check_dual(s).is_empty(), "{:?}", r.check_dual(s));
+    }
+
+    #[test]
+    fn registry_accepts_the_pair() {
+        let mut reg = protospec::Registry::new();
+        reg.register(sender::RndvSendState::spec()).expect("sender");
+        reg.register(receiver::RndvRecvState::spec())
+            .expect("receiver");
+        assert!(reg.check_all().is_empty(), "{:?}", reg.check_all());
+    }
+}

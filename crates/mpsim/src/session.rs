@@ -22,6 +22,7 @@ use protosim::{local, raw, tcp, ConnId, Fabric};
 use simcore::SimDuration;
 
 use crate::profile::{FragmentCfg, LibProfile, MpLib, Routing, Transport};
+use crate::rendezvous;
 
 /// The daemon relay path: one local pipe per host plus the inter-daemon
 /// connection (which reuses the session's transport connection).
@@ -97,7 +98,11 @@ impl Session {
             let ctrl = self.profile.ctrl_bytes;
             let this = self.clone();
             let data = self.data;
+            // The sender-role typestate (spec of record:
+            // rendezvous.sender) pins the RTS→CTS→data order at compile
+            // time; a reordered continuation chain would not build.
             // Request-to-send travels to the receiver...
+            let hs = rendezvous::sender::Idle.rts();
             protosim::send(
                 eng,
                 data,
@@ -105,6 +110,7 @@ impl Session {
                 ctrl,
                 Box::new(move |e| {
                     // ...clear-to-send comes back...
+                    let hs = hs.cts();
                     let this2 = this.clone();
                     protosim::send(
                         e,
@@ -113,6 +119,7 @@ impl Session {
                         ctrl,
                         Box::new(move |e| {
                             // ...then the data moves.
+                            let _idle: rendezvous::sender::Idle = hs.data();
                             this2.data_phase(e, from, bytes, k);
                         }),
                     );
@@ -125,25 +132,27 @@ impl Session {
 
     /// Phase 3: move the payload.
     fn data_phase(&self, eng: &mut Net, from: usize, bytes: u64, k: Continuation) {
-        match (self.profile.routing, self.daemon) {
-            (Routing::Direct, _) => match self.profile.fragment {
-                None if !self.extra.is_empty() && bytes >= 4096 => {
-                    self.send_striped(eng, from, bytes, k);
-                }
-                None => {
-                    let this = self.clone();
-                    protosim::send(
-                        eng,
-                        self.data,
-                        from,
-                        bytes,
-                        Box::new(move |e| this.receive_phase(e, from, bytes, k)),
-                    );
-                }
-                Some(frag) => self.send_fragmented(eng, from, bytes, frag, k),
-            },
-            (Routing::Daemon, Some(path)) => self.send_via_daemons(eng, from, bytes, path, k),
-            (Routing::Daemon, None) => unreachable!("daemon routing without daemon path"),
+        // `establish` opens the daemon pipes exactly when the profile
+        // routes via daemons, so the path's presence *is* the routing
+        // decision — no unrepresentable (Daemon, None) arm to bail on.
+        if let Some(path) = self.daemon {
+            return self.send_via_daemons(eng, from, bytes, path, k);
+        }
+        match self.profile.fragment {
+            None if !self.extra.is_empty() && bytes >= 4096 => {
+                self.send_striped(eng, from, bytes, k);
+            }
+            None => {
+                let this = self.clone();
+                protosim::send(
+                    eng,
+                    self.data,
+                    from,
+                    bytes,
+                    Box::new(move |e| this.receive_phase(e, from, bytes, k)),
+                );
+            }
+            Some(frag) => self.send_fragmented(eng, from, bytes, frag, k),
         }
     }
 
@@ -482,25 +491,34 @@ impl Session {
         let needs_handshake = matches!(self.profile.rendezvous_bytes, Some(t) if bytes > t);
         if needs_handshake {
             // RTS is sent now but the CTS only comes back after busy_end;
-            // the entire payload then moves post-computation.
+            // the entire payload then moves post-computation. This is
+            // the receiver role of the rendezvous pair: the RTS lands
+            // (`rts?`), the CTS leaves only once the library is entered
+            // (`cts!`), then the payload drains (`data?`).
             let this = self.clone();
             let ctrl = self.profile.ctrl_bytes;
+            let rv = rendezvous::receiver::Idle;
             protosim::send(
                 eng,
                 self.data,
                 from,
                 ctrl,
                 Box::new(move |e| {
+                    let rv = rv.rts();
                     let at = e.now().max(busy_end);
                     let this2 = this.clone();
                     e.schedule_at(at, move |e| {
+                        let rv = rv.cts();
                         let this3 = this2.clone();
                         protosim::send(
                             e,
                             this2.data,
                             1 - from,
                             this2.profile.ctrl_bytes,
-                            Box::new(move |e| this3.data_phase(e, from, bytes, k)),
+                            Box::new(move |e| {
+                                let _idle: rendezvous::receiver::Idle = rv.data();
+                                this3.data_phase(e, from, bytes, k)
+                            }),
                         );
                     });
                 }),

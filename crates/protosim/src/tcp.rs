@@ -33,7 +33,7 @@
 
 use std::collections::VecDeque;
 
-use faultlab::SegFault;
+use faultlab::{SegFault, SegLifeState};
 use hwmodel::nic::TCPIP_HEADERS;
 use simcore::trace::{stages, SpanRec};
 use simcore::{units, SimDuration, SimTime};
@@ -287,12 +287,74 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
                     let rto = SimDuration::from_micros_f64(fl.plan().rto_us);
                     let max_retrans = fl.plan().max_retrans;
                     let mut attempt = 0u32;
+                    // Drive the segment through the declared RTO
+                    // lifecycle (spec of record: `faultlab.segment`;
+                    // `xtask analyze` checks these arms against it).
+                    let mut life = SegLifeState::initial();
                     loop {
-                        match fl.segment(t4.as_micros_f64(), frame_us) {
-                            SegFault::Drop => {
-                                if let Some(t) = tracer.as_ref() {
-                                    t.instant(stages::FAULT_DROP, ft, t4, seg, job.msg);
+                        life = match life {
+                            SegLifeState::InFlight => {
+                                match fl.segment(t4.as_micros_f64(), frame_us) {
+                                    SegFault::Drop => {
+                                        if let Some(t) = tracer.as_ref() {
+                                            t.instant(stages::FAULT_DROP, ft, t4, seg, job.msg);
+                                        }
+                                        SegLifeState::RtoWait
+                                    }
+                                    SegFault::Deliver {
+                                        extra_us,
+                                        slow_us,
+                                        duplicate,
+                                    } => {
+                                        if duplicate {
+                                            // The spurious copy burns a
+                                            // second wire slot and receiver
+                                            // bus crossing before being
+                                            // discarded.
+                                            let dup_done = wires[channel][dir].serve(t4, frame);
+                                            hosts[receiver].pci.serve(dup_done + path, on_bus);
+                                            if let Some(t) = tracer.as_ref() {
+                                                t.instant(
+                                                    stages::FAULT_DUP,
+                                                    ft,
+                                                    dup_done,
+                                                    seg,
+                                                    job.msg,
+                                                );
+                                            }
+                                        }
+                                        let fault_start = t4;
+                                        if slow_us > 0.0 && rate.is_finite() {
+                                            // Degraded link: the segment
+                                            // holds the wire longer,
+                                            // queueing every later segment
+                                            // behind it.
+                                            let extra_bytes = units::bytes_at_rate(
+                                                rate,
+                                                SimDuration::from_micros_f64(slow_us),
+                                            );
+                                            t4 = wires[channel][dir].serve(t4, extra_bytes);
+                                        }
+                                        if extra_us > 0.0 {
+                                            t4 = t4 + SimDuration::from_micros_f64(extra_us);
+                                        }
+                                        if t4 > fault_start {
+                                            if let Some(t) = tracer.as_ref() {
+                                                t.span(SpanRec {
+                                                    stage: stages::FAULT_DELAY,
+                                                    track: ft,
+                                                    start: fault_start,
+                                                    end: t4,
+                                                    bytes: seg,
+                                                    msg: job.msg,
+                                                });
+                                            }
+                                        }
+                                        SegLifeState::Delivered
+                                    }
                                 }
+                            }
+                            SegLifeState::RtoWait => {
                                 if attempt >= max_retrans {
                                     // Retransmissions exhausted: the
                                     // connection gives up for good.
@@ -300,74 +362,35 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
                                     if let Some(t) = tracer.as_ref() {
                                         t.instant(stages::CONN_DEAD, ft, t4, seg, job.msg);
                                     }
-                                    conn_died = true;
-                                    break;
-                                }
-                                // The lost copy burned its wire slot;
-                                // the sender sits out the RTO, then the
-                                // retransmitted copy crosses again and
-                                // faces the lottery afresh.
-                                attempt += 1;
-                                fl.counters.retransmits += 1;
-                                let resend = t4 + rto;
-                                if let Some(t) = tracer.as_ref() {
-                                    t.span(SpanRec {
-                                        stage: stages::RETRANSMIT,
-                                        track: ft,
-                                        start: t4,
-                                        end: resend,
-                                        bytes: seg,
-                                        msg: job.msg,
-                                    });
-                                }
-                                t4 = wires[channel][dir].serve(resend, frame);
-                            }
-                            SegFault::Deliver {
-                                extra_us,
-                                slow_us,
-                                duplicate,
-                            } => {
-                                if duplicate {
-                                    // The spurious copy burns a second
-                                    // wire slot and receiver bus crossing
-                                    // before being discarded.
-                                    let dup_done = wires[channel][dir].serve(t4, frame);
-                                    hosts[receiver].pci.serve(dup_done + path, on_bus);
-                                    if let Some(t) = tracer.as_ref() {
-                                        t.instant(stages::FAULT_DUP, ft, dup_done, seg, job.msg);
-                                    }
-                                }
-                                let fault_start = t4;
-                                if slow_us > 0.0 && rate.is_finite() {
-                                    // Degraded link: the segment holds
-                                    // the wire longer, queueing every
-                                    // later segment behind it.
-                                    let extra_bytes = units::bytes_at_rate(
-                                        rate,
-                                        SimDuration::from_micros_f64(slow_us),
-                                    );
-                                    t4 = wires[channel][dir].serve(t4, extra_bytes);
-                                }
-                                if extra_us > 0.0 {
-                                    t4 = t4 + SimDuration::from_micros_f64(extra_us);
-                                }
-                                if t4 > fault_start {
+                                    SegLifeState::Dead
+                                } else {
+                                    // The lost copy burned its wire slot;
+                                    // the sender sits out the RTO, then the
+                                    // retransmitted copy crosses again and
+                                    // faces the lottery afresh.
+                                    attempt += 1;
+                                    fl.counters.retransmits += 1;
+                                    let resend = t4 + rto;
                                     if let Some(t) = tracer.as_ref() {
                                         t.span(SpanRec {
-                                            stage: stages::FAULT_DELAY,
+                                            stage: stages::RETRANSMIT,
                                             track: ft,
-                                            start: fault_start,
-                                            end: t4,
+                                            start: t4,
+                                            end: resend,
                                             bytes: seg,
                                             msg: job.msg,
                                         });
                                     }
+                                    t4 = wires[channel][dir].serve(resend, frame);
+                                    SegLifeState::InFlight
                                 }
-                                break;
                             }
-                        }
+                            // Terminal (quiescent) states end the drive.
+                            SegLifeState::Delivered | SegLifeState::Dead => break,
+                        };
                     }
-                    if conn_died {
+                    if life == SegLifeState::Dead {
+                        conn_died = true;
                         break 'jobs;
                     }
                 }

@@ -1,0 +1,24 @@
+//! Sender half of the fixture pair: the spec and a conformant stepper.
+
+protospec::protocol! {
+    pub PairSend of fixture.sender dual fixture.receiver;
+    states Idle, AwaitAck, Closing;
+    terminal Closing;
+    Idle --req!--> AwaitAck;
+    AwaitAck --ack?--> Idle;
+    Idle --fin!--> Closing;
+}
+
+pub fn on_ack(s: PairSend) -> PairSend {
+    match s {
+        PairSend::AwaitAck => PairSend::Idle,
+        other => other,
+    }
+}
+
+pub fn shutdown(s: PairSend) -> PairSend {
+    match s {
+        PairSend::Idle => PairSend::Closing,
+        other => other,
+    }
+}

@@ -1,0 +1,10 @@
+//! Receiver half of the fixture pair: message sets mirror the sender.
+
+protospec::protocol! {
+    pub PairRecv of fixture.receiver dual fixture.sender;
+    states Idle, AckDue, Closing;
+    terminal Closing;
+    Idle --req?--> AckDue;
+    AckDue --ack!--> Idle;
+    Idle --fin?--> Closing;
+}

@@ -1,0 +1,10 @@
+//! A receiver whose reply event does not mirror the sender's table.
+
+protospec::protocol! {
+    pub PairRecv of fixture.receiver dual fixture.sender;
+    states Idle, AckDue, Closing;
+    terminal Closing;
+    Idle --req?--> AckDue;
+    AckDue --nak!--> Idle;
+    Idle --fin?--> Closing;
+}

@@ -1,0 +1,8 @@
+//! A stepper that leaves the declared table: AwaitAck may not close.
+
+pub fn abort(s: PairSend) -> PairSend {
+    match s {
+        PairSend::AwaitAck => PairSend::Closing,
+        other => other,
+    }
+}

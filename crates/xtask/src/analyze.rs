@@ -12,7 +12,8 @@ use crate::lint::{has_workspace_lints, BUDGET_FILE};
 use crate::locks::lock_findings;
 use crate::model::WorkspaceModel;
 use crate::nondet::nondet_findings;
-use crate::rules::{file_findings, resolve, RawFinding, ANALYZE_BUDGETED_RULES};
+use crate::protocol::protocol_findings;
+use crate::rules::{file_findings, resolve, RawFinding, ANALYZE_BUDGETED_RULES, RULES};
 use crate::units::units_findings;
 use crate::walk::{collect_files, rel_str};
 
@@ -128,9 +129,12 @@ fn analyze_model(w: &WorkspaceModel) -> (AnalyzeOutcome, Vec<(String, Diagnostic
     };
     let mut budgeted: Vec<(String, Diagnostic)> = Vec::new();
 
-    // Cross-file pass first, findings keyed per file.
+    // Cross-file passes first, findings keyed per file.
     let mut per_file: Vec<Vec<RawFinding>> = w.files.iter().map(|_| Vec::new()).collect();
     for (fi, finding) in lock_findings(w) {
+        per_file[fi].push(finding);
+    }
+    for (fi, finding) in protocol_findings(w) {
         per_file[fi].push(finding);
     }
 
@@ -168,6 +172,16 @@ pub fn render_report(outcome: &AnalyzeOutcome) -> String {
         outcome.files_checked,
         outcome.clean()
     ));
+    // The full rule inventory, so CI can assert a pass actually ran
+    // (a report missing a family means a stale or truncated tool).
+    s.push_str("  \"rules\": [");
+    for (i, r) in RULES.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_str(r));
+    }
+    s.push_str("],\n");
     s.push_str("  \"diagnostics\": [");
     for (i, d) in outcome.diagnostics.iter().enumerate() {
         s.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -252,6 +266,14 @@ mod tests {
         assert!(r.contains("\"clean\": true"));
         assert!(r.contains("\"diagnostics\": []"));
         assert!(r.contains("\"budget\": []"));
+    }
+
+    #[test]
+    fn report_lists_every_rule() {
+        let r = render_report(&AnalyzeOutcome::default());
+        for rule in RULES {
+            assert!(r.contains(&format!("\"{rule}\"")), "missing {rule}");
+        }
     }
 
     #[test]

@@ -40,7 +40,14 @@ pub const SIM_CRATES: &[&str] = &[
 
 /// Library crates: the panic-hygiene rule family applies to their
 /// library code.
-pub const PANIC_CRATES: &[&str] = &["faultlab", "mplite", "netpipe", "protosim", "tracelab"];
+pub const PANIC_CRATES: &[&str] = &[
+    "faultlab",
+    "mplite",
+    "netpipe",
+    "protosim",
+    "protospec",
+    "tracelab",
+];
 
 /// Real-mode crates: library code that touches genuine kernel sockets.
 /// The `blocking-hygiene` rule bans deadline-free blocking socket calls

@@ -150,8 +150,102 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              Integer reductions (`.sum::<u64>()`) and order-insensitive folds\n\
              (f64::max / f64::min) are exempt."
         }
+        "protocol-transition" => {
+            "protocol-transition (analyze, cross-file)\n\
+             scope: library code, workspace-wide\n\n\
+             A match arm over a protocol's runtime enum (declared via\n\
+             protospec::protocol!) names a next state the spec does not\n\
+             connect to the matched state. Every Enum::Variant mention in the\n\
+             arm body counts as a potential step; == / != comparisons and\n\
+             X => X self-steps are exempt. Either add the transition to the\n\
+             protocol! table — making the new behavior part of the reviewed\n\
+             spec — or fix the arm."
+        }
+        "protocol-undeclared" => {
+            "protocol-undeclared (analyze, cross-file)\n\
+             scope: library code, workspace-wide\n\n\
+             A state name that does not exist in the protocol! table: a\n\
+             transition endpoint or terminal in the spec itself, or an\n\
+             Enum::Variant reference in code naming no declared state. Only\n\
+             CamelCase segments are checked, so associated items (SPEC,\n\
+             initial(), step()) never match."
+        }
+        "protocol-unreachable" => {
+            "protocol-unreachable (analyze, spec-level)\n\
+             scope: every protocol! invocation\n\n\
+             A declared state with no transition path from the initial state\n\
+             (the first declared state) is dead weight: the typestate API can\n\
+             name it, but no run can ever enter it. Delete the state or add\n\
+             the missing transitions."
+        }
+        "protocol-terminal" => {
+            "protocol-terminal (analyze, spec-level)\n\
+             scope: every protocol! invocation\n\n\
+             Terminal states are where a machine may rest (quiescence —\n\
+             outgoing transitions are allowed, e.g. a rendezvous sender's\n\
+             Idle). Flagged: a spec with no valid terminal state, and any\n\
+             reachable state with no path to one — a live-lock trap where the\n\
+             machine can still move but can never finish."
+        }
+        "protocol-duality" => {
+            "protocol-duality (analyze, cross-file)\n\
+             scope: every protocol! invocation declaring a dual\n\n\
+             Dual roles must mirror message sets exactly: every event one\n\
+             side sends (ev!) the other receives (ev?) and vice versa;\n\
+             internal events (ev~) are private and not compared. Also flags\n\
+             a declared dual spec that is not defined anywhere in the\n\
+             workspace. The two roles may live in different files or crates\n\
+             — the check is cross-file."
+        }
         _ => return None,
     })
+}
+
+/// One-line summary per rule, for the `--explain` index listing.
+pub fn summary(rule: &str) -> &'static str {
+    match rule {
+        "wall-clock" => "Instant/SystemTime read in sim code; use Engine::now",
+        "sleep" => "thread::sleep in sim code; schedule an event instead",
+        "ambient-rng" => "OS-seeded RNG in sim code; route through SimRng",
+        "hash-container" => "HashMap/HashSet in sim code; iteration order is nondeterministic",
+        "trace-hygiene" => "wall-clock tracing API in sim code; stamp records with SimTime",
+        "blocking-hygiene" => "deadline-free read/write/accept; use the faultlab::io wrappers",
+        "unwrap" => "unwrap() in library code (budgeted); propagate the error",
+        "expect" => "expect() in library code (budgeted); propagate the error",
+        "panic" => "panic-family macro in library code (budgeted); return an error",
+        "print" => "print in library code; return strings or take a writer",
+        "dbg" => "dbg! left in non-test code",
+        "lints-table" => "crate manifest missing `[lints] workspace = true`",
+        "bad-allow" => "lint:allow annotation without a `-- <reason>` tail",
+        "stale-allow" => "lint:allow annotation with no matching violation",
+        "budget" => "lint-budget.toml entry above or below the live count",
+        "lock-order" => "cycle in the cross-file lock acquisition-order graph",
+        "lock-across-blocking" => "mutex guard held across a blocking primitive",
+        "units" => "magic unit-conversion constant or mixed time/rate cast (budgeted)",
+        "nondet-wall-clock" => "wall-clock read outside the real-mode clock owners",
+        "nondet-hash-iter" => "HashMap/HashSet iteration leaks SipHash order into results",
+        "nondet-float-reduction" => "order-sensitive f64 sum/fold; use OnlineStats",
+        "protocol-transition" => "match arm steps a protocol enum off its declared table",
+        "protocol-undeclared" => "state name not declared in the protocol! table",
+        "protocol-unreachable" => "declared state unreachable from the initial state",
+        "protocol-terminal" => "no terminal state, or a reachable state that can never finish",
+        "protocol-duality" => "dual protocols' send/receive message sets do not mirror",
+        _ => "",
+    }
+}
+
+/// The full `--explain` index: every rule id with a one-line summary.
+pub fn index() -> String {
+    let mut out = String::from("rules (cargo run -p xtask -- analyze --explain <rule>):\n");
+    let width = crate::rules::RULES
+        .iter()
+        .map(|r| r.len())
+        .max()
+        .unwrap_or(0);
+    for rule in crate::rules::RULES {
+        out.push_str(&format!("  {rule:width$}  {}\n", summary(rule)));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -165,6 +259,15 @@ mod tests {
             assert!(explain(rule).is_some(), "missing --explain for {rule}");
         }
         assert!(explain("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn every_rule_has_a_summary_and_the_index_lists_all() {
+        let idx = index();
+        for rule in RULES {
+            assert!(!summary(rule).is_empty(), "missing summary for {rule}");
+            assert!(idx.contains(rule), "index missing {rule}");
+        }
     }
 
     #[test]

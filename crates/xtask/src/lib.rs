@@ -11,7 +11,9 @@
 //!   library code is burned down via a checked-in ratcheting budget);
 //! * `cargo run -p xtask -- analyze` runs everything lint runs *plus*
 //!   the cross-file passes: lock-order deadlock detection, units
-//!   hygiene, and nondeterminism dataflow. It can emit a JSON report
+//!   hygiene, nondeterminism dataflow, and protocol conformance
+//!   (declared `protospec::protocol!` tables vs. the match arms that
+//!   step them). It can emit a JSON report
 //!   (`--report OUT.json`) for CI and documents every rule via
 //!   `--explain RULE`.
 //!
@@ -35,6 +37,7 @@ pub mod lint;
 pub mod locks;
 pub mod model;
 pub mod nondet;
+pub mod protocol;
 pub mod rules;
 pub mod units;
 pub mod walk;

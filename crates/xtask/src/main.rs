@@ -16,11 +16,13 @@ commands:
     --write-budget    rewrite lint-budget.toml to match live counts
 
   analyze         lint plus the cross-file passes: lock-order deadlock
-                  detection, units hygiene, nondeterminism dataflow
+                  detection, units hygiene, nondeterminism dataflow,
+                  protocol conformance (protospec::protocol! tables)
     --root <dir>      analyze a different tree (default: this workspace)
     --report <file>   also write a machine-readable JSON report
     --write-budget    rewrite lint-budget.toml to match live counts
-    --explain <rule>  print the documentation page for one rule id
+    --explain [rule]  print one rule's documentation page; with no rule,
+                      list every rule with a one-line summary
 
 Both passes exit 0 when clean, 1 on violations, 2 on usage/IO errors.
 Rule ids, scopes, and the annotation grammar are documented in DESIGN.md
@@ -113,15 +115,24 @@ fn analyze_cmd(args: &[String]) -> ExitCode {
             },
             "--write-budget" => write = true,
             "--explain" => {
-                return match it.next().and_then(|r| explain(r)) {
-                    Some(doc) => {
-                        println!("{doc}");
+                return match it.next() {
+                    // Bare `--explain` lists every rule with a one-line
+                    // summary instead of erroring.
+                    None => {
+                        println!("{}", xtask::explain::index());
                         ExitCode::SUCCESS
                     }
-                    None => {
-                        eprintln!("--explain needs a known rule id\n{USAGE}");
-                        ExitCode::from(2)
-                    }
+                    Some(r) => match explain(r) {
+                        Some(doc) => {
+                            println!("{doc}");
+                            ExitCode::SUCCESS
+                        }
+                        None => {
+                            eprintln!("--explain: unknown rule id `{r}`\n");
+                            eprintln!("{}", xtask::explain::index());
+                            ExitCode::from(2)
+                        }
+                    },
                 };
             }
             other => {

@@ -48,6 +48,11 @@ pub const RULES: &[&str] = &[
     "nondet-wall-clock",
     "nondet-hash-iter",
     "nondet-float-reduction",
+    "protocol-transition",
+    "protocol-undeclared",
+    "protocol-unreachable",
+    "protocol-terminal",
+    "protocol-duality",
 ];
 
 /// Rules whose counts are governed by the burn-down budget file rather
@@ -67,6 +72,11 @@ pub const ANALYZE_ONLY_RULES: &[&str] = &[
     "nondet-wall-clock",
     "nondet-hash-iter",
     "nondet-float-reduction",
+    "protocol-transition",
+    "protocol-undeclared",
+    "protocol-unreachable",
+    "protocol-terminal",
+    "protocol-duality",
 ];
 
 /// A raw (pre-annotation) finding inside one file.

@@ -132,6 +132,58 @@ fn float_reduction_golden_in_sim_code() {
     assert_eq!(got, want);
 }
 
+/// A spec-conformant protocol machine split across two files — the
+/// dual roles live in separate compilation units — must pass clean:
+/// the duality check is genuinely cross-file.
+#[test]
+fn protocol_pair_split_across_files_is_clean() {
+    let a = fixture("unit/protocol_pair_a.rs");
+    let b = fixture("unit/protocol_pair_b.rs");
+    let got = diags(&[
+        ("crates/mplite/src/protocol_pair_a.rs", &a),
+        ("crates/mplite/src/protocol_pair_b.rs", &b),
+    ]);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn protocol_duality_violation_golden() {
+    let a = fixture("unit/protocol_pair_a.rs");
+    let bad = fixture("unit/protocol_pair_bad.rs");
+    let got = diags(&[
+        ("crates/mplite/src/protocol_pair_a.rs", &a),
+        ("crates/mplite/src/protocol_pair_bad.rs", &bad),
+    ]);
+    let want = vec![
+        "crates/mplite/src/protocol_pair_a.rs:4: protocol-duality: fixture.sender \
+         receives `ack` but dual fixture.receiver never sends it"
+            .to_string(),
+        "crates/mplite/src/protocol_pair_bad.rs:4: protocol-duality: fixture.receiver \
+         sends `nak` but dual fixture.sender never receives it"
+            .to_string(),
+    ];
+    assert_eq!(got, want);
+}
+
+#[test]
+fn protocol_transition_violation_golden() {
+    let a = fixture("unit/protocol_pair_a.rs");
+    let b = fixture("unit/protocol_pair_b.rs");
+    let bad = fixture("unit/protocol_transition_bad.rs");
+    let got = diags(&[
+        ("crates/mplite/src/protocol_pair_a.rs", &a),
+        ("crates/mplite/src/protocol_pair_b.rs", &b),
+        ("crates/mplite/src/protocol_transition_bad.rs", &bad),
+    ]);
+    let want = vec![
+        "crates/mplite/src/protocol_transition_bad.rs:5: protocol-transition: match arm \
+         steps PairSend from `AwaitAck` to `Closing`, but fixture.sender declares no \
+         `AwaitAck --…--> Closing` transition"
+            .to_string(),
+    ];
+    assert_eq!(got, want);
+}
+
 /// The lexer edge-case fixture — raw strings full of rule triggers,
 /// nested block comments, `b'\''` byte chars, doc comments naming
 /// panic! — must trip nothing under any crate's rule set.
@@ -208,6 +260,17 @@ fn analyze_binary_report_and_exit_codes() {
     assert!(json.contains("\"tool\": \"xtask-analyze\""), "{json}");
     assert!(json.contains("\"clean\": false"), "{json}");
     assert!(json.contains("\"rule\": \"lints-table\""), "{json}");
+    // The rule inventory must list the protocol conformance family, so
+    // CI can assert the pass ran.
+    for rule in [
+        "protocol-transition",
+        "protocol-undeclared",
+        "protocol-unreachable",
+        "protocol-terminal",
+        "protocol-duality",
+    ] {
+        assert!(json.contains(&format!("\"{rule}\"")), "{rule}: {json}");
+    }
     assert_eq!(
         json.matches('{').count(),
         json.matches('}').count(),
@@ -227,4 +290,20 @@ fn analyze_binary_report_and_exit_codes() {
         .output()
         .expect("xtask binary runs");
     assert_eq!(unknown.status.code(), Some(2), "unknown rule exits 2");
+
+    // Bare --explain is the rule index, not an error.
+    let index = std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(["analyze", "--explain"])
+        .output()
+        .expect("xtask binary runs");
+    assert_eq!(index.status.code(), Some(0), "bare --explain exits 0");
+    let text = String::from_utf8_lossy(&index.stdout);
+    for rule in [
+        "lock-order",
+        "units",
+        "protocol-duality",
+        "protocol-transition",
+    ] {
+        assert!(text.contains(rule), "index missing {rule}: {text}");
+    }
 }
