@@ -1,0 +1,136 @@
+//! Regenerate the collective-scaling figures, the CI smoke CSV, and the
+//! seeded collective chaos report.
+//!
+//! Three modes:
+//!
+//! * *(default)* — sweep the schedule-driven collectives over the
+//!   simulated GA-620 fabric and write
+//!   `results/collective_scaling.{csv,svg}` (allreduce latency vs rank
+//!   count at 1 KiB per rank, one curve per algorithm × library
+//!   profile) and `results/collective_sizes.{csv,svg}` (16-rank
+//!   allreduce latency vs per-rank payload, 64 B … 1 MiB).
+//! * `--smoke OUT` — write the deterministic 64-rank barrier smoke CSV
+//!   ([`clusterlab::smoke_csv`]) to `OUT`; CI diffs this against the
+//!   committed golden `crates/clusterlab/golden/collective_smoke.csv`.
+//! * `--chaos PLAN` — run a 64-rank dissemination barrier under the
+//!   seeded [`faultlab::FaultPlan`] `PLAN` (e.g. `seed=7,kill-after=1`)
+//!   and print the annotated (possibly partial) report.
+
+use std::fs;
+
+use bench::results_dir;
+use clusterlab::{chaos_collective, scale_ranks, scale_sizes, CollConfig, CollCurve};
+use collectives::{Algorithm, CollOp};
+use faultlab::FaultPlan;
+use hwmodel::kernel::linux_2_4;
+use hwmodel::presets::pcs_ga620;
+use mpsim::libs::{mp_lite, mpich, MpichConfig};
+use mpsim::LibProfile;
+
+/// The two library profiles the sweeps compare, labeled as in the
+/// ping-pong figures.
+fn profiles() -> Vec<(&'static str, LibProfile)> {
+    vec![
+        ("mpich-tuned", mpich(MpichConfig::tuned()).profile),
+        (
+            "mp-lite",
+            mp_lite(&linux_2_4().with_raised_sockbuf_max()).profile,
+        ),
+    ]
+}
+
+fn cfg(profile: LibProfile, algorithm: Algorithm, bytes: u64) -> CollConfig {
+    CollConfig {
+        spec: pcs_ga620(),
+        profile,
+        op: CollOp::Allreduce,
+        algorithm,
+        bytes,
+    }
+}
+
+/// Allreduce latency vs rank count (4 … 1024) at 1 KiB per rank.
+fn scaling_curves() -> Vec<CollCurve> {
+    let ranks = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024];
+    let algorithms = [
+        Algorithm::Tree,
+        Algorithm::RecursiveDoubling,
+        Algorithm::Ring,
+    ];
+    let mut curves = Vec::new();
+    for (pname, profile) in profiles() {
+        for algorithm in algorithms {
+            let mut curve = scale_ranks(&cfg(profile.clone(), algorithm, 1024), &ranks);
+            curve.label = format!("{pname} {}", curve.label);
+            curves.push(curve);
+        }
+    }
+    curves
+}
+
+/// 16-rank allreduce latency vs per-rank payload, 64 B … 1 MiB.
+fn size_curves() -> Vec<CollCurve> {
+    let sizes: Vec<u64> = (6..=20).step_by(2).map(|p| 1u64 << p).collect();
+    let algorithms = [
+        Algorithm::Tree,
+        Algorithm::RecursiveDoubling,
+        Algorithm::Ring,
+    ];
+    let mut curves = Vec::new();
+    for (pname, profile) in profiles() {
+        for algorithm in algorithms {
+            let mut curve = scale_sizes(&cfg(profile.clone(), algorithm, 0), 16, &sizes);
+            curve.label = format!("{pname} {}", curve.label);
+            curves.push(curve);
+        }
+    }
+    curves
+}
+
+fn write_pair(stem: &str, title: &str, x_label: &str, curves: &[CollCurve]) {
+    let dir = results_dir();
+    let csv = clusterlab::collective::to_csv(curves);
+    let svg = clusterlab::collective::svg_figure(title, x_label, curves, 840, 520);
+    fs::write(dir.join(format!("{stem}.csv")), csv).expect("write csv");
+    fs::write(dir.join(format!("{stem}.svg")), svg).expect("write svg");
+    println!("wrote {stem}.csv and {stem}.svg under {}", dir.display());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--smoke") => {
+            let out = args.get(1).expect("--smoke needs an output path");
+            fs::write(out, clusterlab::smoke_csv())
+                .unwrap_or_else(|e| panic!("writing {out}: {e}"));
+            println!("wrote {out}");
+        }
+        Some("--chaos") => {
+            let spec = args.get(1).expect("--chaos needs a fault plan");
+            let plan = FaultPlan::parse(spec).expect("valid fault plan");
+            let c = CollConfig {
+                spec: pcs_ga620(),
+                profile: mpich(MpichConfig::tuned()).profile,
+                op: CollOp::Barrier,
+                algorithm: Algorithm::Dissemination,
+                bytes: 0,
+            };
+            print!("{}", chaos_collective(&plan, &c, 64));
+        }
+        Some(other) => panic!("unknown mode {other}; use --smoke OUT, --chaos PLAN, or no args"),
+        None => {
+            write_pair(
+                "collective_scaling",
+                "Allreduce latency vs rank count (1 KiB per rank, simulated GA-620)",
+                "ranks (log)",
+                &scaling_curves(),
+            );
+            write_pair(
+                "collective_sizes",
+                "16-rank allreduce latency vs payload (simulated GA-620)",
+                "bytes per rank (log)",
+                &size_curves(),
+            );
+        }
+    }
+}

@@ -11,12 +11,15 @@
 //!   generated from these).
 //! * [`chaos`] — seeded packet-loss ladders measuring graceful
 //!   degradation (how much loss until a curve collapses).
+//! * [`collective`] — N-rank collective-scaling sweeps (latency vs rank
+//!   count and payload size per algorithm) with a seeded chaos variant.
 
 #![warn(missing_docs)]
 
 pub mod breakdown;
 pub mod calibration;
 pub mod chaos;
+pub mod collective;
 pub mod comparison;
 pub mod overlap;
 pub mod presets;
@@ -26,6 +29,9 @@ pub mod sweep;
 pub use breakdown::{measure_breakdown, Breakdown, StageBusy};
 pub use calibration::{checks_for, evaluate, Check, CheckResult};
 pub use chaos::{chaos_table, degradation_sweep, ChaosPoint};
+pub use collective::{
+    chaos_collective, scale_ranks, scale_sizes, smoke_csv, CollConfig, CollCurve, CollPoint,
+};
 pub use comparison::{compare, digest, to_markdown, ComparisonRow};
 pub use overlap::{measure_overlap, section7_panel, OverlapPoint};
 pub use presets::{all_experiments, Entry, Experiment, PaperValues};

@@ -1,0 +1,408 @@
+//! The simulated backend: run a schedule over N simulated ranks.
+//!
+//! Every rank gets a [`crate::state::RankState`] and a round cursor;
+//! rounds advance event-driven over [`mpsim::MultiSession`] on the
+//! switched [`protosim::multinode`] fabric. The data path is the same
+//! `payload`/`apply` code the blocking executor uses, so for identical
+//! schedules and inputs the two backends produce identical bytes — the
+//! simulation only decides *when* things happen, never *what*.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use hwmodel::ClusterSpec;
+use mpsim::{LibProfile, MultiSession};
+use protosim::multinode::{MultiEngine, MultiNet};
+use simcore::trace::{stages, SharedSink, SpanRec};
+use simcore::SimTime;
+
+use crate::exec::{actual_rank, ExecCtx};
+use crate::lifecycle::{step, CollRound};
+use crate::schedule::Schedule;
+use crate::state::{CollOutput, RankState};
+
+/// Trace track carrying rank `rank`'s collective-round spans, disjoint
+/// from the per-resource hardware tracks.
+pub fn coll_track(rank: usize) -> u32 {
+    (1 << 16) + rank as u32
+}
+
+/// A per-rank fault to inject into a simulated collective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankFault {
+    /// The rank never starts its schedule: its peers stall and the run
+    /// ends partial instead of hanging (graceful degradation).
+    Dead(usize),
+    /// The rank pays `extra_us` microseconds of CPU per send.
+    Degrade {
+        /// Victim rank.
+        rank: usize,
+        /// Added per-send CPU microseconds.
+        extra_us: f64,
+    },
+}
+
+/// Optional knobs for a simulated run.
+#[derive(Default)]
+pub struct SimOptions {
+    /// Emit per-round spans (stage [`stages::COLL_ROUND`], track
+    /// [`coll_track`]) to this sink.
+    pub trace: Option<SharedSink>,
+    /// Inject one rank fault.
+    pub fault: Option<RankFault>,
+}
+
+/// What a simulated collective run produced.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Simulated seconds until the last completing rank finished.
+    pub seconds: f64,
+    /// Events the engine executed (work proxy for events/sec).
+    pub events: u64,
+    /// Per-rank outputs; `None` for ranks that never finished.
+    pub outputs: Vec<Option<CollOutput>>,
+    /// Per-rank completion times, seconds; `None` if unfinished.
+    pub finish_secs: Vec<Option<f64>>,
+    /// Count of ranks that completed their whole plan.
+    pub completed: usize,
+}
+
+impl SimReport {
+    /// True when every rank completed.
+    pub fn all_completed(&self) -> bool {
+        self.completed == self.outputs.len()
+    }
+}
+
+struct RankRun {
+    state: RankState,
+    life: CollRound,
+    round: usize,
+    /// Receives still outstanding in the current round.
+    waiting: usize,
+    /// Arrived payloads for the current round, recv-step indexed.
+    arrived: Vec<Option<Vec<u8>>>,
+    round_start: SimTime,
+    finish: Option<SimTime>,
+}
+
+struct Driver {
+    schedule: Schedule,
+    ctx: ExecCtx,
+    sess: MultiSession,
+    ranks: Vec<RefCell<RankRun>>,
+    trace: Option<SharedSink>,
+}
+
+impl Driver {
+    /// Enter `rank`'s next round: issue sends, post receives. A round
+    /// with no receives completes immediately.
+    fn start_round(self: &Rc<Self>, eng: &mut MultiEngine, rank: usize) {
+        let n = self.schedule.nranks;
+        let vrank = crate::exec::virtual_rank(rank, self.ctx.root, n);
+        loop {
+            let (sends, nrecvs) = {
+                let mut r = self.ranks[rank].borrow_mut();
+                let Some(round) = self.schedule.plans[vrank].rounds.get(r.round) else {
+                    r.finish = Some(eng.now());
+                    if let Some(t) = &self.trace {
+                        t.instant(
+                            stages::COLL_DONE,
+                            coll_track(rank),
+                            eng.now(),
+                            0,
+                            rank as u64,
+                        );
+                    }
+                    return;
+                };
+                r.round_start = eng.now();
+                r.life = step(r.life, "post");
+                let sends: Vec<(usize, Vec<u8>)> = round
+                    .sends
+                    .iter()
+                    .map(|s| {
+                        (
+                            actual_rank(s.to as usize, self.ctx.root, n),
+                            r.state.payload(&s.what),
+                        )
+                    })
+                    .collect();
+                for _ in 0..sends.len() {
+                    r.life = step(r.life, "send");
+                }
+                r.life = step(r.life, "drain");
+                r.waiting = round.recvs.len();
+                r.arrived = vec![None; round.recvs.len()];
+                (sends, round.recvs.len())
+            };
+            for (slot, recv) in self.schedule.plans[vrank].rounds[self.ranks[rank].borrow().round]
+                .recvs
+                .iter()
+                .enumerate()
+            {
+                let from = actual_rank(recv.from as usize, self.ctx.root, n);
+                let this = Rc::clone(self);
+                self.sess.post_recv(
+                    eng,
+                    rank,
+                    from,
+                    0,
+                    Box::new(move |e, payload| this.on_arrival(e, rank, slot, payload)),
+                );
+            }
+            for (to, payload) in sends {
+                self.sess.send(eng, rank, to, 0, Rc::new(payload));
+            }
+            if nrecvs > 0 {
+                return; // the last arrival resumes this rank
+            }
+            // No receives: the round is already complete; fold and loop
+            // into the next one.
+            self.complete_round(eng, rank);
+        }
+    }
+
+    fn on_arrival(
+        self: &Rc<Self>,
+        eng: &mut MultiEngine,
+        rank: usize,
+        slot: usize,
+        payload: Rc<Vec<u8>>,
+    ) {
+        let done = {
+            let mut r = self.ranks[rank].borrow_mut();
+            r.life = step(r.life, "recv");
+            r.arrived[slot] = Some(payload.to_vec());
+            r.waiting -= 1;
+            r.waiting == 0
+        };
+        if done {
+            self.complete_round(eng, rank);
+            self.start_round(eng, rank);
+        }
+    }
+
+    /// Apply the round's arrivals in schedule order, emit its span, and
+    /// advance the cursor.
+    fn complete_round(self: &Rc<Self>, eng: &mut MultiEngine, rank: usize) {
+        let n = self.schedule.nranks;
+        let vrank = crate::exec::virtual_rank(rank, self.ctx.root, n);
+        let mut r = self.ranks[rank].borrow_mut();
+        let round = &self.schedule.plans[vrank].rounds[r.round];
+        let mut bytes = 0u64;
+        let arrived = std::mem::take(&mut r.arrived);
+        for (recv, payload) in round.recvs.iter().zip(arrived) {
+            let payload = payload.expect("round completed with a receive slot empty"); // lint:allow(expect) -- complete_round only runs once waiting hits zero, so every slot is filled
+            bytes += payload.len() as u64;
+            r.state.apply(&recv.what, &payload, self.ctx.reduction);
+        }
+        r.life = step(r.life, "finish");
+        if let Some(t) = &self.trace {
+            t.span(SpanRec {
+                stage: stages::COLL_ROUND,
+                track: coll_track(rank),
+                start: r.round_start,
+                end: eng.now(),
+                bytes,
+                msg: (r.round + 1) as u64,
+            });
+        }
+        r.round += 1;
+    }
+}
+
+/// Simulate `schedule` over `spec` hardware with `profile` library
+/// costs. `contributions` are actual-rank indexed; so are the outputs.
+pub fn run_sim(
+    spec: &ClusterSpec,
+    profile: &LibProfile,
+    schedule: &Schedule,
+    ctx: ExecCtx,
+    contributions: &[Vec<u8>],
+    opts: &SimOptions,
+) -> SimReport {
+    let n = schedule.nranks;
+    assert_eq!(contributions.len(), n, "one contribution per rank");
+    if n == 1 {
+        // The fabric needs two nodes; a single-rank collective is a
+        // no-op with this rank's own data as the result.
+        let out = RankState::init(schedule.op, 1, 0, &contributions[0]).into_output(schedule.op, 0);
+        return SimReport {
+            seconds: 0.0,
+            events: 0,
+            outputs: vec![Some(out)],
+            finish_secs: vec![Some(0.0)],
+            completed: 1,
+        };
+    }
+    let mut eng = MultiNet::engine(spec.clone(), n);
+    if let Some(t) = &opts.trace {
+        eng.set_trace_sink(Rc::clone(t));
+    }
+    let sess = MultiSession::new(profile.clone(), n);
+    let mut dead = None;
+    match opts.fault {
+        Some(RankFault::Dead(r)) => dead = Some(r),
+        Some(RankFault::Degrade { rank, extra_us }) => sess.set_rank_overhead_us(rank, extra_us),
+        None => {}
+    }
+    let driver = Rc::new(Driver {
+        schedule: schedule.clone(),
+        ctx,
+        sess,
+        ranks: (0..n)
+            .map(|rank| {
+                let vrank = crate::exec::virtual_rank(rank, ctx.root, n);
+                RefCell::new(RankRun {
+                    state: RankState::init(schedule.op, n, vrank, &contributions[rank]),
+                    life: CollRound::initial(),
+                    round: 0,
+                    waiting: 0,
+                    arrived: Vec::new(),
+                    round_start: SimTime::ZERO,
+                    finish: None,
+                })
+            })
+            .collect(),
+        trace: opts.trace.clone(),
+    });
+    for rank in 0..n {
+        if dead == Some(rank) {
+            continue; // never starts: its peers stall, the queue drains
+        }
+        let d = Rc::clone(&driver);
+        eng.schedule_at(SimTime::ZERO, move |e| d.start_round(e, rank));
+    }
+    eng.run();
+    let events = eng.events_executed();
+    let mut outputs = Vec::with_capacity(n);
+    let mut finish_secs = Vec::with_capacity(n);
+    let mut completed = 0;
+    let mut seconds = 0.0f64;
+    for rank in 0..n {
+        let mut r = driver.ranks[rank].borrow_mut();
+        match r.finish {
+            Some(t) => {
+                completed += 1;
+                let secs = t.as_secs_f64();
+                if secs > seconds {
+                    seconds = secs;
+                }
+                finish_secs.push(Some(secs));
+                let vrank = crate::exec::virtual_rank(rank, ctx.root, n);
+                let state = std::mem::take(&mut r.state);
+                outputs.push(Some(state.into_output(schedule.op, vrank)));
+            }
+            None => {
+                finish_secs.push(None);
+                outputs.push(None);
+            }
+        }
+    }
+    SimReport {
+        seconds,
+        events,
+        outputs,
+        finish_secs,
+        completed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::{CollOp, Dtype, ReduceOp};
+    use crate::plan::{build, Algorithm};
+    use crate::state::Reduction;
+
+    fn sum_ctx() -> ExecCtx {
+        ExecCtx {
+            root: 0,
+            reduction: Some(Reduction {
+                dtype: Dtype::U64,
+                op: ReduceOp::Sum,
+            }),
+        }
+    }
+
+    fn u64s(n: usize) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|r| ((r + 1) as u64).to_le_bytes().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn simulated_allreduce_matches_the_arithmetic() {
+        for alg in [
+            Algorithm::Tree,
+            Algorithm::RecursiveDoubling,
+            Algorithm::Ring,
+        ] {
+            let n = 6;
+            let s = build(CollOp::Allreduce, alg, n).unwrap();
+            let report = run_sim(
+                &hwmodel::presets::pcs_ga620(),
+                &mpsim::libs::mpich(Default::default()).profile,
+                &s,
+                sum_ctx(),
+                &u64s(n),
+                &SimOptions::default(),
+            );
+            assert!(report.all_completed(), "{alg:?}");
+            assert!(report.seconds > 0.0);
+            for out in report.outputs {
+                assert_eq!(out.unwrap().acc, 21u64.to_le_bytes(), "{alg:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_rank_yields_partial_report_not_a_hang() {
+        let n = 8;
+        let s = build(CollOp::Barrier, Algorithm::Dissemination, n).unwrap();
+        let report = run_sim(
+            &hwmodel::presets::pcs_ga620(),
+            &mpsim::libs::mpich(Default::default()).profile,
+            &s,
+            ExecCtx {
+                root: 0,
+                reduction: None,
+            },
+            &vec![Vec::new(); n],
+            &SimOptions {
+                trace: None,
+                fault: Some(RankFault::Dead(3)),
+            },
+        );
+        assert!(!report.all_completed());
+        assert!(report.outputs[3].is_none());
+        assert!(report.completed < n);
+    }
+
+    #[test]
+    fn degraded_rank_slows_the_collective() {
+        let n = 8;
+        let s = build(CollOp::Barrier, Algorithm::Dissemination, n).unwrap();
+        let run = |fault| {
+            run_sim(
+                &hwmodel::presets::pcs_ga620(),
+                &mpsim::libs::mpich(Default::default()).profile,
+                &s,
+                ExecCtx {
+                    root: 0,
+                    reduction: None,
+                },
+                &vec![Vec::new(); n],
+                &SimOptions { trace: None, fault },
+            )
+        };
+        let clean = run(None);
+        let slow = run(Some(RankFault::Degrade {
+            rank: 2,
+            extra_us: 5_000.0,
+        }));
+        assert!(slow.all_completed());
+        assert!(slow.seconds > clean.seconds * 2.0);
+    }
+}

@@ -1,0 +1,256 @@
+//! Property tests: every algorithm × rank count (including awkward
+//! non-powers-of-two) must produce exactly the naive linear reference's
+//! result, and the planners must keep their structural invariants.
+//!
+//! Cases are deterministic (seeded [`SimRng`] payloads), dependency-free,
+//! and exercised through [`run_local`] — the in-memory executor that the
+//! sim and real backends are separately cross-checked against in the
+//! workspace-level `collective_cross_check` test.
+
+use collectives::{
+    algorithms_for, build, combine_bytes, run_local, run_sim, Algorithm, CollOp, Dtype, ExecCtx,
+    ReduceOp, Reduction, SimOptions,
+};
+use hwmodel::presets::pcs_ga620;
+use mpsim::libs::{mpich, MpichConfig};
+use simcore::SimRng;
+
+/// Rank counts the matrix sweeps: powers of two, odd primes, and the
+/// off-by-one neighbours that break naive power-of-two planners.
+const RANK_COUNTS: [usize; 12] = [1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17, 33];
+
+/// Deterministic per-rank payload of whole u64 elements.
+fn payload(rng: &mut SimRng, elems: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(elems * 8);
+    for _ in 0..elems {
+        out.extend_from_slice(&rng.next_below(u64::MAX).to_le_bytes());
+    }
+    out
+}
+
+fn contributions(op: CollOp, n: usize, elems: usize, seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|r| match op {
+            CollOp::Barrier => Vec::new(),
+            CollOp::Bcast if r != 0 => Vec::new(),
+            _ => payload(&mut rng, elems),
+        })
+        .collect()
+}
+
+const RED: Reduction = Reduction {
+    dtype: Dtype::U64,
+    op: ReduceOp::Sum,
+};
+
+fn ctx_for(op: CollOp) -> ExecCtx {
+    ExecCtx {
+        root: 0,
+        reduction: match op {
+            CollOp::Reduce | CollOp::Allreduce => Some(RED),
+            _ => None,
+        },
+    }
+}
+
+/// The naive reference: what each rank must hold afterwards, computed
+/// directly from the contributions without any schedule at all.
+fn reference(op: CollOp, contributions: &[Vec<u8>]) -> Vec<(Vec<u8>, Vec<Vec<u8>>)> {
+    let n = contributions.len();
+    match op {
+        CollOp::Barrier => vec![(Vec::new(), Vec::new()); n],
+        CollOp::Bcast => vec![(contributions[0].clone(), Vec::new()); n],
+        CollOp::Reduce | CollOp::Allreduce => {
+            let mut acc = contributions[0].clone();
+            for c in &contributions[1..] {
+                combine_bytes(RED.dtype, RED.op, &mut acc, c);
+            }
+            (0..n)
+                .map(|r| {
+                    if op == CollOp::Allreduce || r == 0 {
+                        (acc.clone(), Vec::new())
+                    } else {
+                        (Vec::new(), Vec::new())
+                    }
+                })
+                .collect()
+        }
+        CollOp::Allgather => vec![(Vec::new(), contributions.to_vec()); n],
+    }
+}
+
+#[test]
+fn every_algorithm_matches_the_naive_reference() {
+    for op in CollOp::all() {
+        for &n in &RANK_COUNTS {
+            let contribs = contributions(op, n, 5, 0xC0_11EC7 ^ n as u64);
+            let expected = reference(op, &contribs);
+            for algorithm in algorithms_for(op, n) {
+                let schedule = build(op, algorithm, n)
+                    .unwrap_or_else(|e| panic!("{op:?}/{algorithm:?}/{n}: {e}"));
+                schedule
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{op:?}/{algorithm:?}/{n} invalid: {e}"));
+                let outputs = run_local(&schedule, ctx_for(op), &contribs);
+                for (rank, (out, (acc, blocks))) in outputs.iter().zip(&expected).enumerate() {
+                    assert_eq!(
+                        &out.acc, acc,
+                        "{op:?}/{algorithm:?} n={n} rank {rank}: acc differs from reference"
+                    );
+                    assert_eq!(
+                        &out.blocks, blocks,
+                        "{op:?}/{algorithm:?} n={n} rank {rank}: blocks differ from reference"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn rotation_by_root_matches_reference_for_rooted_ops() {
+    for op in [CollOp::Bcast, CollOp::Reduce] {
+        for &n in &[3usize, 5, 8, 13] {
+            for root in 0..n {
+                let contribs: Vec<Vec<u8>> = {
+                    let mut rng = SimRng::new(0xB007 ^ (n as u64) << 8 ^ root as u64);
+                    (0..n)
+                        .map(|r| {
+                            if op == CollOp::Bcast && r != root {
+                                Vec::new()
+                            } else {
+                                payload(&mut rng, 3)
+                            }
+                        })
+                        .collect()
+                };
+                for algorithm in algorithms_for(op, n) {
+                    let schedule = build(op, algorithm, n).expect("algorithms_for said ok");
+                    let ctx = ExecCtx {
+                        root,
+                        reduction: (op == CollOp::Reduce).then_some(RED),
+                    };
+                    let outputs = run_local(&schedule, ctx, &contribs);
+                    match op {
+                        CollOp::Bcast => {
+                            for (rank, out) in outputs.iter().enumerate() {
+                                assert_eq!(
+                                    out.acc, contribs[root],
+                                    "bcast/{algorithm:?} n={n} root={root} rank {rank}"
+                                );
+                            }
+                        }
+                        CollOp::Reduce => {
+                            let mut acc = contribs[root].clone();
+                            for (r, c) in contribs.iter().enumerate() {
+                                if r != root {
+                                    combine_bytes(RED.dtype, RED.op, &mut acc, c);
+                                }
+                            }
+                            // Wrapping u64 sum is commutative: fold order
+                            // does not change the reference bytes.
+                            assert_eq!(
+                                outputs[root].acc, acc,
+                                "reduce/{algorithm:?} n={n} root={root}"
+                            );
+                            for (rank, out) in outputs.iter().enumerate() {
+                                if rank != root {
+                                    assert!(
+                                        out.acc.is_empty(),
+                                        "reduce leaves non-root rank {rank} empty"
+                                    );
+                                }
+                            }
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn schedules_are_reproducible_by_digest() {
+    for op in CollOp::all() {
+        for &n in &RANK_COUNTS {
+            for algorithm in algorithms_for(op, n) {
+                let a = build(op, algorithm, n).expect("planned once");
+                let b = build(op, algorithm, n).expect("planned twice");
+                assert_eq!(
+                    a.digest(),
+                    b.digest(),
+                    "{op:?}/{algorithm:?}/{n}: planning must be deterministic"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn log_algorithms_stay_logarithmic_in_rounds() {
+    for &n in &[16usize, 64, 256, 1024] {
+        let log2 = usize::BITS as usize - (n - 1).leading_zeros() as usize;
+        for (op, algorithm) in [
+            (CollOp::Barrier, Algorithm::Dissemination),
+            (CollOp::Barrier, Algorithm::Tree),
+            (CollOp::Bcast, Algorithm::Tree),
+            (CollOp::Allreduce, Algorithm::RecursiveDoubling),
+            (CollOp::Allgather, Algorithm::Dissemination),
+        ] {
+            let schedule = build(op, algorithm, n).expect("power-of-two size");
+            assert!(
+                schedule.max_rounds() <= 2 * log2 + 2,
+                "{op:?}/{algorithm:?}/{n}: {} rounds is not logarithmic",
+                schedule.max_rounds()
+            );
+        }
+    }
+}
+
+/// The tentpole's scale claim: a 1024-rank simulated barrier and
+/// allreduce both complete inside tier-1 test time.
+#[test]
+fn sim_scales_to_1024_ranks() {
+    let spec = pcs_ga620();
+    let profile = mpich(MpichConfig::tuned()).profile;
+    let n = 1024;
+
+    let barrier = build(CollOp::Barrier, Algorithm::Dissemination, n).expect("barrier plan");
+    let report = run_sim(
+        &spec,
+        &profile,
+        &barrier,
+        ExecCtx {
+            root: 0,
+            reduction: None,
+        },
+        &vec![Vec::new(); n],
+        &SimOptions::default(),
+    );
+    assert!(report.all_completed(), "1024-rank barrier stalled");
+    assert!(report.seconds > 0.0);
+
+    let allreduce = build(CollOp::Allreduce, Algorithm::RecursiveDoubling, n).expect("p2 plan");
+    let contribs: Vec<Vec<u8>> = (0..n as u64).map(|r| r.to_le_bytes().to_vec()).collect();
+    let report = run_sim(
+        &spec,
+        &profile,
+        &allreduce,
+        ExecCtx {
+            root: 0,
+            reduction: Some(RED),
+        },
+        &contribs,
+        &SimOptions::default(),
+    );
+    assert!(report.all_completed(), "1024-rank allreduce stalled");
+    let expected: u64 = (0..n as u64).fold(0, u64::wrapping_add);
+    for (rank, out) in report.outputs.iter().enumerate() {
+        let out = out
+            .as_ref()
+            .unwrap_or_else(|| panic!("rank {rank} missing output"));
+        assert_eq!(out.acc, expected.to_le_bytes().to_vec(), "rank {rank} sum");
+    }
+}

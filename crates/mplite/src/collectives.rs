@@ -4,89 +4,83 @@
 //! provides the same set: barrier, broadcast, reduce / allreduce over
 //! numeric slices, gather / allgather, scatter and all-to-all.
 //!
+//! The algorithms themselves live in the `collectives` crate as data —
+//! a [`Schedule`](::collectives::Schedule) of per-rank rounds built by
+//! [`::collectives::plan::build`] — and run here through
+//! [`run_blocking`] over [`Comm`]'s tagged point-to-point layer. The
+//! same schedules drive the simulated N-rank backend, so the real and
+//! simulated collectives are byte-identical by construction. Every
+//! entry point has a `*_with` variant taking an explicit
+//! [`Algorithm`]; the plain names use the deterministic default from
+//! [`auto_algorithm`] (which depends only on the op and the job size,
+//! so ranks can never disagree on it). Gather, scatter and all-to-all
+//! remain hand-rolled: they are personalized (per-peer payloads), which
+//! the schedule vocabulary does not model.
+//!
 //! All collectives use reserved negative tags derived from a per-job
 //! sequence number, so they never collide with user traffic and
 //! back-to-back collectives never collide with each other. As in MPI,
 //! every rank must call the same collectives in the same order.
 
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use ::collectives::exec::{run_blocking, CollTransport, ExecCtx};
+use ::collectives::plan::{auto_algorithm, build, PlanError};
+use ::collectives::state::{CollOutput, Reduction};
+use ::collectives::{CollOp, Dtype};
 
 use crate::buf::Bytes;
-
 use crate::comm::Comm;
 use crate::error::{MpError, Result};
+use crate::message::RecvSlot;
 
-/// Reduction operators for [`Comm::reduce`] / [`Comm::allreduce`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ReduceOp {
-    /// Elementwise sum.
-    Sum,
-    /// Elementwise minimum.
-    Min,
-    /// Elementwise maximum.
-    Max,
-    /// Elementwise product.
-    Prod,
-}
+/// Reduction operators for [`Comm::reduce`] / [`Comm::allreduce`]
+/// (shared with the simulated backend).
+pub use ::collectives::ReduceOp;
+
+/// Algorithm families accepted by the `*_with` entry points.
+pub use ::collectives::Algorithm;
 
 /// Element types usable in reductions.
 pub trait ReduceElem: Copy + Send + 'static {
     /// Serialized size of one element.
     const WIDTH: usize;
+    /// The byte-level encoding the schedule executor combines under.
+    const DTYPE: Dtype;
     /// Append the little-endian encoding of `self`.
     fn write(self, out: &mut Vec<u8>);
     /// Decode one element.
     fn read(bytes: &[u8]) -> Self;
-    /// Combine two elements under `op`.
-    fn combine(self, other: Self, op: ReduceOp) -> Self;
 }
 
 macro_rules! impl_reduce_elem {
-    ($t:ty) => {
+    ($t:ty, $dtype:expr) => {
         impl ReduceElem for $t {
             const WIDTH: usize = std::mem::size_of::<$t>();
+            const DTYPE: Dtype = $dtype;
             fn write(self, out: &mut Vec<u8>) {
                 out.extend_from_slice(&self.to_le_bytes());
             }
             fn read(bytes: &[u8]) -> Self {
                 <$t>::from_le_bytes(crate::message::le_bytes(bytes))
             }
-            fn combine(self, other: Self, op: ReduceOp) -> Self {
-                match op {
-                    ReduceOp::Sum => self + other,
-                    ReduceOp::Min => {
-                        if other < self {
-                            other
-                        } else {
-                            self
-                        }
-                    }
-                    ReduceOp::Max => {
-                        if other > self {
-                            other
-                        } else {
-                            self
-                        }
-                    }
-                    ReduceOp::Prod => self * other,
-                }
-            }
         }
     };
 }
 
-impl_reduce_elem!(f64);
-impl_reduce_elem!(f32);
-impl_reduce_elem!(i64);
-impl_reduce_elem!(i32);
-impl_reduce_elem!(u64);
+impl_reduce_elem!(f64, Dtype::F64);
+impl_reduce_elem!(f32, Dtype::F32);
+impl_reduce_elem!(i64, Dtype::I64);
+impl_reduce_elem!(i32, Dtype::I32);
+impl_reduce_elem!(u64, Dtype::U64);
 
-fn encode_slice<T: ReduceElem>(xs: &[T]) -> Bytes {
+fn encode_slice<T: ReduceElem>(xs: &[T]) -> Vec<u8> {
     let mut out = Vec::with_capacity(xs.len() * T::WIDTH);
     for &x in xs {
         x.write(&mut out);
     }
-    Bytes::from(out)
+    out
 }
 
 fn decode_slice<T: ReduceElem>(bytes: &[u8]) -> Result<Vec<T>> {
@@ -99,39 +93,71 @@ fn decode_slice<T: ReduceElem>(bytes: &[u8]) -> Result<Vec<T>> {
     Ok(bytes.chunks_exact(T::WIDTH).map(T::read).collect())
 }
 
+fn plan_err(e: PlanError) -> MpError {
+    MpError::BadArg(match e {
+        PlanError::Unsupported { .. } => "algorithm does not support this collective",
+        PlanError::NeedsPowerOfTwo { .. } => "algorithm requires a power-of-two rank count",
+        PlanError::NoRanks => "collective over zero ranks",
+    })
+}
+
+/// [`Comm`] as a schedule transport: posted receives are raw
+/// [`RecvSlot`]s (post-then-send keeps symmetric exchanges
+/// deadlock-free), sends are blocking internal isends.
+struct CommTransport<'a> {
+    comm: &'a Comm,
+}
+
+impl CollTransport for CommTransport<'_> {
+    type Err = MpError;
+    type Pending = Arc<RecvSlot>;
+
+    fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    fn nranks(&self) -> usize {
+        self.comm.nprocs()
+    }
+
+    fn post(&self, from: usize, tag: i32) -> Arc<RecvSlot> {
+        self.comm.post_internal(from as i32, tag)
+    }
+
+    fn complete(&self, pending: Arc<RecvSlot>) -> Result<Vec<u8>> {
+        Ok(pending.wait()?.data.to_vec())
+    }
+
+    fn send(&self, to: usize, tag: i32, payload: Vec<u8>) -> Result<()> {
+        self.comm
+            .isend_internal(to, tag, Bytes::from(payload))?
+            .wait()
+    }
+}
+
 impl Comm {
-    /// Reserve a fresh block of collective tags; all ranks call the
-    /// collectives in the same order, so the sequence numbers agree.
+    /// Reserve the next collective tag; all ranks call the collectives
+    /// in the same order, so the sequence numbers agree. `rem_euclid`
+    /// keeps the tag inside the reserved `[-1_000_000, -1]` window even
+    /// after the `i32` sequence counter overflows (a plain `%` would go
+    /// below the window once `fetch_add` wraps the counter negative).
     fn coll_tag(&self) -> i32 {
         let seq = self.coll_seq.fetch_add(1, Ordering::Relaxed);
         // Tags below -2 are reserved: leave room for 2^20 in-flight rounds.
-        -1_000_000 + (seq % 1_000_000)
+        -1_000_000 + seq.rem_euclid(1_000_000)
     }
 
-    /// Block until every rank has entered the barrier (dissemination
-    /// algorithm: ⌈log₂ n⌉ rounds).
-    pub fn barrier(&self) -> Result<()> {
-        let tag = self.coll_tag();
-        let n = self.nprocs();
-        if n == 1 {
-            return Ok(());
-        }
-        let mut step = 1usize;
-        while step < n {
-            let to = (self.rank() + step) % n;
-            let from = (self.rank() + n - step % n) % n;
-            let send = self.isend_internal(to, tag, Bytes::new())?;
-            let (_, _) = self.recv_internal(from as i32, tag)?;
-            send.wait()?;
-            step <<= 1;
-        }
-        Ok(())
-    }
-
-    /// Broadcast `data` from `root`; every rank returns the payload.
-    /// Binomial tree: ⌈log₂ n⌉ rounds.
-    pub fn bcast(&self, root: usize, data: Option<Bytes>) -> Result<Bytes> {
-        let tag = self.coll_tag();
+    /// Build and run one schedule over this communicator. Exactly one
+    /// collective tag is consumed regardless of algorithm, so mixed
+    /// algorithm sequences stay tag-synchronized across ranks.
+    fn run_schedule(
+        &self,
+        op: CollOp,
+        algorithm: Algorithm,
+        root: usize,
+        reduction: Option<Reduction>,
+        contribution: &[u8],
+    ) -> Result<CollOutput> {
         let n = self.nprocs();
         if root >= n {
             return Err(MpError::BadRank {
@@ -139,32 +165,49 @@ impl Comm {
                 nprocs: n,
             });
         }
-        let vrank = (self.rank() + n - root) % n;
-        let payload = if vrank == 0 {
+        let schedule = build(op, algorithm, n).map_err(plan_err)?;
+        let tag = self.coll_tag();
+        run_blocking(
+            &CommTransport { comm: self },
+            &schedule,
+            ExecCtx { root, reduction },
+            tag,
+            contribution,
+        )
+    }
+
+    /// Block until every rank has entered the barrier (dissemination
+    /// algorithm: ⌈log₂ n⌉ rounds).
+    pub fn barrier(&self) -> Result<()> {
+        self.barrier_with(auto_algorithm(CollOp::Barrier, self.nprocs()))
+    }
+
+    /// [`Comm::barrier`] with an explicit algorithm.
+    pub fn barrier_with(&self, algorithm: Algorithm) -> Result<()> {
+        self.run_schedule(CollOp::Barrier, algorithm, 0, None, &[])?;
+        Ok(())
+    }
+
+    /// Broadcast `data` from `root`; every rank returns the payload.
+    /// Binomial tree: ⌈log₂ n⌉ rounds.
+    pub fn bcast(&self, root: usize, data: Option<Bytes>) -> Result<Bytes> {
+        self.bcast_with(Algorithm::Tree, root, data)
+    }
+
+    /// [`Comm::bcast`] with an explicit algorithm.
+    pub fn bcast_with(
+        &self,
+        algorithm: Algorithm,
+        root: usize,
+        data: Option<Bytes>,
+    ) -> Result<Bytes> {
+        let contribution = if self.rank() == root {
             data.ok_or(MpError::BadArg("root must supply the broadcast payload"))?
         } else {
-            // Receive from the parent: clear the highest set bit.
-            let high = 1usize << (usize::BITS - 1 - vrank.leading_zeros());
-            let parent = (vrank - high + root) % n;
-            let (bytes, _) = self.recv_internal(parent as i32, tag)?;
-            bytes
+            Bytes::new()
         };
-        // Forward to children: add each power of two above our highest bit.
-        let mut bit = if vrank == 0 {
-            1
-        } else {
-            1usize << (usize::BITS - vrank.leading_zeros())
-        };
-        let mut sends = Vec::new();
-        while vrank + bit < n {
-            let child = (vrank + bit + root) % n;
-            sends.push(self.isend_internal(child, tag, payload.clone())?);
-            bit <<= 1;
-        }
-        for s in sends {
-            s.wait()?;
-        }
-        Ok(payload)
+        let out = self.run_schedule(CollOp::Bcast, algorithm, root, None, &contribution)?;
+        Ok(Bytes::from(out.acc))
     }
 
     /// Elementwise reduction to `root`. Returns `Some(result)` on root,
@@ -175,45 +218,37 @@ impl Comm {
         data: &[T],
         op: ReduceOp,
     ) -> Result<Option<Vec<T>>> {
-        let tag = self.coll_tag();
-        let n = self.nprocs();
-        if root >= n {
-            return Err(MpError::BadRank {
-                rank: root,
-                nprocs: n,
-            });
-        }
-        let vrank = (self.rank() + n - root) % n;
-        let mut acc: Vec<T> = data.to_vec();
-        // Binomial tree, mirrored from bcast: children send up.
-        let mut bit = 1usize;
-        while bit < n {
-            if vrank & bit != 0 {
-                // Send to the parent and leave.
-                let parent = ((vrank & !bit) + root) % n;
-                self.isend_internal(parent, tag, encode_slice(&acc))?
-                    .wait()?;
-                return Ok(None);
-            }
-            if vrank + bit < n {
-                let child = (vrank + bit + root) % n;
-                let (bytes, _) = self.recv_internal(child as i32, tag)?;
-                let theirs: Vec<T> = decode_slice(&bytes)?;
-                assert_eq!(theirs.len(), acc.len(), "reduce length mismatch");
-                for (a, b) in acc.iter_mut().zip(theirs) {
-                    *a = a.combine(b, op);
-                }
-            }
-            bit <<= 1;
-        }
-        Ok(Some(acc))
+        self.reduce_with(Algorithm::Tree, root, data, op)
     }
 
-    /// Reduction delivered to every rank (reduce to rank 0 + broadcast).
+    /// [`Comm::reduce`] with an explicit algorithm.
+    pub fn reduce_with<T: ReduceElem>(
+        &self,
+        algorithm: Algorithm,
+        root: usize,
+        data: &[T],
+        op: ReduceOp,
+    ) -> Result<Option<Vec<T>>> {
+        let out = self.run_schedule(
+            CollOp::Reduce,
+            algorithm,
+            root,
+            Some(Reduction {
+                dtype: T::DTYPE,
+                op,
+            }),
+            &encode_slice(data),
+        )?;
+        if self.rank() == root {
+            Ok(Some(decode_slice(&out.acc)?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Reduction delivered to every rank (binomial reduce + broadcast).
     pub fn allreduce<T: ReduceElem>(&self, data: &[T], op: ReduceOp) -> Result<Vec<T>> {
-        let reduced = self.reduce(0, data, op)?;
-        let bytes = self.bcast(0, reduced.map(|v| encode_slice(&v)))?;
-        decode_slice(&bytes)
+        self.allreduce_with(Algorithm::Tree, data, op)
     }
 
     /// Allreduce by recursive doubling: log₂ n rounds of pairwise
@@ -222,93 +257,48 @@ impl Comm {
     /// the excess ranks into the power-of-two core first (the standard
     /// construction).
     pub fn allreduce_rd<T: ReduceElem>(&self, data: &[T], op: ReduceOp) -> Result<Vec<T>> {
-        let tag = self.coll_tag();
-        let n = self.nprocs();
-        let me = self.rank();
-        let mut acc: Vec<T> = data.to_vec();
-        if n == 1 {
-            return Ok(acc);
-        }
-        // Largest power of two <= n.
-        let core = 1usize << (usize::BITS - 1 - n.leading_zeros());
-        let excess = n - core;
-        // Phase 1: ranks >= core send their data into the core.
-        if me >= core {
-            let partner = me - core;
-            self.isend_internal(partner, tag, encode_slice(&acc))?
-                .wait()?;
-        } else if me < excess {
-            let partner = me + core;
-            let (bytes, _) = self.recv_internal(partner as i32, tag)?;
-            let theirs: Vec<T> = decode_slice(&bytes)?;
-            assert_eq!(theirs.len(), acc.len(), "allreduce length mismatch");
-            for (a, b) in acc.iter_mut().zip(theirs) {
-                *a = a.combine(b, op);
-            }
-        }
-        // Phase 2: recursive doubling inside the core.
-        if me < core {
-            let mut bit = 1usize;
-            while bit < core {
-                let partner = me ^ bit;
-                // Symmetric exchange; post receive first to avoid ordering
-                // sensitivity.
-                let rx = self.post_internal(partner as i32, tag + 1);
-                self.isend_internal(partner, tag + 1, encode_slice(&acc))?
-                    .wait()?;
-                let msg = rx.wait()?;
-                let theirs: Vec<T> = decode_slice(&msg.data)?;
-                assert_eq!(theirs.len(), acc.len(), "allreduce length mismatch");
-                for (a, b) in acc.iter_mut().zip(theirs) {
-                    *a = a.combine(b, op);
-                }
-                bit <<= 1;
-            }
-        }
-        // Phase 3: results flow back out to the excess ranks.
-        if me >= core {
-            let partner = me - core;
-            let (bytes, _) = self.recv_internal(partner as i32, tag + 2)?;
-            acc = decode_slice(&bytes)?;
-        } else if me < excess {
-            let partner = me + core;
-            self.isend_internal(partner, tag + 2, encode_slice(&acc))?
-                .wait()?;
-        }
-        // Recursive doubling consumed three tags; keep the global
-        // collective ordering consistent across ranks.
-        let _ = self.coll_tag();
-        let _ = self.coll_tag();
-        Ok(acc)
+        self.allreduce_with(Algorithm::RecursiveDoubling, data, op)
+    }
+
+    /// [`Comm::allreduce`] with an explicit algorithm.
+    pub fn allreduce_with<T: ReduceElem>(
+        &self,
+        algorithm: Algorithm,
+        data: &[T],
+        op: ReduceOp,
+    ) -> Result<Vec<T>> {
+        let out = self.run_schedule(
+            CollOp::Allreduce,
+            algorithm,
+            0,
+            Some(Reduction {
+                dtype: T::DTYPE,
+                op,
+            }),
+            &encode_slice(data),
+        )?;
+        decode_slice(&out.acc)
+    }
+
+    /// Gather every rank's payload everywhere. The algorithm selector
+    /// picks the binomial gather+bcast tree for small jobs and the
+    /// bandwidth-optimal ring once the job is wide enough for the root
+    /// to bottleneck; both produce identical results.
+    pub fn allgather(&self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
+        self.allgather_with(auto_algorithm(CollOp::Allgather, self.nprocs()), data)
     }
 
     /// Ring allgather: n−1 rounds, each rank forwarding the block it just
     /// received — bandwidth-optimal for large payloads where the
     /// gather+bcast tree retransmits everything through rank 0.
     pub fn allgather_ring(&self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
-        let tag = self.coll_tag();
-        let n = self.nprocs();
-        let me = self.rank();
-        let mut parts: Vec<Vec<u8>> = vec![Vec::new(); n];
-        parts[me] = data.to_vec();
-        if n == 1 {
-            return Ok(parts);
-        }
-        let right = (me + 1) % n;
-        let left = (me + n - 1) % n;
-        // Round k: send the block that originated at (me - k), receive the
-        // block that originated at (me - k - 1).
-        let mut outgoing = me;
-        for _ in 0..n - 1 {
-            let rx = self.post_internal(left as i32, tag);
-            self.isend_internal(right, tag, Bytes::from(parts[outgoing].clone()))?
-                .wait()?;
-            let msg = rx.wait()?;
-            let incoming = (outgoing + n - 1) % n;
-            parts[incoming] = msg.data.to_vec();
-            outgoing = incoming;
-        }
-        Ok(parts)
+        self.allgather_with(Algorithm::Ring, data)
+    }
+
+    /// [`Comm::allgather`] with an explicit algorithm.
+    pub fn allgather_with(&self, algorithm: Algorithm, data: &[u8]) -> Result<Vec<Vec<u8>>> {
+        let out = self.run_schedule(CollOp::Allgather, algorithm, 0, None, data)?;
+        Ok(out.blocks)
     }
 
     /// Gather every rank's payload at `root` (rank order). Returns
@@ -335,38 +325,6 @@ impl Comm {
                 .wait()?;
             Ok(None)
         }
-    }
-
-    /// Gather every rank's payload everywhere (gather at 0 + broadcast of
-    /// the concatenation with a length prefix table).
-    pub fn allgather(&self, data: &[u8]) -> Result<Vec<Vec<u8>>> {
-        let gathered = self.gather(0, data)?;
-        let packed = gathered.map(|parts| {
-            let mut out = Vec::new();
-            out.extend_from_slice(&(parts.len() as u32).to_le_bytes());
-            for p in &parts {
-                out.extend_from_slice(&(p.len() as u64).to_le_bytes());
-            }
-            for p in &parts {
-                out.extend_from_slice(p);
-            }
-            Bytes::from(out)
-        });
-        let bytes = self.bcast(0, packed)?;
-        // Unpack.
-        let count = u32::from_le_bytes(crate::message::le_bytes(&bytes[0..4])) as usize;
-        let mut lens = Vec::with_capacity(count);
-        let mut off = 4;
-        for _ in 0..count {
-            lens.push(u64::from_le_bytes(crate::message::le_bytes(&bytes[off..off + 8])) as usize);
-            off += 8;
-        }
-        let mut parts = Vec::with_capacity(count);
-        for len in lens {
-            parts.push(bytes[off..off + len].to_vec());
-            off += len;
-        }
-        Ok(parts)
     }
 
     /// Distribute one slice per rank from `root`. On root, `parts` must
@@ -445,6 +403,20 @@ mod tests {
     }
 
     #[test]
+    fn barrier_works_under_every_algorithm() {
+        for alg in Algorithm::all() {
+            for n in [2, 3, 5, 8] {
+                Universe::run(n, move |comm| {
+                    for _ in 0..3 {
+                        comm.barrier_with(alg).unwrap();
+                    }
+                })
+                .unwrap();
+            }
+        }
+    }
+
+    #[test]
     fn bcast_from_every_root() {
         for n in [2, 3, 5, 8] {
             for root in 0..n {
@@ -453,6 +425,23 @@ mod tests {
                         (comm.rank() == root).then(|| Bytes::from(format!("payload-from-{root}")));
                     let got = comm.bcast(root, data).unwrap();
                     assert_eq!(&got[..], format!("payload-from-{root}").as_bytes());
+                })
+                .unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn bcast_ring_matches_tree() {
+        for n in [2, 4, 6] {
+            for root in 0..n {
+                Universe::run(n, move |comm| {
+                    let mk = || (comm.rank() == root).then(|| Bytes::from(vec![root as u8; 64]));
+                    let tree = comm.bcast_with(Algorithm::Tree, root, mk()).unwrap();
+                    let ring = comm.bcast_with(Algorithm::Ring, root, mk()).unwrap();
+                    let lin = comm.bcast_with(Algorithm::Linear, root, mk()).unwrap();
+                    assert_eq!(&tree[..], &ring[..]);
+                    assert_eq!(&tree[..], &lin[..]);
                 })
                 .unwrap();
             }
@@ -579,12 +568,29 @@ mod tests {
         for n in [1, 2, 3, 5, 7] {
             Universe::run(n, move |comm| {
                 let mine = format!("payload-from-rank-{}", comm.rank());
-                let tree = comm.allgather(mine.as_bytes()).unwrap();
+                let tree = comm
+                    .allgather_with(Algorithm::Tree, mine.as_bytes())
+                    .unwrap();
                 let ring = comm.allgather_ring(mine.as_bytes()).unwrap();
                 assert_eq!(tree, ring, "n={n}");
                 for (r, p) in ring.iter().enumerate() {
                     assert_eq!(p, format!("payload-from-rank-{r}").as_bytes());
                 }
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn allgather_bruck_matches_ring() {
+        for n in [2, 3, 5, 6, 8] {
+            Universe::run(n, move |comm| {
+                let mine = vec![comm.rank() as u8 + 1; comm.rank() % 3 + 1];
+                let bruck = comm
+                    .allgather_with(Algorithm::Dissemination, &mine)
+                    .unwrap();
+                let ring = comm.allgather_ring(&mine).unwrap();
+                assert_eq!(bruck, ring, "n={n}");
             })
             .unwrap();
         }
@@ -631,6 +637,40 @@ mod tests {
             assert_eq!(r, vec![5.0]);
             let g = comm.allgather(b"x").unwrap();
             assert_eq!(g, vec![b"x".to_vec()]);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn coll_tag_stays_in_reserved_window_across_overflow() {
+        // The i32 sequence counter wraps negative at i32::MAX; rem_euclid
+        // must keep every tag inside [-1_000_000, -1] regardless.
+        Universe::run(1, |comm| {
+            comm.coll_seq.store(i32::MAX - 2, Ordering::Relaxed);
+            for _ in 0..6 {
+                let tag = comm.coll_tag();
+                assert!(
+                    (-1_000_000..0).contains(&tag),
+                    "tag {tag} escaped the reserved window"
+                );
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn collectives_survive_sequence_overflow() {
+        // Live collectives across the wrap: tags on both sides of the
+        // overflow must keep matching across ranks.
+        Universe::run(3, |comm| {
+            comm.coll_seq.store(i32::MAX - 2, Ordering::Relaxed);
+            for round in 0..6i64 {
+                let s = comm.allreduce(&[round], ReduceOp::Sum).unwrap();
+                assert_eq!(s, vec![3 * round]);
+                let g = comm.allgather(&round.to_le_bytes()).unwrap();
+                assert_eq!(g.len(), 3);
+                comm.barrier().unwrap();
+            }
         })
         .unwrap();
     }

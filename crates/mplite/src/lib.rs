@@ -43,8 +43,8 @@ pub mod trace;
 pub mod typed;
 pub mod universe;
 
+pub use crate::collectives::{Algorithm, ReduceElem, ReduceOp};
 pub use buf::Bytes;
-pub use collectives::{ReduceElem, ReduceOp};
 pub use comm::{Comm, RecvRequest, SendRequest, Status};
 pub use error::{MpError, Result};
 pub use lifecycle::ConnLifeState;

@@ -19,9 +19,11 @@
 #![warn(missing_docs)]
 
 pub mod libs;
+pub mod multirank;
 pub mod profile;
 pub mod rendezvous;
 pub mod session;
 
+pub use multirank::MultiSession;
 pub use profile::{FragmentCfg, LibProfile, MpLib, Progress, Routing, Transport};
 pub use session::{pingpong, Session};

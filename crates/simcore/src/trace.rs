@@ -73,6 +73,11 @@ pub mod stages {
     pub const IO_TIMEOUT: &str = "io-timeout";
     /// Instant: a real-mode driver re-established its connection.
     pub const RECONNECT: &str = "reconnect";
+    /// One rank's participation in one collective schedule round
+    /// (start = round entry, end = last receive applied).
+    pub const COLL_ROUND: &str = "coll-round";
+    /// Instant: a rank completed its final collective round.
+    pub const COLL_DONE: &str = "coll-done";
 }
 
 /// One completed span: `stage` was busy on timeline `track` over

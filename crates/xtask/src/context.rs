@@ -35,12 +35,14 @@ pub const SIM_CRATES: &[&str] = &[
     "protosim",
     "mpsim",
     "clusterlab",
+    "collectives",
     "tracelab",
 ];
 
 /// Library crates: the panic-hygiene rule family applies to their
 /// library code.
 pub const PANIC_CRATES: &[&str] = &[
+    "collectives",
     "faultlab",
     "mplite",
     "netpipe",

@@ -1,0 +1,178 @@
+//! Sim-vs-real cross-check: the *same* `collectives::Schedule` drives
+//! the in-memory reference executor, the N-rank mpsim simulation, and
+//! mplite's real threaded `Comm` — and all three must produce
+//! byte-identical results for the same (op, algorithm, ranks, size).
+//!
+//! The schedules themselves are checked too: planning for the sim side
+//! and for the real side must yield digest-identical schedules, so the
+//! backends cannot quietly diverge in *what* they execute.
+
+use collectives::{
+    build, run_local, run_sim, Algorithm, CollOp, Dtype, ExecCtx, ReduceOp, Reduction, SimOptions,
+};
+use hwmodel::presets::pcs_ga620;
+use mplite::{Bytes, Universe};
+use mpsim::libs::{mpich, MpichConfig};
+
+const RED: Reduction = Reduction {
+    dtype: Dtype::U64,
+    op: ReduceOp::Sum,
+};
+
+/// Deterministic per-rank u64 elements (the real side reduces typed
+/// slices; the schedule backends reduce their little-endian bytes).
+fn elems(rank: usize, count: usize) -> Vec<u64> {
+    (0..count as u64)
+        .map(|i| {
+            (rank as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(i)
+        })
+        .collect()
+}
+
+fn bytes_of(elems: &[u64]) -> Vec<u8> {
+    elems.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Run `schedule` through the simulated N-rank fabric; returns each
+/// rank's output, asserting all completed.
+fn sim_outputs(
+    schedule: &collectives::Schedule,
+    ctx: ExecCtx,
+    contributions: &[Vec<u8>],
+) -> Vec<collectives::CollOutput> {
+    let report = run_sim(
+        &pcs_ga620(),
+        &mpich(MpichConfig::tuned()).profile,
+        schedule,
+        ctx,
+        contributions,
+        &SimOptions::default(),
+    );
+    assert!(report.all_completed(), "fault-free sim run stalled");
+    report
+        .outputs
+        .into_iter()
+        .enumerate()
+        .map(|(r, o)| o.unwrap_or_else(|| panic!("sim rank {r} produced no output")))
+        .collect()
+}
+
+#[test]
+fn allreduce_is_byte_identical_across_all_three_backends() {
+    for n in [2usize, 3, 5, 8] {
+        for algorithm in [
+            Algorithm::Tree,
+            Algorithm::Ring,
+            Algorithm::RecursiveDoubling,
+        ] {
+            for count in [1usize, 7, 64] {
+                let sched_sim = build(CollOp::Allreduce, algorithm, n).expect("plan (sim)");
+                let sched_real = build(CollOp::Allreduce, algorithm, n).expect("plan (real)");
+                assert_eq!(
+                    sched_sim.digest(),
+                    sched_real.digest(),
+                    "sim and real must execute byte-identical schedules"
+                );
+
+                let contribs: Vec<Vec<u8>> = (0..n).map(|r| bytes_of(&elems(r, count))).collect();
+                let ctx = ExecCtx {
+                    root: 0,
+                    reduction: Some(RED),
+                };
+                let local = run_local(&sched_sim, ctx, &contribs);
+                let sim = sim_outputs(&sched_sim, ctx, &contribs);
+
+                let real: Vec<Vec<u8>> = Universe::run(n, |comm| {
+                    let mine = elems(comm.rank(), count);
+                    let sum = comm
+                        .allreduce_with(algorithm, &mine, ReduceOp::Sum)
+                        .expect("real allreduce");
+                    bytes_of(&sum)
+                })
+                .expect("universe");
+
+                for rank in 0..n {
+                    assert_eq!(
+                        local[rank].acc, sim[rank].acc,
+                        "allreduce/{algorithm:?} n={n} count={count} rank {rank}: local vs sim"
+                    );
+                    assert_eq!(
+                        local[rank].acc, real[rank],
+                        "allreduce/{algorithm:?} n={n} count={count} rank {rank}: local vs real"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn allgather_is_byte_identical_across_all_three_backends() {
+    for n in [2usize, 4, 5, 8] {
+        for algorithm in [Algorithm::Tree, Algorithm::Ring, Algorithm::Dissemination] {
+            let schedule = build(CollOp::Allgather, algorithm, n).expect("plan");
+            // Ragged per-rank sizes: rank r contributes r+1 elements.
+            let contribs: Vec<Vec<u8>> = (0..n).map(|r| bytes_of(&elems(r, r + 1))).collect();
+            let ctx = ExecCtx {
+                root: 0,
+                reduction: None,
+            };
+            let local = run_local(&schedule, ctx, &contribs);
+            let sim = sim_outputs(&schedule, ctx, &contribs);
+
+            let real: Vec<Vec<Vec<u8>>> = Universe::run(n, |comm| {
+                let mine = bytes_of(&elems(comm.rank(), comm.rank() + 1));
+                comm.allgather_with(algorithm, &mine)
+                    .expect("real allgather")
+            })
+            .expect("universe");
+
+            for rank in 0..n {
+                assert_eq!(
+                    local[rank].blocks, sim[rank].blocks,
+                    "allgather/{algorithm:?} n={n} rank {rank}: local vs sim"
+                );
+                assert_eq!(
+                    local[rank].blocks, real[rank],
+                    "allgather/{algorithm:?} n={n} rank {rank}: local vs real"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn bcast_from_every_root_is_byte_identical_across_backends() {
+    let n = 5;
+    for algorithm in [Algorithm::Tree, Algorithm::Ring, Algorithm::Linear] {
+        for root in 0..n {
+            let schedule = build(CollOp::Bcast, algorithm, n).expect("plan");
+            let msg = bytes_of(&elems(root, 9));
+            let contribs: Vec<Vec<u8>> = (0..n)
+                .map(|r| if r == root { msg.clone() } else { Vec::new() })
+                .collect();
+            let ctx = ExecCtx {
+                root,
+                reduction: None,
+            };
+            let local = run_local(&schedule, ctx, &contribs);
+            let sim = sim_outputs(&schedule, ctx, &contribs);
+
+            let real: Vec<Vec<u8>> = Universe::run(n, |comm| {
+                let data = (comm.rank() == root).then(|| Bytes::from(bytes_of(&elems(root, 9))));
+                comm.bcast_with(algorithm, root, data)
+                    .expect("real bcast")
+                    .to_vec()
+            })
+            .expect("universe");
+
+            for rank in 0..n {
+                assert_eq!(local[rank].acc, msg, "bcast root={root} rank {rank}: local");
+                assert_eq!(sim[rank].acc, msg, "bcast root={root} rank {rank}: sim");
+                assert_eq!(real[rank], msg, "bcast root={root} rank {rank}: real");
+            }
+        }
+    }
+}
