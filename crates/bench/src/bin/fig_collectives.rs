@@ -1,7 +1,7 @@
 //! Regenerate the collective-scaling figures, the CI smoke CSV, and the
 //! seeded collective chaos report.
 //!
-//! Three modes:
+//! Five modes:
 //!
 //! * *(default)* — sweep the schedule-driven collectives over the
 //!   simulated GA-620 fabric and write
@@ -14,18 +14,33 @@
 //!   committed golden `crates/clusterlab/golden/collective_smoke.csv`.
 //! * `--chaos PLAN` — run a 64-rank dissemination barrier under the
 //!   seeded [`faultlab::FaultPlan`] `PLAN` (e.g. `seed=7,kill-after=1`)
-//!   and print the annotated (possibly partial) report.
+//!   and print the annotated (possibly partial) report; kill plans run
+//!   a third time with the self-healing cycle armed and report the
+//!   eviction/replan outcome.
+//! * `--recovery OUT` — write the deterministic seeded 64-rank
+//!   allreduce chaos-recovery report ([`clusterlab::recovery_smoke`])
+//!   to `OUT`; CI diffs this against the committed golden
+//!   `crates/clusterlab/golden/recovery_smoke.txt`.
+//! * `--real` — wall-clock sweep of the *real* in-process mplite
+//!   collectives beyond the 8 ranks the PR 7 baseline stopped at
+//!   (2 … 32 ranks, 1 KiB per rank), written to
+//!   `results/collective_real.{csv,svg}`. Each point amortizes mesh
+//!   setup over many rounds; tune the budget with `BENCH_MS`.
 
 use std::fs;
 
+use bench::microbench::measure;
 use bench::results_dir;
-use clusterlab::{chaos_collective, scale_ranks, scale_sizes, CollConfig, CollCurve};
+use clusterlab::{
+    chaos_collective, recovery_smoke, scale_ranks, scale_sizes, CollConfig, CollCurve, CollPoint,
+};
 use collectives::{Algorithm, CollOp};
 use faultlab::FaultPlan;
 use hwmodel::kernel::linux_2_4;
 use hwmodel::presets::pcs_ga620;
 use mpsim::libs::{mp_lite, mpich, MpichConfig};
 use mpsim::LibProfile;
+use simcore::units::ns_to_us;
 
 /// The two library profiles the sweeps compare, labeled as in the
 /// ping-pong figures.
@@ -96,6 +111,72 @@ fn write_pair(stem: &str, title: &str, x_label: &str, curves: &[CollCurve]) {
     println!("wrote {stem}.csv and {stem}.svg under {}", dir.display());
 }
 
+/// Rounds per universe in the real sweep: enough to amortize the mesh
+/// setup (thread spawn + TCP connect) that one `Universe::run` pays.
+const REAL_ROUNDS: usize = 32;
+
+/// One wall-clock point: spin up an in-process `n`-rank mplite universe
+/// and run [`REAL_ROUNDS`] collectives in it, reporting the mean
+/// per-collective latency. Returns `None` when a rank fails (the sweep
+/// skips the point rather than aborting the figure).
+fn real_point(n: usize, op: CollOp, algorithm: Algorithm, bytes: u64) -> Option<CollPoint> {
+    let elems = (bytes.max(8) / 8) as usize;
+    let run = || {
+        mplite::Universe::run(n, move |comm| {
+            let mine: Vec<u64> = (0..elems as u64)
+                .map(|i| {
+                    (comm.rank() as u64)
+                        .wrapping_mul(0x9e37_79b9)
+                        .wrapping_add(i)
+                })
+                .collect();
+            for _ in 0..REAL_ROUNDS {
+                match op {
+                    CollOp::Barrier => comm.barrier_with(algorithm).expect("barrier"),
+                    _ => {
+                        let sum = comm
+                            .allreduce_with(algorithm, &mine, mplite::ReduceOp::Sum)
+                            .expect("allreduce");
+                        assert_eq!(sum.len(), elems);
+                    }
+                }
+            }
+        })
+    };
+    if run().is_err() {
+        return None;
+    }
+    let sample = measure(|| run().expect("warmed-up universe"));
+    Some(CollPoint {
+        ranks: n,
+        bytes,
+        latency_us: ns_to_us(sample.mean_ns as f64 / REAL_ROUNDS as f64),
+        events: sample.iters as u64,
+    })
+}
+
+/// Real in-process mplite collectives, 2 … 32 ranks: the follow-on PR 7
+/// deferred. Wall-clock numbers, so no golden — the figure shows shape,
+/// not a committed value.
+fn real_curves() -> Vec<CollCurve> {
+    let ranks = [2usize, 4, 8, 16, 24, 32];
+    let sweeps = [
+        (CollOp::Allreduce, Algorithm::Tree, 1024u64),
+        (CollOp::Allreduce, Algorithm::RecursiveDoubling, 1024),
+        (CollOp::Barrier, Algorithm::Dissemination, 0),
+    ];
+    sweeps
+        .into_iter()
+        .map(|(op, algorithm, bytes)| CollCurve {
+            label: format!("real {}/{}", op.name(), algorithm.name()),
+            points: ranks
+                .iter()
+                .filter_map(|&n| real_point(n, op, algorithm, bytes))
+                .collect(),
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
@@ -117,7 +198,22 @@ fn main() {
             };
             print!("{}", chaos_collective(&plan, &c, 64));
         }
-        Some(other) => panic!("unknown mode {other}; use --smoke OUT, --chaos PLAN, or no args"),
+        Some("--recovery") => {
+            let out = args.get(1).expect("--recovery needs an output path");
+            fs::write(out, recovery_smoke()).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+            println!("wrote {out}");
+        }
+        Some("--real") => {
+            write_pair(
+                "collective_real",
+                "Real in-process mplite collectives (wall clock, this machine)",
+                "ranks (log)",
+                &real_curves(),
+            );
+        }
+        Some(other) => panic!(
+            "unknown mode {other}; use --smoke OUT, --chaos PLAN, --recovery OUT, --real, or no args"
+        ),
         None => {
             write_pair(
                 "collective_scaling",

@@ -14,8 +14,8 @@
 use std::fmt::Write as _;
 
 use collectives::{
-    build, run_sim, Algorithm, CollOp, Dtype, ExecCtx, RankFault, ReduceOp, Reduction, Schedule,
-    SimOptions,
+    build, run_sim, Algorithm, CollOp, Dtype, ExecCtx, RankFault, RecoveryPolicy, ReduceOp,
+    Reduction, Schedule, SimOptions,
 };
 use faultlab::FaultPlan;
 use hwmodel::ClusterSpec;
@@ -342,6 +342,10 @@ pub fn smoke_csv() -> String {
 /// (default 5 ms) per send. A dead rank must yield an annotated
 /// *partial* report — stalled peers and all — rather than a hang; a
 /// degraded rank must finish, slower.
+///
+/// Kill plans run a third time with the self-healing cycle armed: the
+/// dead rank must be evicted and every survivor must complete over the
+/// replanned schedule.
 pub fn chaos_collective(plan: &FaultPlan, cfg: &CollConfig, ranks: usize) -> String {
     let schedule = match build(cfg.op, cfg.algorithm, ranks) {
         Ok(s) => s,
@@ -363,7 +367,7 @@ pub fn chaos_collective(plan: &FaultPlan, cfg: &CollConfig, ranks: usize) -> Str
             extra_us,
         }
     };
-    let run = |fault: Option<RankFault>| {
+    let run = |faults: Vec<RankFault>, recovery: Option<RecoveryPolicy>| {
         run_sim(
             &cfg.spec,
             &cfg.profile,
@@ -373,11 +377,16 @@ pub fn chaos_collective(plan: &FaultPlan, cfg: &CollConfig, ranks: usize) -> Str
                 reduction: reduction_for(cfg.op),
             },
             &contributions_for(cfg.op, ranks, cfg.bytes),
-            &SimOptions { trace: None, fault },
+            &SimOptions {
+                trace: None,
+                faults,
+                plan: None,
+                recovery,
+            },
         )
     };
-    let clean = run(None);
-    let faulty = run(Some(fault));
+    let clean = run(Vec::new(), None);
+    let faulty = run(vec![fault], None);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -431,6 +440,117 @@ pub fn chaos_collective(plan: &FaultPlan, cfg: &CollConfig, ranks: usize) -> Str
         );
         let _ = writeln!(out, "stalled ranks (waiting on the dead rank): {stalled:?}");
     }
+    if kill {
+        let healed = run(
+            vec![fault],
+            Some(RecoveryPolicy {
+                deadline_us: 5_000.0,
+                backoff_us: 1_000.0,
+                max_epochs: 4,
+            }),
+        );
+        match healed.recovery.as_ref() {
+            Some(rec) if healed.all_survivors_completed() && !rec.evicted.is_empty() => {
+                let _ = writeln!(
+                    out,
+                    "recovery run: healed — evicted {:?} in {} epoch(s), {}/{ranks} survivors completed",
+                    rec.evicted,
+                    rec.epochs.len(),
+                    healed.completed
+                );
+            }
+            _ => {
+                let _ = writeln!(
+                    out,
+                    "recovery run: FAILED to heal — {}/{ranks} completed, report {:?}",
+                    healed.completed, healed.recovery
+                );
+            }
+        }
+    }
+    out
+}
+
+/// The CI chaos-recovery smoke: a seeded 64-rank simulated allreduce
+/// with two timed `kill-rank` deaths and the self-healing cycle armed.
+/// Both ranks must be evicted (one membership epoch each), the 62
+/// survivors must complete over the replanned schedules, and the
+/// wrapped-u64 survivor sum must check out. Fully deterministic: the
+/// committed golden copy in `golden/recovery_smoke.txt` must match
+/// byte-for-byte.
+pub fn recovery_smoke() -> String {
+    let cfg = CollConfig {
+        spec: hwmodel::presets::pcs_ga620(),
+        profile: mpsim::libs::mpich(mpsim::libs::MpichConfig::tuned()).profile,
+        op: CollOp::Allreduce,
+        algorithm: Algorithm::RecursiveDoubling,
+        bytes: 8,
+    };
+    let ranks = 64;
+    let plan_text = "seed=7,kill-rank=9@50us,kill-rank=23@120us";
+    let plan = FaultPlan::parse(plan_text).expect("smoke fault plan parses");
+    let policy = RecoveryPolicy {
+        deadline_us: 300.0,
+        backoff_us: 100.0,
+        max_epochs: 4,
+    };
+    let schedule =
+        build(cfg.op, cfg.algorithm, ranks).expect("64-rank recursive-doubling allreduce plans");
+    let contributions = contributions_for(cfg.op, ranks, cfg.bytes);
+    let report = run_sim(
+        &cfg.spec,
+        &cfg.profile,
+        &schedule,
+        ExecCtx {
+            root: 0,
+            reduction: reduction_for(cfg.op),
+        },
+        &contributions,
+        &SimOptions {
+            trace: None,
+            faults: Vec::new(),
+            plan: Some(plan),
+            recovery: Some(policy),
+        },
+    );
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "chaos-recovery smoke: {} {} over {ranks} ranks, plan `{plan_text}`",
+        cfg.op.name(),
+        cfg.algorithm.name(),
+    );
+    let Some(rec) = report.recovery.as_ref() else {
+        out.push_str("recovery report missing (policy not armed?)\n");
+        return out;
+    };
+    out.push_str(&rec.to_text());
+    let _ = writeln!(
+        out,
+        "{}/{ranks} survivors completed in {:.1} us",
+        report.completed,
+        units::secs_to_us(report.seconds)
+    );
+    let mut expected = 0u64;
+    for (r, c) in contributions.iter().enumerate() {
+        if rec.evicted.contains(&r) {
+            continue;
+        }
+        let mut b = [0u8; 8];
+        b.copy_from_slice(&c[..8]);
+        expected = expected.wrapping_add(u64::from_le_bytes(b));
+    }
+    let ok = report
+        .outputs
+        .iter()
+        .enumerate()
+        .filter(|(r, _)| !rec.evicted.contains(r))
+        .all(|(_, o)| o.as_ref().is_some_and(|o| o.acc == expected.to_le_bytes()));
+    if ok && report.all_survivors_completed() {
+        let _ = writeln!(out, "survivor sum ok: {expected:#018x}");
+    } else {
+        let _ = writeln!(out, "survivor sum MISMATCH (want {expected:#018x})");
+    }
     out
 }
 
@@ -482,6 +602,30 @@ mod tests {
              `cargo run --release -p bench --bin fig_collectives -- --smoke \
              crates/clusterlab/golden/collective_smoke.csv`"
         );
+    }
+
+    #[test]
+    fn recovery_smoke_matches_committed_golden() {
+        let expected = include_str!("../golden/recovery_smoke.txt");
+        assert_eq!(
+            recovery_smoke(),
+            expected,
+            "seeded chaos-recovery smoke drifted from golden/recovery_smoke.txt; \
+             if the change is intentional, regenerate with \
+             `cargo run --release -p bench --bin fig_collectives -- --recovery \
+             crates/clusterlab/golden/recovery_smoke.txt`"
+        );
+    }
+
+    #[test]
+    fn chaos_kill_heals_with_recovery_armed() {
+        let plan = FaultPlan::parse("seed=7,kill-after=1").expect("valid plan");
+        let report = chaos_collective(
+            &plan,
+            &cfg(CollOp::Allreduce, Algorithm::RecursiveDoubling, 64),
+            16,
+        );
+        assert!(report.contains("recovery run: healed"), "{report}");
     }
 
     #[test]

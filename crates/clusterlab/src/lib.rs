@@ -30,7 +30,8 @@ pub use breakdown::{measure_breakdown, Breakdown, StageBusy};
 pub use calibration::{checks_for, evaluate, Check, CheckResult};
 pub use chaos::{chaos_table, degradation_sweep, ChaosPoint};
 pub use collective::{
-    chaos_collective, scale_ranks, scale_sizes, smoke_csv, CollConfig, CollCurve, CollPoint,
+    chaos_collective, recovery_smoke, scale_ranks, scale_sizes, smoke_csv, CollConfig, CollCurve,
+    CollPoint,
 };
 pub use comparison::{compare, digest, to_markdown, ComparisonRow};
 pub use overlap::{measure_overlap, section7_panel, OverlapPoint};

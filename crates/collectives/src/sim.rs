@@ -6,18 +6,31 @@
 //! `payload`/`apply` code the blocking executor uses, so for identical
 //! schedules and inputs the two backends produce identical bytes — the
 //! simulation only decides *when* things happen, never *what*.
+//!
+//! Faults come in three flavours: a list of [`RankFault`]s (kills at
+//! time zero, per-rank degradation), a full [`faultlab::FaultPlan`]
+//! (timed `kill-rank=R@T` deaths and fabric-wide degrade windows), and
+//! — when a [`RecoveryPolicy`] is armed — the self-healing cycle of
+//! [`crate::recovery`]: detect the stall, evict the dead rank, replan
+//! over the survivors, resume. Without recovery a rank death still ends
+//! as a bounded *partial* report, never a hang.
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
+use faultlab::{DegradeWindow, FaultPlan};
 use hwmodel::ClusterSpec;
 use mpsim::{LibProfile, MultiSession};
 use protosim::multinode::{MultiEngine, MultiNet};
 use simcore::trace::{stages, SharedSink, SpanRec};
-use simcore::SimTime;
+use simcore::units::us_to_secs;
+use simcore::{SimDuration, SimTime};
 
-use crate::exec::{actual_rank, ExecCtx};
+use crate::exec::{actual_rank, virtual_rank, ExecCtx};
 use crate::lifecycle::{step, CollRound};
+use crate::op::CollOp;
+use crate::plan::{auto_algorithm, build};
+use crate::recovery::{step_member, EpochRecord, Membership, RecoveryPolicy, RecoveryReport};
 use crate::schedule::Schedule;
 use crate::state::{CollOutput, RankState};
 
@@ -30,8 +43,9 @@ pub fn coll_track(rank: usize) -> u32 {
 /// A per-rank fault to inject into a simulated collective.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RankFault {
-    /// The rank never starts its schedule: its peers stall and the run
-    /// ends partial instead of hanging (graceful degradation).
+    /// The rank never starts its schedule. Without recovery its peers
+    /// stall and the run ends partial instead of hanging; with recovery
+    /// the rank is evicted and the survivors complete.
     Dead(usize),
     /// The rank pays `extra_us` microseconds of CPU per send.
     Degrade {
@@ -48,8 +62,27 @@ pub struct SimOptions {
     /// Emit per-round spans (stage [`stages::COLL_ROUND`], track
     /// [`coll_track`]) to this sink.
     pub trace: Option<SharedSink>,
-    /// Inject one rank fault.
-    pub fault: Option<RankFault>,
+    /// Rank faults to inject; any number, so multi-failure scenarios
+    /// are expressible.
+    pub faults: Vec<RankFault>,
+    /// A full fault plan: its `kill-rank=R@T` clauses become timed rank
+    /// deaths and its degrade windows stretch every send issued while
+    /// open. The plan's wire-level knobs (loss/dup/reorder/jitter) are
+    /// not modelled on the multi-rank fabric.
+    pub plan: Option<FaultPlan>,
+    /// Arm the self-healing cycle: detect stalls, evict dead ranks,
+    /// replan over survivors (see [`crate::recovery`]).
+    pub recovery: Option<RecoveryPolicy>,
+}
+
+impl SimOptions {
+    /// Options injecting a single fault — the common chaos-sweep shape.
+    pub fn with_fault(fault: RankFault) -> SimOptions {
+        SimOptions {
+            faults: vec![fault],
+            ..SimOptions::default()
+        }
+    }
 }
 
 /// What a simulated collective run produced.
@@ -65,12 +98,22 @@ pub struct SimReport {
     pub finish_secs: Vec<Option<f64>>,
     /// Count of ranks that completed their whole plan.
     pub completed: usize,
+    /// What the self-healing cycle did; `Some` exactly when a
+    /// [`RecoveryPolicy`] was armed (empty epochs on a clean run).
+    pub recovery: Option<RecoveryReport>,
 }
 
 impl SimReport {
     /// True when every rank completed.
     pub fn all_completed(&self) -> bool {
         self.completed == self.outputs.len()
+    }
+
+    /// True when every rank *not evicted by recovery* completed — the
+    /// best possible outcome once a rank has died.
+    pub fn all_survivors_completed(&self) -> bool {
+        let evicted = self.recovery.as_ref().map_or(0, |r| r.evicted.len());
+        self.completed + evicted == self.outputs.len()
     }
 }
 
@@ -86,20 +129,73 @@ struct RankRun {
     finish: Option<SimTime>,
 }
 
+/// Per-epoch recovery runtime: the membership machines plus this
+/// epoch's verdicts.
+struct RecoveryRt {
+    policy: RecoveryPolicy,
+    /// World-indexed membership machines, shared across epochs.
+    member: Rc<RefCell<Vec<Membership>>>,
+    /// Set once a rank is evicted; the epoch then drains and replans.
+    aborted: Cell<bool>,
+    evicted: Cell<Option<usize>>,
+    evict_at_us: Cell<f64>,
+    suspects_cleared: Cell<usize>,
+}
+
+impl RecoveryRt {
+    /// Proof of life for a suspect: step it back to `Active`.
+    fn clear_if_suspect(&self, rank: usize) {
+        let state = self.member.borrow()[rank];
+        if state == Membership::Suspect {
+            let recovered = step_member(state, "proof");
+            self.member.borrow_mut()[rank] = step_member(recovered, "resume");
+            self.suspects_cleared.set(self.suspects_cleared.get() + 1);
+        }
+    }
+}
+
+/// How many times one round's recv deadline re-arms before giving up on
+/// detection (a stall that outlives this without any rank dying is a
+/// planner bug, not a failure to recover from).
+const MAX_DEADLINE_REARMS: u32 = 64;
+
 struct Driver {
     schedule: Schedule,
     ctx: ExecCtx,
     sess: MultiSession,
     ranks: Vec<RefCell<RankRun>>,
     trace: Option<SharedSink>,
+    /// Group index → world rank (identity in the original epoch).
+    world: Vec<usize>,
+    /// World-indexed kill switches, flipped by timed kill events.
+    killed: Rc<RefCell<Vec<bool>>>,
+    /// Simulated time spent in earlier epochs (trace offset).
+    base: SimDuration,
+    recovery: Option<RecoveryRt>,
 }
 
 impl Driver {
+    /// Epoch-local time shifted onto the whole-run timeline.
+    fn abs(&self, t: SimTime) -> SimTime {
+        t + self.base
+    }
+
+    fn dead(&self, g: usize) -> bool {
+        self.killed.borrow()[self.world[g]]
+    }
+
+    fn aborted(&self) -> bool {
+        self.recovery.as_ref().is_some_and(|rt| rt.aborted.get())
+    }
+
     /// Enter `rank`'s next round: issue sends, post receives. A round
     /// with no receives completes immediately.
     fn start_round(self: &Rc<Self>, eng: &mut MultiEngine, rank: usize) {
+        if self.dead(rank) || self.aborted() {
+            return;
+        }
         let n = self.schedule.nranks;
-        let vrank = crate::exec::virtual_rank(rank, self.ctx.root, n);
+        let vrank = virtual_rank(rank, self.ctx.root, n);
         loop {
             let (sends, nrecvs) = {
                 let mut r = self.ranks[rank].borrow_mut();
@@ -108,10 +204,10 @@ impl Driver {
                     if let Some(t) = &self.trace {
                         t.instant(
                             stages::COLL_DONE,
-                            coll_track(rank),
-                            eng.now(),
+                            coll_track(self.world[rank]),
+                            self.abs(eng.now()),
                             0,
-                            rank as u64,
+                            self.world[rank] as u64,
                         );
                     }
                     return;
@@ -155,6 +251,8 @@ impl Driver {
                 self.sess.send(eng, rank, to, 0, Rc::new(payload));
             }
             if nrecvs > 0 {
+                let round_idx = self.ranks[rank].borrow().round;
+                self.arm_deadline(eng, rank, round_idx, 0);
                 return; // the last arrival resumes this rank
             }
             // No receives: the round is already complete; fold and loop
@@ -170,6 +268,20 @@ impl Driver {
         slot: usize,
         payload: Rc<Vec<u8>>,
     ) {
+        if self.dead(rank) || self.aborted() {
+            return;
+        }
+        if let Some(rt) = &self.recovery {
+            // An arrival from a suspect is proof of life.
+            let n = self.schedule.nranks;
+            let vrank = virtual_rank(rank, self.ctx.root, n);
+            let src = {
+                let r = self.ranks[rank].borrow();
+                let from = self.schedule.plans[vrank].rounds[r.round].recvs[slot].from;
+                self.world[actual_rank(from as usize, self.ctx.root, n)]
+            };
+            rt.clear_if_suspect(src);
+        }
         let done = {
             let mut r = self.ranks[rank].borrow_mut();
             r.life = step(r.life, "recv");
@@ -187,7 +299,7 @@ impl Driver {
     /// advance the cursor.
     fn complete_round(self: &Rc<Self>, eng: &mut MultiEngine, rank: usize) {
         let n = self.schedule.nranks;
-        let vrank = crate::exec::virtual_rank(rank, self.ctx.root, n);
+        let vrank = virtual_rank(rank, self.ctx.root, n);
         let mut r = self.ranks[rank].borrow_mut();
         let round = &self.schedule.plans[vrank].rounds[r.round];
         let mut bytes = 0u64;
@@ -201,19 +313,300 @@ impl Driver {
         if let Some(t) = &self.trace {
             t.span(SpanRec {
                 stage: stages::COLL_ROUND,
-                track: coll_track(rank),
-                start: r.round_start,
-                end: eng.now(),
+                track: coll_track(self.world[rank]),
+                start: self.abs(r.round_start),
+                end: self.abs(eng.now()),
                 bytes,
                 msg: (r.round + 1) as u64,
             });
         }
         r.round += 1;
     }
+
+    /// Arm the recv deadline for `rank`'s round `round_idx` (no-op when
+    /// no recovery policy is installed).
+    fn arm_deadline(
+        self: &Rc<Self>,
+        eng: &mut MultiEngine,
+        rank: usize,
+        round_idx: usize,
+        rearms: u32,
+    ) {
+        let Some(rt) = &self.recovery else { return };
+        let delay = SimDuration::from_micros_f64(rt.policy.deadline_us);
+        let this = Rc::clone(self);
+        eng.schedule_in(delay, move |e| {
+            this.check_deadline(e, rank, round_idx, rearms);
+        });
+    }
+
+    /// The recv deadline fired: if `rank` is still stuck in
+    /// `round_idx`, every source it is missing becomes a suspect, with
+    /// a probe verdict scheduled one backoff later.
+    fn check_deadline(
+        self: &Rc<Self>,
+        eng: &mut MultiEngine,
+        rank: usize,
+        round_idx: usize,
+        rearms: u32,
+    ) {
+        let Some(rt) = &self.recovery else { return };
+        if rt.aborted.get() || self.dead(rank) {
+            return;
+        }
+        let n = self.schedule.nranks;
+        let vrank = virtual_rank(rank, self.ctx.root, n);
+        let missing: Vec<usize> = {
+            let r = self.ranks[rank].borrow();
+            if r.finish.is_some() || r.round != round_idx || r.waiting == 0 {
+                return; // the round completed in time
+            }
+            self.schedule.plans[vrank].rounds[round_idx]
+                .recvs
+                .iter()
+                .enumerate()
+                .filter(|(slot, _)| r.arrived[*slot].is_none())
+                .map(|(_, recv)| self.world[actual_rank(recv.from as usize, self.ctx.root, n)])
+                .collect()
+        };
+        for s in missing {
+            let state = rt.member.borrow()[s];
+            if state == Membership::Active {
+                rt.member.borrow_mut()[s] = step_member(state, "deadline");
+                if let Some(t) = &self.trace {
+                    t.instant(
+                        stages::COLL_SUSPECT,
+                        coll_track(s),
+                        self.abs(eng.now()),
+                        0,
+                        s as u64,
+                    );
+                }
+            }
+            if rt.member.borrow()[s] == Membership::Suspect {
+                let delay = SimDuration::from_micros_f64(rt.policy.backoff_us);
+                let this = Rc::clone(self);
+                eng.schedule_in(delay, move |e| this.check_eviction(e, s));
+            }
+        }
+        if rearms < MAX_DEADLINE_REARMS {
+            self.arm_deadline(eng, rank, round_idx, rearms + 1);
+        }
+    }
+
+    /// Probe verdict for suspect world rank `s`: a live rank acks and
+    /// is cleared; a dead one is evicted, ending the epoch. One
+    /// eviction per epoch — later verdicts re-run after the replan.
+    fn check_eviction(self: &Rc<Self>, eng: &mut MultiEngine, s: usize) {
+        let Some(rt) = &self.recovery else { return };
+        let state = rt.member.borrow()[s];
+        if state != Membership::Suspect {
+            return; // already cleared (or evicted by an earlier verdict)
+        }
+        if self.killed.borrow()[s] {
+            if rt.aborted.get() {
+                return; // one eviction per epoch
+            }
+            rt.member.borrow_mut()[s] = step_member(state, "evict");
+            rt.evicted.set(Some(s));
+            rt.evict_at_us
+                .set(self.base.as_micros_f64() + eng.now().as_micros_f64());
+            rt.aborted.set(true);
+            if let Some(t) = &self.trace {
+                t.instant(
+                    stages::COLL_EVICT,
+                    coll_track(s),
+                    self.abs(eng.now()),
+                    0,
+                    s as u64,
+                );
+            }
+        } else {
+            rt.clear_if_suspect(s);
+        }
+    }
+}
+
+/// What one epoch's engine run produced.
+struct EpochOutcome {
+    events: u64,
+    aborted: bool,
+    evicted: Option<usize>,
+    evict_at_us: f64,
+    cleared: usize,
+    /// Group-indexed `(epoch-relative finish seconds, output)`.
+    finished: Vec<Option<(f64, CollOutput)>>,
+    /// Group-indexed bcast payload carry (empty-pattern for other ops).
+    bcast_hold: Vec<Option<Vec<u8>>>,
+}
+
+/// Endpoint faults resolved out of `SimOptions`, world-rank indexed.
+struct FaultSet {
+    /// `(world rank, at_us)` timed deaths.
+    kills: Vec<(usize, f64)>,
+    /// `(world rank, extra_us)` per-send degradation.
+    degrades: Vec<(usize, f64)>,
+    /// Fabric-wide degrade windows, absolute microseconds.
+    windows: Vec<DegradeWindow>,
+}
+
+impl FaultSet {
+    fn from_options(opts: &SimOptions) -> FaultSet {
+        let mut kills = Vec::new();
+        let mut degrades = Vec::new();
+        for f in &opts.faults {
+            match *f {
+                RankFault::Dead(r) => kills.push((r, 0.0)),
+                RankFault::Degrade { rank, extra_us } => degrades.push((rank, extra_us)),
+            }
+        }
+        let mut windows = Vec::new();
+        if let Some(plan) = &opts.plan {
+            for k in &plan.kills {
+                kills.push((k.rank, k.at_us));
+            }
+            windows = plan.degrade.clone();
+        }
+        FaultSet {
+            kills,
+            degrades,
+            windows,
+        }
+    }
+}
+
+/// Run one epoch: a fresh engine and session over the (possibly
+/// compacted) group, with kills and degradation applied and — when a
+/// policy is armed — the detection machinery live.
+#[allow(clippy::too_many_arguments)]
+fn run_epoch(
+    spec: &ClusterSpec,
+    profile: &LibProfile,
+    schedule: &Schedule,
+    ctx: ExecCtx,
+    contributions: &[Vec<u8>],
+    trace: &Option<SharedSink>,
+    base_us: f64,
+    world: Vec<usize>,
+    killed: &Rc<RefCell<Vec<bool>>>,
+    member: &Rc<RefCell<Vec<Membership>>>,
+    policy: Option<RecoveryPolicy>,
+    faults: &FaultSet,
+) -> EpochOutcome {
+    let m = schedule.nranks;
+    let mut eng = MultiNet::engine(spec.clone(), m);
+    if let Some(t) = trace {
+        eng.set_trace_sink(Rc::clone(t));
+    }
+    let sess = MultiSession::new(profile.clone(), m);
+    for &(w, extra_us) in &faults.degrades {
+        if let Some(g) = world.iter().position(|&x| x == w) {
+            sess.set_rank_overhead_us(g, extra_us);
+        }
+    }
+    if !faults.windows.is_empty() {
+        // Window clocks are whole-run absolute; the epoch engine starts
+        // at zero, so shift them back by the time already elapsed.
+        sess.set_degrade_windows(
+            faults
+                .windows
+                .iter()
+                .map(|w| DegradeWindow {
+                    start_us: w.start_us - base_us,
+                    end_us: w.end_us - base_us,
+                    factor: w.factor,
+                })
+                .collect(),
+        );
+    }
+    for &(w, at_us) in &faults.kills {
+        if at_us <= base_us {
+            killed.borrow_mut()[w] = true;
+        } else if world.contains(&w) {
+            let killed = Rc::clone(killed);
+            eng.schedule_in(SimDuration::from_micros_f64(at_us - base_us), move |_| {
+                killed.borrow_mut()[w] = true;
+            });
+        }
+    }
+    let driver = Rc::new(Driver {
+        schedule: schedule.clone(),
+        ctx,
+        sess,
+        ranks: (0..m)
+            .map(|g| {
+                let vrank = virtual_rank(g, ctx.root, m);
+                RefCell::new(RankRun {
+                    state: RankState::init(schedule.op, m, vrank, &contributions[g]),
+                    life: CollRound::initial(),
+                    round: 0,
+                    waiting: 0,
+                    arrived: Vec::new(),
+                    round_start: SimTime::ZERO,
+                    finish: None,
+                })
+            })
+            .collect(),
+        trace: trace.clone(),
+        world,
+        killed: Rc::clone(killed),
+        base: SimDuration::from_micros_f64(base_us),
+        recovery: policy.map(|policy| RecoveryRt {
+            policy,
+            member: Rc::clone(member),
+            aborted: Cell::new(false),
+            evicted: Cell::new(None),
+            evict_at_us: Cell::new(0.0),
+            suspects_cleared: Cell::new(0),
+        }),
+    });
+    for g in 0..m {
+        if driver.dead(g) {
+            continue; // dead at epoch start: never runs, its peers stall
+        }
+        let d = Rc::clone(&driver);
+        eng.schedule_at(SimTime::ZERO, move |e| d.start_round(e, g));
+    }
+    eng.run();
+    let events = eng.events_executed();
+    let rt = driver.recovery.as_ref();
+    let aborted = rt.is_some_and(|rt| rt.aborted.get());
+    let mut finished = Vec::with_capacity(m);
+    let mut bcast_hold = Vec::with_capacity(m);
+    for g in 0..m {
+        let mut r = driver.ranks[g].borrow_mut();
+        bcast_hold.push(if schedule.op == CollOp::Bcast {
+            r.state.bcast_payload().map(<[u8]>::to_vec)
+        } else {
+            None
+        });
+        let fin = (!aborted).then_some(r.finish).flatten().map(|t| {
+            let vrank = virtual_rank(g, ctx.root, m);
+            let state = std::mem::take(&mut r.state);
+            (t.as_secs_f64(), state.into_output(schedule.op, vrank))
+        });
+        finished.push(fin);
+    }
+    EpochOutcome {
+        events,
+        aborted,
+        evicted: rt.and_then(|rt| rt.evicted.get()),
+        evict_at_us: rt.map_or(0.0, |rt| rt.evict_at_us.get()),
+        cleared: rt.map_or(0, |rt| rt.suspects_cleared.get()),
+        finished,
+        bcast_hold,
+    }
 }
 
 /// Simulate `schedule` over `spec` hardware with `profile` library
 /// costs. `contributions` are actual-rank indexed; so are the outputs.
+///
+/// With a [`RecoveryPolicy`] armed the run is an epoch loop: each
+/// eviction compacts the group, re-elects the root if it died (a
+/// broadcast re-roots on the lowest survivor already holding the
+/// payload), replans, and re-executes. Reducing accumulators restart
+/// from the original contributions (exactly-once safety), so the final
+/// result is the reduction over the *survivors'* inputs.
 pub fn run_sim(
     spec: &ClusterSpec,
     profile: &LibProfile,
@@ -234,78 +627,168 @@ pub fn run_sim(
             outputs: vec![Some(out)],
             finish_secs: vec![Some(0.0)],
             completed: 1,
+            recovery: opts.recovery.map(|p| RecoveryReport {
+                deadline_us: p.deadline_us,
+                backoff_us: p.backoff_us,
+                ..RecoveryReport::default()
+            }),
         };
     }
-    let mut eng = MultiNet::engine(spec.clone(), n);
-    if let Some(t) = &opts.trace {
-        eng.set_trace_sink(Rc::clone(t));
+
+    let faults = FaultSet::from_options(opts);
+    let killed = Rc::new(RefCell::new(vec![false; n]));
+    let member = Rc::new(RefCell::new(vec![Membership::initial(); n]));
+    let originals: Vec<Vec<u8>> = contributions.to_vec();
+    let mut alive = vec![true; n];
+    let mut bcast_hold: Vec<Option<Vec<u8>>> = vec![None; n];
+    if schedule.op == CollOp::Bcast {
+        bcast_hold[ctx.root] = Some(originals[ctx.root].clone());
     }
-    let sess = MultiSession::new(profile.clone(), n);
-    let mut dead = None;
-    match opts.fault {
-        Some(RankFault::Dead(r)) => dead = Some(r),
-        Some(RankFault::Degrade { rank, extra_us }) => sess.set_rank_overhead_us(rank, extra_us),
-        None => {}
-    }
-    let driver = Rc::new(Driver {
-        schedule: schedule.clone(),
-        ctx,
-        sess,
-        ranks: (0..n)
-            .map(|rank| {
-                let vrank = crate::exec::virtual_rank(rank, ctx.root, n);
-                RefCell::new(RankRun {
-                    state: RankState::init(schedule.op, n, vrank, &contributions[rank]),
-                    life: CollRound::initial(),
-                    round: 0,
-                    waiting: 0,
-                    arrived: Vec::new(),
-                    round_start: SimTime::ZERO,
-                    finish: None,
-                })
-            })
-            .collect(),
-        trace: opts.trace.clone(),
-    });
-    for rank in 0..n {
-        if dead == Some(rank) {
-            continue; // never starts: its peers stall, the queue drains
-        }
-        let d = Rc::clone(&driver);
-        eng.schedule_at(SimTime::ZERO, move |e| d.start_round(e, rank));
-    }
-    eng.run();
-    let events = eng.events_executed();
-    let mut outputs = Vec::with_capacity(n);
-    let mut finish_secs = Vec::with_capacity(n);
-    let mut completed = 0;
-    let mut seconds = 0.0f64;
-    for rank in 0..n {
-        let mut r = driver.ranks[rank].borrow_mut();
-        match r.finish {
-            Some(t) => {
-                completed += 1;
-                let secs = t.as_secs_f64();
-                if secs > seconds {
-                    seconds = secs;
+    let mut root_world = ctx.root;
+    let mut cur_schedule = schedule.clone();
+    let mut cur_world: Vec<usize> = (0..n).collect();
+    let mut base_us = 0.0f64;
+    let mut events = 0u64;
+    let mut outputs: Vec<Option<CollOutput>> = vec![None; n];
+    let mut finish_secs: Vec<Option<f64>> = vec![None; n];
+    let mut report = RecoveryReport {
+        deadline_us: opts.recovery.map_or(0.0, |p| p.deadline_us),
+        backoff_us: opts.recovery.map_or(0.0, |p| p.backoff_us),
+        ..RecoveryReport::default()
+    };
+
+    loop {
+        let groot = cur_world
+            .iter()
+            .position(|&w| w == root_world)
+            .expect("the root is always re-elected among survivors"); // lint:allow(expect) -- eviction always re-elects a surviving root before replanning
+        let gctx = ExecCtx {
+            root: groot,
+            reduction: ctx.reduction,
+        };
+        let contribs: Vec<Vec<u8>> = cur_world
+            .iter()
+            .map(|&w| {
+                if schedule.op == CollOp::Bcast {
+                    if w == root_world {
+                        bcast_hold[w].clone().unwrap_or_default()
+                    } else {
+                        Vec::new()
+                    }
+                } else {
+                    originals[w].clone()
                 }
-                finish_secs.push(Some(secs));
-                let vrank = crate::exec::virtual_rank(rank, ctx.root, n);
-                let state = std::mem::take(&mut r.state);
-                outputs.push(Some(state.into_output(schedule.op, vrank)));
-            }
-            None => {
-                finish_secs.push(None);
-                outputs.push(None);
+            })
+            .collect();
+        let outcome = run_epoch(
+            spec,
+            profile,
+            &cur_schedule,
+            gctx,
+            &contribs,
+            &opts.trace,
+            base_us,
+            cur_world.clone(),
+            &killed,
+            &member,
+            opts.recovery,
+            &faults,
+        );
+        events += outcome.events;
+        report.suspects_cleared += outcome.cleared;
+        for (g, hold) in outcome.bcast_hold.into_iter().enumerate() {
+            if let Some(p) = hold {
+                bcast_hold[cur_world[g]] = Some(p);
             }
         }
+        if !outcome.aborted {
+            for (g, fin) in outcome.finished.into_iter().enumerate() {
+                if let Some((secs, out)) = fin {
+                    let w = cur_world[g];
+                    finish_secs[w] = Some(us_to_secs(base_us) + secs);
+                    outputs[w] = Some(out);
+                }
+            }
+            break;
+        }
+
+        // An eviction ended the epoch: compact, re-elect, replan.
+        let policy = opts
+            .recovery
+            .expect("epochs only abort under a recovery policy"); // lint:allow(expect) -- check_eviction is only armed when a policy is installed
+
+        let ev = outcome.evicted.expect("aborted epoch without an eviction"); // lint:allow(expect) -- aborted is set by check_eviction together with the evicted rank
+        alive[ev] = false;
+        report.evicted.push(ev);
+        let survivors: Vec<usize> = (0..n).filter(|&r| alive[r]).collect();
+        let m = survivors.len();
+        base_us = outcome.evict_at_us + policy.backoff_us;
+        let algorithm = if build(schedule.op, cur_schedule.algorithm, m).is_ok() {
+            cur_schedule.algorithm
+        } else {
+            auto_algorithm(schedule.op, m)
+        };
+        report.epochs.push(EpochRecord {
+            epoch: report.epochs.len() + 1,
+            evicted: ev,
+            at_us: outcome.evict_at_us,
+            survivors: m,
+            algorithm,
+        });
+        if let Some(t) = &opts.trace {
+            t.instant(
+                stages::COLL_REPLAN,
+                coll_track(ev),
+                SimTime::ZERO + SimDuration::from_micros_f64(base_us),
+                0,
+                m as u64,
+            );
+        }
+        if report.epochs.len() > policy.max_epochs {
+            break; // give up: bounded recovery, partial report
+        }
+        if !alive[root_world] {
+            if schedule.op == CollOp::Bcast {
+                match survivors.iter().copied().find(|&w| bcast_hold[w].is_some()) {
+                    Some(w) => root_world = w,
+                    // The payload died with the root before reaching
+                    // any survivor: nothing left to broadcast.
+                    None => break,
+                }
+            } else {
+                root_world = survivors[0];
+            }
+        }
+        if m == 1 {
+            // Degenerate group: the collective is the lone survivor's
+            // own data (for bcast, the payload it already holds).
+            let w = survivors[0];
+            let contribution = if schedule.op == CollOp::Bcast {
+                bcast_hold[w].clone().unwrap_or_default()
+            } else {
+                originals[w].clone()
+            };
+            outputs[w] =
+                Some(RankState::init(schedule.op, 1, 0, &contribution).into_output(schedule.op, 0));
+            finish_secs[w] = Some(us_to_secs(base_us));
+            report.retries += 1;
+            break;
+        }
+        cur_schedule = build(schedule.op, algorithm, m)
+            .expect("replanned schedule builds for the survivor group"); // lint:allow(expect) -- algorithm falls back to auto_algorithm, which plans every group size
+        cur_world = survivors;
+        report.retries += 1;
     }
+
+    let completed = outputs.iter().filter(|o| o.is_some()).count();
+    let seconds = finish_secs.iter().flatten().copied().fold(0.0f64, f64::max);
     SimReport {
         seconds,
         events,
         outputs,
         finish_secs,
         completed,
+        recovery: opts.recovery.is_some().then_some(report),
     }
 }
 
@@ -351,6 +834,7 @@ mod tests {
             );
             assert!(report.all_completed(), "{alg:?}");
             assert!(report.seconds > 0.0);
+            assert!(report.recovery.is_none());
             for out in report.outputs {
                 assert_eq!(out.unwrap().acc, 21u64.to_le_bytes(), "{alg:?}");
             }
@@ -370,10 +854,7 @@ mod tests {
                 reduction: None,
             },
             &vec![Vec::new(); n],
-            &SimOptions {
-                trace: None,
-                fault: Some(RankFault::Dead(3)),
-            },
+            &SimOptions::with_fault(RankFault::Dead(3)),
         );
         assert!(!report.all_completed());
         assert!(report.outputs[3].is_none());
@@ -381,10 +862,67 @@ mod tests {
     }
 
     #[test]
+    fn timed_kill_from_a_plan_is_partial_without_recovery() {
+        let n = 8;
+        let s = build(CollOp::Barrier, Algorithm::Dissemination, n).unwrap();
+        let report = run_sim(
+            &hwmodel::presets::pcs_ga620(),
+            &mpsim::libs::mpich(Default::default()).profile,
+            &s,
+            ExecCtx {
+                root: 0,
+                reduction: None,
+            },
+            &vec![Vec::new(); n],
+            &SimOptions {
+                plan: Some(FaultPlan::parse("seed=1,kill-rank=5@40us").expect("plan")),
+                ..SimOptions::default()
+            },
+        );
+        assert!(!report.all_completed());
+        assert!(report.outputs[5].is_none());
+    }
+
+    #[test]
+    fn recovery_evicts_the_dead_rank_and_survivors_complete() {
+        let n = 8;
+        let s = build(CollOp::Allreduce, Algorithm::RecursiveDoubling, n).unwrap();
+        let report = run_sim(
+            &hwmodel::presets::pcs_ga620(),
+            &mpsim::libs::mpich(Default::default()).profile,
+            &s,
+            sum_ctx(),
+            &u64s(n),
+            &SimOptions {
+                faults: vec![RankFault::Dead(3)],
+                recovery: Some(RecoveryPolicy {
+                    deadline_us: 2_000.0,
+                    backoff_us: 500.0,
+                    max_epochs: 4,
+                }),
+                ..SimOptions::default()
+            },
+        );
+        let rec = report.recovery.as_ref().expect("recovery armed");
+        assert_eq!(rec.evicted, vec![3]);
+        assert_eq!(rec.epochs.len(), 1);
+        assert!(report.all_survivors_completed(), "{rec:?}");
+        // Survivor sum: 1+2+..+8 minus the dead rank's 4.
+        let expect = (1u64 + 2 + 3 + 5 + 6 + 7 + 8).to_le_bytes();
+        for (r, out) in report.outputs.iter().enumerate() {
+            if r == 3 {
+                assert!(out.is_none());
+            } else {
+                assert_eq!(out.as_ref().unwrap().acc, expect, "rank {r}");
+            }
+        }
+    }
+
+    #[test]
     fn degraded_rank_slows_the_collective() {
         let n = 8;
         let s = build(CollOp::Barrier, Algorithm::Dissemination, n).unwrap();
-        let run = |fault| {
+        let run = |faults: Vec<RankFault>| {
             run_sim(
                 &hwmodel::presets::pcs_ga620(),
                 &mpsim::libs::mpich(Default::default()).profile,
@@ -394,14 +932,17 @@ mod tests {
                     reduction: None,
                 },
                 &vec![Vec::new(); n],
-                &SimOptions { trace: None, fault },
+                &SimOptions {
+                    faults,
+                    ..SimOptions::default()
+                },
             )
         };
-        let clean = run(None);
-        let slow = run(Some(RankFault::Degrade {
+        let clean = run(Vec::new());
+        let slow = run(vec![RankFault::Degrade {
             rank: 2,
             extra_us: 5_000.0,
-        }));
+        }]);
         assert!(slow.all_completed());
         assert!(slow.seconds > clean.seconds * 2.0);
     }

@@ -158,6 +158,13 @@ impl RankState {
         }
     }
 
+    /// The bcast payload slot, if it has arrived. The recovery layer
+    /// uses this to elect a replacement root among payload holders when
+    /// the original root is evicted mid-broadcast.
+    pub fn bcast_payload(&self) -> Option<&[u8]> {
+        self.blocks.first().and_then(|b| b.as_deref())
+    }
+
     fn block(&self, idx: u32) -> &[u8] {
         self.blocks[idx as usize]
             .as_deref()

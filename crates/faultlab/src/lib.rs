@@ -44,5 +44,5 @@ pub mod retry;
 pub use counters::FaultCounters;
 pub use lifecycle::SegLifeState;
 pub use lottery::{FaultLottery, SegFault};
-pub use plan::{DegradeWindow, FaultPlan, PlanError};
+pub use plan::{DegradeWindow, FaultPlan, PlanError, RankKill};
 pub use retry::{RetryPolicy, SweepPolicy};

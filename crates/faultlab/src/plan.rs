@@ -29,6 +29,18 @@ impl DegradeWindow {
     }
 }
 
+/// A scheduled rank death: rank `rank` stops participating at simulated
+/// time `at_us`. Unlike the wire faults, a kill is an *endpoint* fault —
+/// it never perturbs surviving traffic, so plans whose only clauses are
+/// kills still count as lossless on the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankKill {
+    /// The rank that dies.
+    pub rank: usize,
+    /// Simulated time of death, microseconds.
+    pub at_us: f64,
+}
+
 /// A complete fault-injection and resilience scenario.
 ///
 /// The sim-side knobs (`loss` … `max_retrans`) drive [`crate::FaultLottery`]
@@ -52,6 +64,8 @@ pub struct FaultPlan {
     pub jitter_us: f64,
     /// Timed link-degradation windows.
     pub degrade: Vec<DegradeWindow>,
+    /// Scheduled rank deaths (`kill-rank=R@T`), at most one per rank.
+    pub kills: Vec<RankKill>,
     /// TCP retransmission timeout, microseconds (Linux 2.4's 200 ms
     /// minimum RTO by default — the cliff behind the paper's
     /// large-message dropouts).
@@ -82,6 +96,7 @@ impl Default for FaultPlan {
             reorder: 0.0,
             jitter_us: 0.0,
             degrade: Vec::new(),
+            kills: Vec::new(),
             rto_us: 200_000.0,
             max_retrans: 6,
             io_deadline: Duration::from_secs(5),
@@ -153,7 +168,8 @@ impl FaultPlan {
     /// Keys: `seed=U64`, `loss=P`, `dup=P`, `reorder=P`, `jitter=DUR`,
     /// `degrade=DUR..DUR@FACTOR` (repeatable), `rto=DUR`, `retrans=N`,
     /// `deadline=DUR`, `retries=N` (per-point sweep budget),
-    /// `backoff=DUR` (reconnect base delay), `kill-after=N`,
+    /// `backoff=DUR` (reconnect base delay), `kill-rank=R@TIME`
+    /// (repeatable, at most one clause per rank), `kill-after=N`,
     /// `kill-listener`. Durations take `us`/`ms`/`s` suffixes (bare
     /// numbers are microseconds). An empty string is the lossless
     /// default plan.
@@ -223,6 +239,23 @@ impl FaultPlan {
                 "backoff" => {
                     plan.retry.base = Duration::from_micros(parse_us(token, value)? as u64);
                 }
+                "kill-rank" => {
+                    let (r, t) = value
+                        .split_once('@')
+                        .ok_or_else(|| err(token, "expected RANK@TIME, like kill-rank=3@500us"))?;
+                    let rank: usize = r
+                        .trim()
+                        .parse()
+                        .map_err(|_| err(token, "expected an unsigned rank number"))?;
+                    let at_us = parse_us(token, t.trim())?;
+                    if plan.kills.iter().any(|k| k.rank == rank) {
+                        return Err(err(
+                            token,
+                            format!("rank {rank} is already scheduled to die — one kill per rank"),
+                        ));
+                    }
+                    plan.kills.push(RankKill { rank, at_us });
+                }
                 "kill-after" => {
                     plan.kill_after = Some(
                         value
@@ -248,6 +281,13 @@ impl FaultPlan {
             && self.jitter_us == 0.0
             && self.degrade.is_empty()
     }
+
+    /// Does the plan schedule any rank deaths? Kills are endpoint
+    /// faults, so they are deliberately *not* part of
+    /// [`FaultPlan::is_lossless`] — surviving traffic is unperturbed.
+    pub fn has_rank_kills(&self) -> bool {
+        !self.kills.is_empty()
+    }
 }
 
 impl fmt::Display for FaultPlan {
@@ -270,6 +310,9 @@ impl fmt::Display for FaultPlan {
         }
         if !self.is_lossless() {
             write!(f, ",rto={}us,retrans={}", self.rto_us, self.max_retrans)?;
+        }
+        for k in &self.kills {
+            write!(f, ",kill-rank={}@{}us", k.rank, k.at_us)?;
         }
         if let Some(k) = self.kill_after {
             write!(f, ",kill-after={k}")?;
@@ -344,10 +387,43 @@ mod tests {
             "rto=0",
             "deadline=0",
             "nonsense=1",
+            "kill-rank=3",
+            "kill-rank=x@1ms",
+            "kill-rank=3@never",
         ] {
             let e = FaultPlan::parse(bad).expect_err(bad);
             assert!(e.to_string().contains('`'), "{e}");
         }
+    }
+
+    #[test]
+    fn kill_rank_clauses_repeat_and_round_trip() {
+        let p = FaultPlan::parse("seed=7,kill-rank=3@500us,kill-rank=11@2ms").expect("parses");
+        assert_eq!(
+            p.kills,
+            vec![
+                RankKill {
+                    rank: 3,
+                    at_us: 500.0
+                },
+                RankKill {
+                    rank: 11,
+                    at_us: 2000.0
+                },
+            ]
+        );
+        assert!(p.has_rank_kills());
+        // Kills are endpoint faults: the wire is still lossless.
+        assert!(p.is_lossless());
+        let again = FaultPlan::parse(&p.to_string()).expect("round-trip parses");
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn duplicate_rank_kill_is_a_typed_parse_error() {
+        let e = FaultPlan::parse("kill-rank=3@1ms,kill-rank=3@2ms").expect_err("must reject");
+        assert_eq!(e.token, "kill-rank=3@2ms");
+        assert!(e.reason.contains("one kill per rank"), "{e}");
     }
 
     #[test]

@@ -104,13 +104,21 @@ fn plan_err(e: PlanError) -> MpError {
 /// [`Comm`] as a schedule transport: posted receives are raw
 /// [`RecvSlot`]s (post-then-send keeps symmetric exchanges
 /// deadlock-free), sends are blocking internal isends.
+///
+/// Every receive completion runs under the communicator's collective
+/// round deadline: a peer that stops making progress is declared dead
+/// ([`MpError::RankDead`]), the verdict is broadcast so every survivor
+/// fails the same way, and the collective returns instead of hanging.
 struct CommTransport<'a> {
     comm: &'a Comm,
+    deadline: std::time::Duration,
 }
 
 impl CollTransport for CommTransport<'_> {
     type Err = MpError;
-    type Pending = Arc<RecvSlot>;
+    /// The awaited source rank rides along so a deadline expiry can be
+    /// pinned on the rank that failed to deliver.
+    type Pending = (usize, Arc<RecvSlot>);
 
     fn rank(&self) -> usize {
         self.comm.rank()
@@ -120,18 +128,29 @@ impl CollTransport for CommTransport<'_> {
         self.comm.nprocs()
     }
 
-    fn post(&self, from: usize, tag: i32) -> Arc<RecvSlot> {
-        self.comm.post_internal(from as i32, tag)
+    fn post(&self, from: usize, tag: i32) -> (usize, Arc<RecvSlot>) {
+        (from, self.comm.post_internal(from as i32, tag))
     }
 
-    fn complete(&self, pending: Arc<RecvSlot>) -> Result<Vec<u8>> {
-        Ok(pending.wait()?.data.to_vec())
+    fn complete(&self, (from, slot): (usize, Arc<RecvSlot>)) -> Result<Vec<u8>> {
+        match slot.wait_deadline(self.deadline) {
+            Some(Ok(msg)) => Ok(msg.data.to_vec()),
+            Some(Err(e)) => Err(self.comm.classify_peer_error(e)),
+            None => {
+                self.comm.report_dead(
+                    from,
+                    &format!("rank {from} presumed dead: collective round deadline expired"),
+                );
+                Err(MpError::RankDead { rank: from })
+            }
+        }
     }
 
     fn send(&self, to: usize, tag: i32, payload: Vec<u8>) -> Result<()> {
         self.comm
             .isend_internal(to, tag, Bytes::from(payload))?
             .wait()
+            .map_err(|e| self.comm.classify_peer_error(e))
     }
 }
 
@@ -168,7 +187,10 @@ impl Comm {
         let schedule = build(op, algorithm, n).map_err(plan_err)?;
         let tag = self.coll_tag();
         run_blocking(
-            &CommTransport { comm: self },
+            &CommTransport {
+                comm: self,
+                deadline: self.coll_deadline(),
+            },
             &schedule,
             ExecCtx { root, reduction },
             tag,
@@ -639,6 +661,63 @@ mod tests {
             assert_eq!(g, vec![b"x".to_vec()]);
         })
         .unwrap();
+    }
+
+    #[test]
+    fn severed_rank_is_classified_rank_dead_and_poisons_survivors() {
+        // Rank 2 "crashes" (no FIN); ranks 0 and 1 attempt an allreduce.
+        // Neither may hang: both must get MpError::RankDead { rank: 2 },
+        // whether they observe the EOF directly or learn it from the
+        // POISON broadcast.
+        let mut comms = Universe::local(3).expect("mesh");
+        for c in &comms {
+            c.set_coll_deadline(std::time::Duration::from_secs(2));
+        }
+        let c2 = comms.pop().expect("rank 2");
+        let c1 = comms.pop().expect("rank 1");
+        let c0 = comms.pop().expect("rank 0");
+        let killer = std::thread::spawn(move || {
+            c2.sever();
+            drop(c2);
+        });
+        let survivors: Vec<_> = [c0, c1]
+            .into_iter()
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let r = c.allreduce(&[1i64], ReduceOp::Sum);
+                    let dead = c.dead_ranks();
+                    (r, dead)
+                })
+            })
+            .collect();
+        killer.join().expect("killer");
+        for (rank, t) in survivors.into_iter().enumerate() {
+            let (r, dead) = t.join().expect("survivor thread");
+            let err = r.expect_err("collective with a dead rank must fail");
+            assert!(
+                matches!(err, MpError::RankDead { rank: 2 }),
+                "rank {rank}: got {err}"
+            );
+            assert_eq!(dead, vec![2], "rank {rank} records the verdict");
+        }
+    }
+
+    #[test]
+    fn silent_peer_hits_the_round_deadline_as_rank_dead() {
+        // Rank 1 stays connected but never enters the collective: the
+        // EOF path can't fire, so only the round deadline can save rank
+        // 0 from hanging.
+        let mut comms = Universe::local(2).expect("mesh");
+        let c1 = comms.pop().expect("rank 1");
+        let c0 = comms.pop().expect("rank 0");
+        c0.set_coll_deadline(std::time::Duration::from_millis(200));
+        let waiter = std::thread::spawn(move || c0.barrier());
+        let err = waiter
+            .join()
+            .expect("waiter thread")
+            .expect_err("deadline must fire");
+        assert!(matches!(err, MpError::RankDead { rank: 1 }), "{err}");
+        drop(c1);
     }
 
     #[test]

@@ -10,10 +10,22 @@
 //!   application re-entering the library;
 //! * the application threads only touch the matching engine and the
 //!   writer queue — never the sockets.
+//!
+//! Failure semantics: teardown is announced. `Drop` sends a `FIN`
+//! control message ([`FIN_TAG`]) to every peer before closing sockets,
+//! so a clean EOF *with* a prior FIN is a normal end of job, while an
+//! EOF *without* one is an unannounced death — the reader marks the
+//! peer dead, poisons the matching engine, and broadcasts a `POISON`
+//! control message ([`POISON_TAG`], payload: the dead rank) so
+//! survivors that never talk to the dead rank learn the verdict too.
+//! Collective receives additionally run under a per-round deadline
+//! ([`Comm::set_coll_deadline`]); a peer that stays connected but stops
+//! making progress is classified [`MpError::RankDead`] the same way
+//! instead of hanging the job.
 
 use std::io::Read;
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -154,6 +166,63 @@ enum SendJob {
     Quit,
 }
 
+/// Control tag announcing a clean shutdown; sent by `Drop` to every
+/// peer before the sockets close. Outside both the user tag space
+/// (`>= 0`) and the collective window (`[-1_000_000, -1]`).
+pub(crate) const FIN_TAG: i32 = -2_000_000;
+
+/// Control tag carrying the membership verdict for a dead rank; the
+/// 8-byte little-endian payload is the dead rank's number.
+pub(crate) const POISON_TAG: i32 = -2_000_001;
+
+/// Per-rank liveness bookkeeping shared by the readers and the
+/// application threads.
+struct Health {
+    /// `fin[p]`: peer `p` announced a clean shutdown.
+    fin: Vec<AtomicBool>,
+    /// `dead[r]`: rank `r` has been declared dead (locally observed or
+    /// learned via a `POISON` broadcast).
+    dead: Vec<AtomicBool>,
+}
+
+impl Health {
+    fn new(nprocs: usize) -> Health {
+        Health {
+            fin: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
+            dead: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
+        }
+    }
+}
+
+/// Declare `dead` dead exactly once: poison the local engine and
+/// broadcast the verdict to every other live peer. Idempotent — the
+/// `swap` dedups repeat verdicts, so propagation cannot storm.
+fn announce_death(
+    engine: &MatchEngine,
+    health: &Health,
+    tx: &Sender<SendJob>,
+    self_rank: usize,
+    dead: usize,
+    why: &str,
+) {
+    if health.dead[dead].swap(true, Ordering::AcqRel) {
+        return;
+    }
+    engine.poison(why);
+    let payload = Bytes::from((dead as u64).to_le_bytes().to_vec());
+    for p in 0..health.dead.len() {
+        if p != self_rank && p != dead && !health.dead[p].load(Ordering::Acquire) {
+            let slot = SendSlot::new();
+            let _ = tx.send(SendJob::Msg {
+                dst: p,
+                tag: POISON_TAG,
+                data: payload.clone(),
+                slot,
+            });
+        }
+    }
+}
+
 /// A member of a message-passing job: rank `rank` of `nprocs`.
 pub struct Comm {
     rank: usize,
@@ -165,6 +234,11 @@ pub struct Comm {
     /// Read-halves kept so `Drop` can unblock the reader threads.
     streams: Vec<Option<TcpStream>>,
     shutting_down: Arc<AtomicBool>,
+    health: Arc<Health>,
+    /// Collective per-round receive deadline, nanoseconds.
+    coll_deadline_ns: AtomicU64,
+    /// Set by [`Comm::sever`]: crash simulation, skip the FIN handshake.
+    severed: AtomicBool,
     pub(crate) coll_seq: AtomicI32,
 }
 
@@ -187,6 +261,8 @@ impl Comm {
         assert!(streams[rank].is_none(), "no self-connection expected");
         let engine = Arc::new(MatchEngine::new());
         let shutting_down = Arc::new(AtomicBool::new(false));
+        let health = Arc::new(Health::new(nprocs));
+        let (tx, rx) = channel::<SendJob>();
 
         // Reader thread per peer.
         let mut readers = Vec::new();
@@ -199,12 +275,19 @@ impl Comm {
             // describes).
             let _ = raise_socket_buffers(s, sockbuf_request());
             let stream = s.try_clone()?;
-            let engine = Arc::clone(&engine);
-            let down = Arc::clone(&shutting_down);
+            let ctx = ReaderCtx {
+                rank,
+                peer,
+                engine: Arc::clone(&engine),
+                shutting_down: Arc::clone(&shutting_down),
+                deadline,
+                health: Arc::clone(&health),
+                tx: tx.clone(),
+            };
             readers.push(
                 std::thread::Builder::new()
                     .name(format!("mplite-r{rank}<-{peer}"))
-                    .spawn(move || reader_loop(stream, rank, peer, engine, down, deadline))?,
+                    .spawn(move || reader_loop(stream, ctx))?,
             );
         }
 
@@ -216,7 +299,6 @@ impl Comm {
                 None => None,
             });
         }
-        let (tx, rx) = channel::<SendJob>();
         let my_rank = rank as u32;
         let writer = std::thread::Builder::new()
             .name(format!("mplite-w{rank}"))
@@ -271,6 +353,9 @@ impl Comm {
             readers,
             streams,
             shutting_down,
+            health,
+            coll_deadline_ns: AtomicU64::new(coll_deadline_default().as_nanos() as u64),
+            severed: AtomicBool::new(false),
             coll_seq: AtomicI32::new(0),
         })
     }
@@ -362,6 +447,53 @@ impl Comm {
         self.engine.post(src, tag)
     }
 
+    /// The per-round receive deadline collectives run under.
+    pub fn coll_deadline(&self) -> Duration {
+        Duration::from_nanos(self.coll_deadline_ns.load(Ordering::Relaxed))
+    }
+
+    /// Change the collective round deadline (default 5 s, or
+    /// `MPLITE_COLL_DEADLINE_MS`). Tests and chaos harnesses shrink it
+    /// to get fast verdicts.
+    pub fn set_coll_deadline(&self, d: Duration) {
+        self.coll_deadline_ns
+            .store(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Ranks that have been declared dead, in rank order.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        (0..self.nprocs)
+            .filter(|&r| self.health.dead[r].load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Declare `rank` dead (deadline expiry on the application side):
+    /// poison local receives and broadcast the verdict to survivors.
+    pub(crate) fn report_dead(&self, rank: usize, why: &str) {
+        announce_death(&self.engine, &self.health, &self.tx, self.rank, rank, why);
+    }
+
+    /// Sharpen a link-level error into [`MpError::RankDead`] when a
+    /// membership verdict is on record — callers see *who* died, not
+    /// just that a socket or slot failed.
+    pub(crate) fn classify_peer_error(&self, e: MpError) -> MpError {
+        match self.dead_ranks().first() {
+            Some(&rank) => MpError::RankDead { rank },
+            None => e,
+        }
+    }
+
+    /// Simulate a crash of this rank: no FIN handshake, sockets
+    /// hard-closed. Peers observe an unannounced death — exactly what a
+    /// killed process looks like from the outside. Chaos/test hook.
+    pub fn sever(&self) {
+        self.severed.store(true, Ordering::Release);
+        self.shutting_down.store(true, Ordering::Release);
+        for s in self.streams.iter().flatten() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
     pub(crate) fn recv_internal(&self, src: i32, tag: i32) -> Result<(Bytes, Status)> {
         let msg = self.engine.post(src, tag).wait()?;
         Ok((
@@ -383,6 +515,16 @@ fn sockbuf_request() -> u32 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(1 << 20)
+}
+
+/// Default collective per-round receive deadline:
+/// `MPLITE_COLL_DEADLINE_MS` or 5 s.
+fn coll_deadline_default() -> Duration {
+    std::env::var("MPLITE_COLL_DEADLINE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_secs(5))
 }
 
 /// Per-operation socket deadline once a transfer is underway:
@@ -443,25 +585,55 @@ pub(crate) fn raise_socket_buffers(stream: &TcpStream, bytes: u32) -> std::io::R
     Ok(())
 }
 
-fn reader_loop(
-    mut stream: TcpStream,
+/// Everything one reader thread needs, bundled so the spawn site stays
+/// readable.
+struct ReaderCtx {
     rank: usize,
     peer: usize,
     engine: Arc<MatchEngine>,
     shutting_down: Arc<AtomicBool>,
     deadline: Duration,
-) {
+    health: Arc<Health>,
+    tx: Sender<SendJob>,
+}
+
+fn reader_loop(mut stream: TcpStream, ctx: ReaderCtx) {
+    let ReaderCtx {
+        rank,
+        peer,
+        engine,
+        shutting_down,
+        deadline,
+        health,
+        tx,
+    } = ctx;
     loop {
         // Block indefinitely for the *first* header byte — an idle link is
-        // healthy, and a clean EOF here (the peer finished its work and
-        // dropped its Comm — every byte it sent is already in our kernel
-        // buffer or delivered) is the normal end-of-job teardown. Once a
-        // message has started, every subsequent read runs under the
-        // deadline: a peer that stalls mid-message is dead, not idle.
+        // healthy, and a clean EOF here after the peer announced FIN (it
+        // finished its work and dropped its Comm — every byte it sent is
+        // already in our kernel buffer or delivered) is the normal
+        // end-of-job teardown. An EOF *without* a FIN is an unannounced
+        // death. Once a message has started, every subsequent read runs
+        // under the deadline: a peer that stalls mid-message is dead,
+        // not idle.
         let mut hdr = [0u8; HEADER_LEN];
         loop {
             match stream.read(&mut hdr[..1]) {
-                Ok(0) => return, // clean end-of-job teardown
+                Ok(0) => {
+                    if !health.fin[peer].load(Ordering::Acquire)
+                        && !shutting_down.load(Ordering::Acquire)
+                    {
+                        announce_death(
+                            &engine,
+                            &health,
+                            &tx,
+                            rank,
+                            peer,
+                            &format!("rank {peer} died (connection closed without FIN)"),
+                        );
+                    }
+                    return;
+                }
                 Ok(_) => break,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(_) => return,
@@ -474,6 +646,29 @@ fn reader_loop(
             return;
         }
         let (src, tag, len) = decode_header(&hdr);
+        if tag == FIN_TAG || tag == POISON_TAG {
+            // Control messages never reach the matching engine.
+            let mut buf = vec![0u8; len as usize];
+            if read_exact_deadline(&mut stream, &mut buf, deadline).is_err() {
+                return;
+            }
+            if tag == FIN_TAG {
+                health.fin[peer].store(true, Ordering::Release);
+            } else if let Ok(bytes) = <[u8; 8]>::try_from(&buf[..]) {
+                let dead = u64::from_le_bytes(bytes) as usize;
+                if dead < health.dead.len() && dead != rank {
+                    announce_death(
+                        &engine,
+                        &health,
+                        &tx,
+                        rank,
+                        dead,
+                        &format!("rank {dead} dead (reported by peer {peer})"),
+                    );
+                }
+            }
+            continue;
+        }
         // The progress-thread span covers pulling the payload out of the
         // socket *and* handing it to the matching engine — the work the
         // paper's §3.4 progress discussion attributes to the library.
@@ -501,6 +696,22 @@ fn reader_loop(
 impl Drop for Comm {
     fn drop(&mut self) {
         self.shutting_down.store(true, Ordering::Release);
+        if !self.severed.load(Ordering::Acquire) {
+            // Announce a clean shutdown so peers can tell planned
+            // teardown from a crash (best-effort; a failed write just
+            // means the peer is already gone).
+            for p in 0..self.nprocs {
+                if p != self.rank {
+                    let slot = SendSlot::new();
+                    let _ = self.tx.send(SendJob::Msg {
+                        dst: p,
+                        tag: FIN_TAG,
+                        data: Bytes::new(),
+                        slot,
+                    });
+                }
+            }
+        }
         let _ = self.tx.send(SendJob::Quit);
         if let Some(w) = self.writer.take() {
             let _ = w.join();
@@ -548,14 +759,30 @@ mod tests {
         drop(peer_side);
     }
 
+    fn test_ctx(engine: &Arc<MatchEngine>, deadline: Duration) -> (ReaderCtx, Arc<Health>) {
+        let health = Arc::new(Health::new(2));
+        let (tx, _rx) = channel::<SendJob>();
+        (
+            ReaderCtx {
+                rank: 0,
+                peer: 1,
+                engine: Arc::clone(engine),
+                shutting_down: Arc::new(AtomicBool::new(false)),
+                deadline,
+                health: Arc::clone(&health),
+                tx,
+            },
+            health,
+        )
+    }
+
     #[test]
     fn reader_poisons_with_timeout_on_midmessage_stall() {
         let (mut client, server) = socket_pair();
         let engine = Arc::new(MatchEngine::new());
-        let down = Arc::new(AtomicBool::new(false));
-        let (e2, d2) = (Arc::clone(&engine), Arc::clone(&down));
+        let (ctx, _health) = test_ctx(&engine, Duration::from_millis(80));
         let reader = std::thread::spawn(move || {
-            reader_loop(server, 0, 1, e2, d2, Duration::from_millis(80));
+            reader_loop(server, ctx);
         });
         // Header promises 100 payload bytes; only 10 ever arrive.
         let hdr = encode_header(1, 0, 100);
@@ -573,10 +800,9 @@ mod tests {
     fn reader_poisons_with_disconnect_on_midmessage_eof() {
         let (mut client, server) = socket_pair();
         let engine = Arc::new(MatchEngine::new());
-        let down = Arc::new(AtomicBool::new(false));
-        let (e2, d2) = (Arc::clone(&engine), Arc::clone(&down));
+        let (ctx, _health) = test_ctx(&engine, Duration::from_secs(5));
         let reader = std::thread::spawn(move || {
-            reader_loop(server, 0, 1, e2, d2, Duration::from_secs(5));
+            reader_loop(server, ctx);
         });
         let hdr = encode_header(1, 0, 100);
         write_all_deadline(&mut client, &hdr, Duration::from_secs(1)).expect("header");
@@ -590,5 +816,73 @@ mod tests {
             "{err}"
         );
         reader.join().expect("reader exits");
+    }
+
+    #[test]
+    fn eof_without_fin_is_an_unannounced_death() {
+        let (client, server) = socket_pair();
+        let engine = Arc::new(MatchEngine::new());
+        engine.ready();
+        let (ctx, health) = test_ctx(&engine, Duration::from_secs(5));
+        let reader = std::thread::spawn(move || {
+            reader_loop(server, ctx);
+        });
+        let pending = engine.post(ANY_SOURCE, ANY_TAG);
+        drop(client); // idle-link EOF with no FIN ever sent
+        reader.join().expect("reader exits");
+        assert!(health.dead[1].load(Ordering::Acquire), "peer 1 marked dead");
+        let err = pending.wait().expect_err("poisoned");
+        assert!(err.to_string().contains("without FIN"), "{err}");
+    }
+
+    #[test]
+    fn eof_after_fin_is_a_clean_teardown() {
+        let (mut client, server) = socket_pair();
+        let engine = Arc::new(MatchEngine::new());
+        engine.ready();
+        let (ctx, health) = test_ctx(&engine, Duration::from_secs(5));
+        let reader = std::thread::spawn(move || {
+            reader_loop(server, ctx);
+        });
+        let fin = encode_header(1, FIN_TAG, 0);
+        write_all_deadline(&mut client, &fin, Duration::from_secs(1)).expect("fin");
+        drop(client);
+        reader.join().expect("reader exits");
+        assert!(!health.dead[1].load(Ordering::Acquire), "clean teardown");
+        assert!(health.fin[1].load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn poison_broadcast_marks_the_reported_rank_dead() {
+        let (mut client, server) = socket_pair();
+        let engine = Arc::new(MatchEngine::new());
+        engine.ready();
+        let health = Arc::new(Health::new(4));
+        let (tx, _rx) = channel::<SendJob>();
+        let ctx = ReaderCtx {
+            rank: 0,
+            peer: 1,
+            engine: Arc::clone(&engine),
+            shutting_down: Arc::new(AtomicBool::new(false)),
+            deadline: Duration::from_secs(5),
+            health: Arc::clone(&health),
+            tx,
+        };
+        let reader = std::thread::spawn(move || {
+            reader_loop(server, ctx);
+        });
+        let pending = engine.post(ANY_SOURCE, ANY_TAG);
+        // Peer 1 reports rank 3 dead, then shuts down cleanly.
+        let hdr = encode_header(1, POISON_TAG, 8);
+        write_all_deadline(&mut client, &hdr, Duration::from_secs(1)).expect("hdr");
+        write_all_deadline(&mut client, &3u64.to_le_bytes(), Duration::from_secs(1))
+            .expect("payload");
+        let fin = encode_header(1, FIN_TAG, 0);
+        write_all_deadline(&mut client, &fin, Duration::from_secs(1)).expect("fin");
+        drop(client);
+        reader.join().expect("reader exits");
+        assert!(health.dead[3].load(Ordering::Acquire), "verdict recorded");
+        let err = pending.wait().expect_err("poisoned");
+        assert!(err.to_string().contains("rank 3 dead"), "{err}");
     }
 }

@@ -27,6 +27,15 @@ pub enum MpError {
         /// Capacity of the receive buffer.
         want: usize,
     },
+    /// A peer rank was declared dead: its connection closed without the
+    /// shutdown handshake, or it stopped making progress past the
+    /// collective round deadline. Unlike [`MpError::Disconnected`]
+    /// (a link-level observation), this is a membership verdict — the
+    /// rank is gone and the judgment has been propagated to survivors.
+    RankDead {
+        /// The dead peer's world rank.
+        rank: usize,
+    },
     /// The communicator has been shut down.
     Finalized,
     /// A call violated the API's calling convention (e.g. a collective
@@ -52,6 +61,12 @@ impl fmt::Display for MpError {
             }
             MpError::Truncated { got, want } => {
                 write!(f, "message of {got} bytes truncated to buffer of {want}")
+            }
+            MpError::RankDead { rank } => {
+                write!(
+                    f,
+                    "rank {rank} is dead (unannounced exit or missed deadline)"
+                )
             }
             MpError::Finalized => write!(f, "communicator already finalized"),
             MpError::BadArg(what) => write!(f, "bad argument: {what}"),
@@ -89,5 +104,7 @@ mod tests {
         assert!(e.to_string().contains("10"));
         let io = MpError::from(io::Error::new(io::ErrorKind::BrokenPipe, "x"));
         assert!(matches!(io, MpError::Io(_)));
+        let dead = MpError::RankDead { rank: 5 };
+        assert!(dead.to_string().contains("rank 5 is dead"));
     }
 }

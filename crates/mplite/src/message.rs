@@ -108,6 +108,30 @@ impl RecvSlot {
         }
     }
 
+    /// Block until the slot completes or `deadline` elapses. `None`
+    /// means the deadline expired with the receive still outstanding —
+    /// the caller decides what that implies (the collective executor
+    /// declares the awaited peer dead).
+    pub fn wait_deadline(&self, deadline: std::time::Duration) -> Option<Result<InMsg>> {
+        let start = std::time::Instant::now(); // lint:allow(nondet-wall-clock) -- real-mode deadline primitive: the slot owns its wait clock
+        let mut st = self.state.lock();
+        loop {
+            match std::mem::replace(&mut *st, SlotState::Waiting) {
+                SlotState::Waiting => {
+                    let elapsed = start.elapsed();
+                    if elapsed >= deadline {
+                        return None;
+                    }
+                    // Timeout and spurious wakes both re-loop; the
+                    // elapsed check above terminates.
+                    let _ = self.cv.wait_timeout(&mut st, deadline - elapsed);
+                }
+                SlotState::Done(m) => return Some(Ok(m)),
+                SlotState::Failed(w) => return Some(Err(MpError::Io(std::io::Error::other(w)))),
+            }
+        }
+    }
+
     /// Block until the slot completes.
     pub fn wait(&self) -> Result<InMsg> {
         let mut st = self.state.lock();
@@ -369,6 +393,23 @@ mod tests {
         assert_eq!(m.probe(ANY_SOURCE, ANY_TAG), Some((2, 7, 3)));
         assert_eq!(m.probe(1, ANY_TAG), None);
         assert_eq!(m.unexpected_len(), 1);
+    }
+
+    #[test]
+    fn wait_deadline_times_out_then_still_completes() {
+        let m = MatchEngine::new();
+        let slot = m.post(0, 1);
+        assert!(
+            slot.wait_deadline(std::time::Duration::from_millis(30))
+                .is_none(),
+            "nothing delivered: the deadline must expire"
+        );
+        m.deliver(msg(0, 1, b"late"));
+        let got = slot
+            .wait_deadline(std::time::Duration::from_secs(1))
+            .expect("delivered")
+            .expect("ok");
+        assert_eq!(&got.data[..], b"late");
     }
 
     #[test]

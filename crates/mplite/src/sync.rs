@@ -8,6 +8,7 @@
 
 use std::ops::{Deref, DerefMut};
 use std::sync;
+use std::time::Duration;
 
 /// A mutex whose `lock` recovers from poisoning instead of panicking.
 #[derive(Debug, Default)]
@@ -92,6 +93,23 @@ impl Condvar {
         }
     }
 
+    /// Atomically release the guard's lock and block until notified or
+    /// `dur` elapses. Returns `true` if the wait timed out (the caller
+    /// must still re-check its predicate either way — wakes can race
+    /// with the timeout).
+    pub fn wait_timeout<T>(&self, guard: &mut MutexGuard<'_, T>, dur: Duration) -> bool {
+        let mut timed_out = false;
+        if let Some(g) = guard.inner.take() {
+            let (g, res) = self
+                .inner
+                .wait_timeout(g, dur)
+                .unwrap_or_else(sync::PoisonError::into_inner);
+            timed_out = res.timed_out();
+            guard.inner = Some(g);
+        }
+        timed_out
+    }
+
     /// Wake every waiter.
     pub fn notify_all(&self) {
         self.inner.notify_all();
@@ -127,6 +145,15 @@ mod tests {
         .join();
         *m.lock() += 5;
         assert_eq!(*m.lock(), 5);
+    }
+
+    #[test]
+    fn wait_timeout_reports_expiry_and_keeps_the_lock() {
+        let m = Mutex::new(7);
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_timeout(&mut g, Duration::from_millis(20)));
+        assert_eq!(*g, 7, "guard must still be usable after a timeout");
     }
 
     #[test]

@@ -14,6 +14,7 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use faultlab::DegradeWindow;
 use protosim::multinode::{self, MultiEngine};
 use simcore::SimDuration;
 
@@ -40,6 +41,9 @@ struct Inner {
     pairs: RefCell<Vec<PairQueues>>,
     /// Extra per-send CPU microseconds per rank (degradation studies).
     extra_send_us: RefCell<Vec<f64>>,
+    /// Timed degradation windows from a fault plan: sends issued while
+    /// a window is open run at the window's fraction of nominal speed.
+    degrade: RefCell<Vec<DegradeWindow>>,
 }
 
 /// An N-rank tagged messaging session bound to one library profile.
@@ -65,6 +69,7 @@ impl MultiSession {
                         .collect(),
                 ),
                 extra_send_us: RefCell::new(vec![0.0; n]),
+                degrade: RefCell::new(Vec::new()),
             }),
         }
     }
@@ -78,6 +83,26 @@ impl MultiSession {
     /// the degraded-rank knob the chaos sweeps turn.
     pub fn set_rank_overhead_us(&self, rank: usize, us: f64) {
         self.inner.extra_send_us.borrow_mut()[rank] = us;
+    }
+
+    /// Install a fault plan's timed degradation windows: a send issued
+    /// while a window contains the current simulated time has its
+    /// library work stretched by `1/factor` (every rank is affected —
+    /// the windows model fabric-wide congestion, not one slow host).
+    pub fn set_degrade_windows(&self, windows: Vec<DegradeWindow>) {
+        *self.inner.degrade.borrow_mut() = windows;
+    }
+
+    /// The work stretch applied at `now_us`: the reciprocal of the
+    /// smallest open window factor, `1.0` when no window is open.
+    fn degrade_stretch(&self, now_us: f64) -> f64 {
+        let mut factor = 1.0f64;
+        for w in self.inner.degrade.borrow().iter() {
+            if w.contains(now_us) {
+                factor = factor.min(w.factor);
+            }
+        }
+        1.0 / factor
     }
 
     /// Send `payload` from `from` to `to` under `tag`. The sender's
@@ -94,6 +119,12 @@ impl MultiSession {
             p.send_overhead_us + self.inner.extra_send_us.borrow()[from],
         ) + SimDuration::for_bytes(bytes * u64::from(p.send_copies), memcpy);
         let now = eng.now();
+        let stretch = self.degrade_stretch(now.as_micros_f64());
+        let send_work = if stretch > 1.0 {
+            SimDuration::from_micros_f64(send_work.as_micros_f64() * stretch)
+        } else {
+            send_work
+        };
         let ready = eng.world.nodes[from].cpu.serve_for(now, send_work, bytes);
         let this = self.clone();
         let needs_handshake = matches!(p.rendezvous_bytes, Some(t) if bytes > t);
@@ -283,6 +314,31 @@ mod tests {
             eng.run().as_secs_f64()
         };
         assert!(time_with(500.0) > time_with(0.0));
+    }
+
+    #[test]
+    fn open_degrade_window_stretches_sends() {
+        let time_with = |windows: Vec<DegradeWindow>| {
+            let mut eng = engine(2);
+            let sess = MultiSession::new(crate::libs::mpich(Default::default()).profile, 2);
+            sess.set_degrade_windows(windows);
+            sess.send(&mut eng, 0, 1, 1, Rc::new(vec![0u8; 4096]));
+            sess.post_recv(&mut eng, 1, 0, 1, Box::new(|_, _| {}));
+            eng.run().as_secs_f64()
+        };
+        let clean = time_with(Vec::new());
+        let open = time_with(vec![DegradeWindow {
+            start_us: 0.0,
+            end_us: 1e9,
+            factor: 0.1,
+        }]);
+        let closed = time_with(vec![DegradeWindow {
+            start_us: 1e9,
+            end_us: 2e9,
+            factor: 0.1,
+        }]);
+        assert!(open > clean, "{open} vs {clean}");
+        assert_eq!(closed, clean);
     }
 
     #[test]

@@ -78,6 +78,12 @@ pub mod stages {
     pub const COLL_ROUND: &str = "coll-round";
     /// Instant: a rank completed its final collective round.
     pub const COLL_DONE: &str = "coll-done";
+    /// Instant: a recv deadline fired and a peer rank became suspect.
+    pub const COLL_SUSPECT: &str = "coll-suspect";
+    /// Instant: a suspect rank was evicted from the membership group.
+    pub const COLL_EVICT: &str = "coll-evict";
+    /// Instant: the collective schedule was re-planned over survivors.
+    pub const COLL_REPLAN: &str = "coll-replan";
 }
 
 /// One completed span: `stage` was busy on timeline `track` over

@@ -12,7 +12,7 @@ use crate::lint::{has_workspace_lints, BUDGET_FILE};
 use crate::locks::lock_findings;
 use crate::model::WorkspaceModel;
 use crate::nondet::nondet_findings;
-use crate::protocol::protocol_findings;
+use crate::protocol::{protocol_findings, protocol_inventory};
 use crate::rules::{file_findings, resolve, RawFinding, ANALYZE_BUDGETED_RULES, RULES};
 use crate::units::units_findings;
 use crate::walk::{collect_files, rel_str};
@@ -26,6 +26,9 @@ pub struct AnalyzeOutcome {
     pub files_checked: usize,
     /// Live un-annotated counts per (crate, rule) for budgeted rules.
     pub budget_counts: BTreeMap<(String, String), usize>,
+    /// Every `protocol!` machine the conformance pass checked, as
+    /// sorted `namespace.role` names.
+    pub protocols: Vec<String>,
 }
 
 impl AnalyzeOutcome {
@@ -125,6 +128,7 @@ pub fn analyze_workspace(root: &Path) -> Result<AnalyzeOutcome, String> {
 fn analyze_model(w: &WorkspaceModel) -> (AnalyzeOutcome, Vec<(String, Diagnostic)>) {
     let mut out = AnalyzeOutcome {
         files_checked: w.files.len(),
+        protocols: protocol_inventory(w),
         ..AnalyzeOutcome::default()
     };
     let mut budgeted: Vec<(String, Diagnostic)> = Vec::new();
@@ -180,6 +184,16 @@ pub fn render_report(outcome: &AnalyzeOutcome) -> String {
             s.push_str(", ");
         }
         s.push_str(&json_str(r));
+    }
+    s.push_str("],\n");
+    // The machines the protocol pass actually parsed and checked, so
+    // CI can assert a specific machine is still under conformance.
+    s.push_str("  \"protocols\": [");
+    for (i, p) in outcome.protocols.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_str(p));
     }
     s.push_str("],\n");
     s.push_str("  \"diagnostics\": [");

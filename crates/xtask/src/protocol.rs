@@ -105,6 +105,17 @@ pub fn protocol_findings(w: &WorkspaceModel) -> Vec<(usize, RawFinding)> {
     out
 }
 
+/// Every `protocol!` machine the conformance pass discovered, as sorted
+/// `namespace.role` names — the report inventory CI asserts against so
+/// a machine silently dropping out of the pass (file moved out of the
+/// walk, macro renamed) fails loudly rather than un-checking itself.
+pub fn protocol_inventory(w: &WorkspaceModel) -> Vec<String> {
+    let mut names: Vec<String> = parse_specs(w).into_iter().map(|s| s.name).collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
 // --- spec extraction -------------------------------------------------
 
 /// Parse every unmasked `protocol! { … }` invocation in the workspace.
