@@ -24,6 +24,16 @@ pub struct FaultCounters {
     pub timeouts: u64,
     /// Real-mode reconnect attempts.
     pub reconnects: u64,
+    /// Frames with a bit flipped by the byte-level proxy.
+    pub corrupted: u64,
+    /// Frames cut short by the proxy (mid-frame EOF downstream).
+    pub truncated: u64,
+    /// Frames held for the plan's stall duration before forwarding.
+    pub stalled: u64,
+    /// Frames delivered behind their successor by the proxy.
+    pub reordered: u64,
+    /// Frames blackholed inside an active partition window.
+    pub partitioned: u64,
 }
 
 impl FaultCounters {
@@ -36,6 +46,11 @@ impl FaultCounters {
         self.conn_deaths += other.conn_deaths;
         self.timeouts += other.timeouts;
         self.reconnects += other.reconnects;
+        self.corrupted += other.corrupted;
+        self.truncated += other.truncated;
+        self.stalled += other.stalled;
+        self.reordered += other.reordered;
+        self.partitioned += other.partitioned;
     }
 
     /// Did anything at all happen?
@@ -48,14 +63,20 @@ impl fmt::Display for FaultCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "dropped={} duplicated={} delayed={} retransmits={} conn-deaths={} timeouts={} reconnects={}",
+            "dropped={} duplicated={} delayed={} retransmits={} conn-deaths={} timeouts={} \
+             reconnects={} corrupted={} truncated={} stalled={} reordered={} partitioned={}",
             self.dropped,
             self.duplicated,
             self.delayed,
             self.retransmits,
             self.conn_deaths,
             self.timeouts,
-            self.reconnects
+            self.reconnects,
+            self.corrupted,
+            self.truncated,
+            self.stalled,
+            self.reordered,
+            self.partitioned
         )
     }
 }
@@ -95,6 +116,11 @@ mod tests {
             "conn-deaths",
             "timeouts",
             "reconnects",
+            "corrupted",
+            "truncated",
+            "stalled",
+            "reordered",
+            "partitioned",
         ] {
             assert!(s.contains(key), "{s} missing {key}");
         }

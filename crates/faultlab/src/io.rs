@@ -63,9 +63,36 @@ pub fn read_exact_deadline(
 }
 
 fn read_exact_inner(stream: &mut TcpStream, buf: &mut [u8], deadline: Duration) -> io::Result<()> {
-    let start = Instant::now();
     let mut got = 0usize;
-    while got < buf.len() {
+    read_counted_inner(stream, buf, deadline, &mut got)
+}
+
+/// Like [`read_exact_deadline`], but a failure also reports how many
+/// bytes had already arrived — receivers use the count to build accurate
+/// truncation verdicts ("got 13 of 24 bytes") instead of guessing.
+pub fn read_exact_counted(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Duration,
+) -> std::result::Result<(), (usize, io::Error)> {
+    let prev = stream.read_timeout().map_err(|e| (0, e))?;
+    let mut got = 0usize;
+    let result = read_counted_inner(stream, buf, deadline, &mut got);
+    let restore = stream.set_read_timeout(prev);
+    match result {
+        Ok(()) => restore.map_err(|e| (got, e)),
+        Err(e) => Err((got, e)),
+    }
+}
+
+fn read_counted_inner(
+    stream: &mut TcpStream,
+    buf: &mut [u8],
+    deadline: Duration,
+    got: &mut usize,
+) -> io::Result<()> {
+    let start = Instant::now();
+    while *got < buf.len() {
         let left = deadline
             .checked_sub(start.elapsed())
             .ok_or_else(|| timed_out("read", deadline))?;
@@ -73,14 +100,14 @@ fn read_exact_inner(stream: &mut TcpStream, buf: &mut [u8], deadline: Duration) 
             return Err(timed_out("read", deadline));
         }
         stream.set_read_timeout(Some(left))?;
-        match stream.read(&mut buf[got..]) {
+        match stream.read(&mut buf[*got..]) {
             Ok(0) => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
                     "peer closed the connection mid-read",
                 ))
             }
-            Ok(n) => got += n,
+            Ok(n) => *got += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e) if is_timeout(&e) => return Err(timed_out("read", deadline)),
             Err(e) => return Err(e),

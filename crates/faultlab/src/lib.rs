@@ -39,10 +39,12 @@ pub mod io;
 pub mod lifecycle;
 pub mod lottery;
 pub mod plan;
+pub mod proxy;
 pub mod retry;
 
 pub use counters::FaultCounters;
 pub use lifecycle::SegLifeState;
 pub use lottery::{FaultLottery, SegFault};
-pub use plan::{DegradeWindow, FaultPlan, PlanError, RankKill};
+pub use plan::{DegradeWindow, FaultPlan, PartitionWindow, PlanError, RankKill};
+pub use proxy::{ChaosProxy, FaultEvent, FrameFormat};
 pub use retry::{RetryPolicy, SweepPolicy};

@@ -29,6 +29,34 @@ impl DegradeWindow {
     }
 }
 
+/// A timed network partition: while active, frames between the two rank
+/// groups are silently dropped (a blackhole, not a reset — exactly what
+/// a misprogrammed switch ACL does). Used by the byte-level chaos proxy;
+/// the clock is the proxy's virtual per-connection frame clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionWindow {
+    /// One side of the cut.
+    pub a: Vec<usize>,
+    /// The other side of the cut.
+    pub b: Vec<usize>,
+    /// Window start, microseconds.
+    pub start_us: f64,
+    /// Window end, microseconds.
+    pub end_us: f64,
+}
+
+impl PartitionWindow {
+    /// Is the partition active at `now_us`?
+    pub fn active(&self, now_us: f64) -> bool {
+        now_us >= self.start_us && now_us < self.end_us
+    }
+
+    /// Does a frame between ranks `x` and `y` cross the cut?
+    pub fn crosses(&self, x: usize, y: usize) -> bool {
+        (self.a.contains(&x) && self.b.contains(&y)) || (self.a.contains(&y) && self.b.contains(&x))
+    }
+}
+
 /// A scheduled rank death: rank `rank` stops participating at simulated
 /// time `at_us`. Unlike the wire faults, a kill is an *endpoint* fault —
 /// it never perturbs surviving traffic, so plans whose only clauses are
@@ -85,6 +113,26 @@ pub struct FaultPlan {
     /// Real-mode chaos: after the first kill the peer also stops
     /// accepting, so reconnects fail and the sweep tail degrades.
     pub kill_listener: bool,
+    /// Byte-level chaos (proxy): per-frame probability of flipping one
+    /// seeded bit anywhere in the frame.
+    pub corrupt: f64,
+    /// Byte-level chaos (proxy): per-frame probability of forwarding
+    /// only a seeded prefix and then dropping the connection — the
+    /// receiver sees a mid-frame EOF.
+    pub trunc: f64,
+    /// Byte-level chaos (proxy): how long a stalled frame is held,
+    /// microseconds.
+    pub stall_us: f64,
+    /// Byte-level chaos (proxy): per-frame probability of stalling for
+    /// [`FaultPlan::stall_us`] before forwarding.
+    pub stall_rate: f64,
+    /// Byte-level chaos (proxy): timed blackhole windows between rank
+    /// groups (`partition=0+1|2+3@1ms..4ms`, repeatable).
+    pub partitions: Vec<PartitionWindow>,
+    /// Byte-level chaos (proxy): per-frame probability of holding a
+    /// frame back so it lands *behind* its successor — a whole-frame
+    /// reorder, legal for TCP proxies but fatal for FIFO assumptions.
+    pub reorder_frame: f64,
 }
 
 impl Default for FaultPlan {
@@ -104,6 +152,12 @@ impl Default for FaultPlan {
             sweep: SweepPolicy::default(),
             kill_after: None,
             kill_listener: false,
+            corrupt: 0.0,
+            trunc: 0.0,
+            stall_us: 0.0,
+            stall_rate: 0.0,
+            partitions: Vec::new(),
+            reorder_frame: 0.0,
         }
     }
 }
@@ -170,9 +224,11 @@ impl FaultPlan {
     /// `deadline=DUR`, `retries=N` (per-point sweep budget),
     /// `backoff=DUR` (reconnect base delay), `kill-rank=R@TIME`
     /// (repeatable, at most one clause per rank), `kill-after=N`,
-    /// `kill-listener`. Durations take `us`/`ms`/`s` suffixes (bare
-    /// numbers are microseconds). An empty string is the lossless
-    /// default plan.
+    /// `kill-listener`, plus the byte-level proxy clauses `corrupt=P`,
+    /// `truncate=P`, `stall=DUR@P`, `partition=0+1|2+3@DUR..DUR`
+    /// (repeatable) and `reorder-frame[=P]` (bare means every frame).
+    /// Durations take `us`/`ms`/`s` suffixes (bare numbers are
+    /// microseconds). An empty string is the lossless default plan.
     pub fn parse(s: &str) -> Result<FaultPlan, PlanError> {
         let mut plan = FaultPlan::default();
         for token in s.split(',').map(str::trim).filter(|t| !t.is_empty()) {
@@ -264,6 +320,66 @@ impl FaultPlan {
                     );
                 }
                 "kill-listener" => plan.kill_listener = true,
+                "corrupt" => plan.corrupt = parse_prob(token, value)?,
+                "truncate" => plan.trunc = parse_prob(token, value)?,
+                "stall" => {
+                    let (dur, rate) = value
+                        .split_once('@')
+                        .ok_or_else(|| err(token, "expected DUR@RATE, like stall=5ms@0.01"))?;
+                    plan.stall_us = parse_us(token, dur.trim())?;
+                    plan.stall_rate = parse_prob(token, rate.trim())?;
+                    if plan.stall_us <= 0.0 && plan.stall_rate > 0.0 {
+                        return Err(err(token, "stall duration must be positive"));
+                    }
+                }
+                "partition" => {
+                    let (groups, range) = value
+                        .split_once('@')
+                        .ok_or_else(|| err(token, "expected A+A|B+B@START..END"))?;
+                    let (ga, gb) = groups
+                        .split_once('|')
+                        .ok_or_else(|| err(token, "expected two rank groups split by `|`"))?;
+                    let parse_group = |g: &str| -> Result<Vec<usize>, PlanError> {
+                        let ranks: Vec<usize> = g
+                            .split('+')
+                            .map(|r| {
+                                r.trim()
+                                    .parse()
+                                    .map_err(|_| err(token, "ranks must be unsigned integers"))
+                            })
+                            .collect::<Result<_, _>>()?;
+                        if ranks.is_empty() {
+                            return Err(err(token, "each side of the cut needs a rank"));
+                        }
+                        Ok(ranks)
+                    };
+                    let a = parse_group(ga)?;
+                    let b = parse_group(gb)?;
+                    if a.iter().any(|r| b.contains(r)) {
+                        return Err(err(token, "a rank cannot sit on both sides of the cut"));
+                    }
+                    let (s, e) = range
+                        .split_once("..")
+                        .ok_or_else(|| err(token, "expected a START..END window"))?;
+                    let start_us = parse_us(token, s.trim())?;
+                    let end_us = parse_us(token, e.trim())?;
+                    if end_us <= start_us {
+                        return Err(err(token, "window end must be after its start"));
+                    }
+                    plan.partitions.push(PartitionWindow {
+                        a,
+                        b,
+                        start_us,
+                        end_us,
+                    });
+                }
+                "reorder-frame" => {
+                    plan.reorder_frame = if value.is_empty() {
+                        1.0
+                    } else {
+                        parse_prob(token, value)?
+                    };
+                }
                 _ => return Err(err(token, "unknown key")),
             }
         }
@@ -287,6 +403,18 @@ impl FaultPlan {
     /// [`FaultPlan::is_lossless`] — surviving traffic is unperturbed.
     pub fn has_rank_kills(&self) -> bool {
         !self.kills.is_empty()
+    }
+
+    /// Does the plan ask for byte-level wire chaos? These clauses only
+    /// take effect through [`crate::proxy::ChaosProxy`]; the sim lottery
+    /// and the real-mode endpoint knobs ignore them, so they do not
+    /// factor into [`FaultPlan::is_lossless`].
+    pub fn has_byte_faults(&self) -> bool {
+        self.corrupt > 0.0
+            || self.trunc > 0.0
+            || self.stall_rate > 0.0
+            || !self.partitions.is_empty()
+            || self.reorder_frame > 0.0
     }
 }
 
@@ -319,6 +447,34 @@ impl fmt::Display for FaultPlan {
         }
         if self.kill_listener {
             write!(f, ",kill-listener")?;
+        }
+        if self.corrupt > 0.0 {
+            write!(f, ",corrupt={}", self.corrupt)?;
+        }
+        if self.trunc > 0.0 {
+            write!(f, ",truncate={}", self.trunc)?;
+        }
+        if self.stall_rate > 0.0 {
+            write!(f, ",stall={}us@{}", self.stall_us, self.stall_rate)?;
+        }
+        for w in &self.partitions {
+            let join = |g: &[usize]| {
+                g.iter()
+                    .map(|r| r.to_string())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            };
+            write!(
+                f,
+                ",partition={}|{}@{}us..{}us",
+                join(&w.a),
+                join(&w.b),
+                w.start_us,
+                w.end_us
+            )?;
+        }
+        if self.reorder_frame > 0.0 {
+            write!(f, ",reorder-frame={}", self.reorder_frame)?;
         }
         Ok(())
     }
@@ -390,6 +546,16 @@ mod tests {
             "kill-rank=3",
             "kill-rank=x@1ms",
             "kill-rank=3@never",
+            "corrupt=2",
+            "truncate=-0.1",
+            "stall=5ms",
+            "stall=0@0.5",
+            "partition=0+1@1ms..2ms",
+            "partition=0|1@5ms..1ms",
+            "partition=0+1|1+2@1ms..2ms",
+            "partition=|1@1ms..2ms",
+            "partition=a|b@1ms..2ms",
+            "reorder-frame=1.5",
         ] {
             let e = FaultPlan::parse(bad).expect_err(bad);
             assert!(e.to_string().contains('`'), "{e}");
@@ -424,6 +590,55 @@ mod tests {
         let e = FaultPlan::parse("kill-rank=3@1ms,kill-rank=3@2ms").expect_err("must reject");
         assert_eq!(e.token, "kill-rank=3@2ms");
         assert!(e.reason.contains("one kill per rank"), "{e}");
+    }
+
+    #[test]
+    fn byte_fault_clauses_parse_and_round_trip() {
+        let s = "seed=9,corrupt=0.02,truncate=0.01,stall=3ms@0.05,\
+                 partition=0+1|2+3@1ms..4ms,partition=0|3@6ms..7ms,reorder-frame=0.1";
+        let p = FaultPlan::parse(s).expect("parses");
+        assert_eq!(p.corrupt, 0.02);
+        assert_eq!(p.trunc, 0.01);
+        assert_eq!(p.stall_us, 3000.0);
+        assert_eq!(p.stall_rate, 0.05);
+        assert_eq!(p.partitions.len(), 2);
+        assert_eq!(p.partitions[0].a, vec![0, 1]);
+        assert_eq!(p.partitions[0].b, vec![2, 3]);
+        assert_eq!(p.partitions[0].start_us, 1000.0);
+        assert_eq!(p.partitions[0].end_us, 4000.0);
+        assert_eq!(p.reorder_frame, 0.1);
+        assert!(p.has_byte_faults());
+        // Byte faults ride the proxy, not the sim wire: still lossless.
+        assert!(p.is_lossless());
+        let again = FaultPlan::parse(&p.to_string()).expect("round-trip parses");
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn bare_reorder_frame_means_every_frame() {
+        let p = FaultPlan::parse("reorder-frame").expect("parses");
+        assert_eq!(p.reorder_frame, 1.0);
+        assert!(p.has_byte_faults());
+        assert!(!FaultPlan::parse("seed=5,kill-after=3")
+            .expect("ok")
+            .has_byte_faults());
+    }
+
+    #[test]
+    fn partition_windows_know_their_cut_and_clock() {
+        let w = PartitionWindow {
+            a: vec![0, 1],
+            b: vec![2, 3],
+            start_us: 100.0,
+            end_us: 200.0,
+        };
+        assert!(w.crosses(0, 2));
+        assert!(w.crosses(3, 1), "cut is symmetric");
+        assert!(!w.crosses(0, 1), "same side never crosses");
+        assert!(!w.crosses(0, 7), "outsiders pass");
+        assert!(!w.active(99.9));
+        assert!(w.active(100.0));
+        assert!(!w.active(200.0));
     }
 
     #[test]

@@ -1,0 +1,142 @@
+//! Edge-case coverage for the deadline-bounded I/O helpers: zero and
+//! already-elapsed deadlines, partial progress followed by silence, the
+//! byte-counting reader's accounting, and retry-policy exhaustion.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::{Duration, Instant};
+
+use faultlab::io::{
+    accept_deadline, connect_retry, is_timeout, read_exact_counted, read_exact_deadline,
+    write_all_deadline,
+};
+use faultlab::RetryPolicy;
+
+fn pair() -> (TcpStream, TcpStream, TcpListener) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let client = TcpStream::connect(addr).expect("connect");
+    let (server, _) = listener.accept().expect("accept");
+    (client, server, listener)
+}
+
+#[test]
+fn zero_deadline_read_fails_immediately_not_eventually() {
+    let (mut client, _server, _l) = pair();
+    let mut buf = [0u8; 8];
+    let start = Instant::now();
+    let err = read_exact_deadline(&mut client, &mut buf, Duration::ZERO)
+        .expect_err("zero budget, no bytes");
+    assert!(is_timeout(&err), "{err}");
+    assert!(
+        start.elapsed() < Duration::from_millis(200),
+        "a zero deadline must not wait: {:?}",
+        start.elapsed()
+    );
+    // Socket state restored: a real deadline still works afterwards.
+    assert_eq!(client.read_timeout().expect("query"), None);
+}
+
+#[test]
+fn zero_deadline_write_fails_immediately() {
+    let (mut client, _server, _l) = pair();
+    let err = write_all_deadline(&mut client, &[0u8; 16], Duration::ZERO)
+        .expect_err("zero budget, no write");
+    assert!(is_timeout(&err), "{err}");
+    assert_eq!(client.write_timeout().expect("query"), None);
+}
+
+#[test]
+fn zero_deadline_accept_fails_immediately() {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let start = Instant::now();
+    let err =
+        accept_deadline(&listener, Duration::ZERO, || true).expect_err("zero budget, no accept");
+    assert!(is_timeout(&err), "{err}");
+    assert!(start.elapsed() < Duration::from_millis(200));
+}
+
+#[test]
+fn partial_read_then_stall_times_out_with_the_deadline_message() {
+    let (mut client, mut server, _l) = pair();
+    server.write_all(b"abc").expect("partial write");
+    server.flush().expect("flush");
+    let mut buf = [0u8; 8];
+    let err = read_exact_deadline(&mut client, &mut buf, Duration::from_millis(60))
+        .expect_err("3 of 8 bytes, then silence");
+    assert!(is_timeout(&err), "{err}");
+    assert!(err.to_string().contains("deadline"), "{err}");
+    // The partial bytes were consumed, not lost: keep the connection and
+    // finish the read once the peer wakes up.
+    server.write_all(b"defgh").expect("rest");
+    let mut rest = [0u8; 5];
+    read_exact_deadline(&mut client, &mut rest, Duration::from_secs(2)).expect("completes");
+    assert_eq!(&rest, b"defgh");
+}
+
+#[test]
+fn counted_read_reports_partial_progress_on_stall_and_on_eof() {
+    // Stall: 3 bytes arrive, then nothing.
+    let (mut client, mut server, _l) = pair();
+    server.write_all(b"xyz").expect("partial");
+    server.flush().expect("flush");
+    let mut buf = [0u8; 10];
+    let (got, err) = read_exact_counted(&mut client, &mut buf, Duration::from_millis(60))
+        .expect_err("stalled mid-read");
+    assert_eq!(got, 3, "must report exactly the bytes that arrived");
+    assert!(is_timeout(&err), "{err}");
+    assert_eq!(&buf[..3], b"xyz");
+
+    // EOF: 5 bytes arrive, then the peer dies.
+    let (mut client, mut server, _l) = pair();
+    server.write_all(b"hello").expect("partial");
+    drop(server);
+    let mut buf = [0u8; 24];
+    let (got, err) = read_exact_counted(&mut client, &mut buf, Duration::from_secs(2))
+        .expect_err("peer died mid-read");
+    assert_eq!(got, 5, "truncation verdicts need the exact count");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err}");
+}
+
+#[test]
+fn counted_read_succeeds_like_the_plain_helper() {
+    let (mut client, mut server, _l) = pair();
+    server.write_all(b"complete").expect("write");
+    let mut buf = [0u8; 8];
+    read_exact_counted(&mut client, &mut buf, Duration::from_secs(2)).expect("all bytes present");
+    assert_eq!(&buf, b"complete");
+    assert_eq!(
+        client.read_timeout().expect("query"),
+        None,
+        "state restored"
+    );
+}
+
+#[test]
+fn connect_retry_exhausts_the_policy_with_counted_attempts() {
+    // Bind-then-drop: the port was just free, so connects fail fast.
+    let addr = {
+        let l = TcpListener::bind("127.0.0.1:0").expect("bind");
+        l.local_addr().expect("addr")
+    };
+    let policy = RetryPolicy {
+        max_attempts: 3,
+        base: Duration::from_millis(1),
+        factor: 2.0,
+        cap: Duration::from_millis(4),
+    };
+    let attempts = AtomicU32::new(0);
+    let result = policy.run(|_| {
+        attempts.fetch_add(1, Ordering::SeqCst);
+        TcpStream::connect_timeout(&addr, Duration::from_millis(50))
+    });
+    assert!(result.is_err(), "a dead port never connects");
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        3,
+        "the policy must spend its whole budget, then stop"
+    );
+    // And the public wrapper behaves the same way.
+    assert!(connect_retry(addr, Duration::from_millis(50), &policy).is_err());
+}

@@ -30,16 +30,15 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use faultlab::io::{is_timeout, read_exact_deadline, write_all_deadline};
+use faultlab::io::{is_timeout, read_exact_counted, write_all_deadline};
 
 use crate::buf::Bytes;
 use crate::sync::{Condvar, Mutex};
 use std::sync::mpsc::{channel, Sender};
 
 use crate::error::{MpError, Result};
-use crate::message::{
-    decode_header, encode_header, InMsg, MatchEngine, RecvSlot, ANY_SOURCE, ANY_TAG, HEADER_LEN,
-};
+use crate::frame::{self, FrameError};
+use crate::message::{InMsg, MatchEngine, RecvSlot, ANY_SOURCE, ANY_TAG};
 use crate::trace;
 use tracelab::stages;
 
@@ -183,6 +182,12 @@ struct Health {
     /// `dead[r]`: rank `r` has been declared dead (locally observed or
     /// learned via a `POISON` broadcast).
     dead: Vec<AtomicBool>,
+    /// `frame_errs[p]`: the first malformed-frame verdict recorded
+    /// against peer `p` — what exactly it put on the wire (bad magic,
+    /// truncation, checksum mismatch, …). Lets
+    /// [`Comm::classify_peer_error`] name the lie instead of reporting a
+    /// generic death.
+    frame_errs: Vec<Mutex<Option<FrameError>>>,
 }
 
 impl Health {
@@ -190,7 +195,89 @@ impl Health {
         Health {
             fin: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
             dead: (0..nprocs).map(|_| AtomicBool::new(false)).collect(),
+            frame_errs: (0..nprocs).map(|_| Mutex::new(None)).collect(),
         }
+    }
+
+    /// Record the first frame-level verdict against `peer`; later ones
+    /// are consequences of the first desync and are dropped.
+    fn record_frame(&self, peer: usize, err: FrameError) {
+        let mut slot = self.frame_errs[peer].lock();
+        if slot.is_none() {
+            *slot = Some(err);
+        }
+    }
+
+    /// The lowest-ranked peer with a frame verdict on record, if any.
+    fn first_frame_err(&self) -> Option<(usize, FrameError)> {
+        for (p, slot) in self.frame_errs.iter().enumerate() {
+            if let Some(e) = *slot.lock() {
+                return Some((p, e));
+            }
+        }
+        None
+    }
+}
+
+/// Per-peer negotiated wire version, published by each reader thread
+/// once it has parsed the peer's `MPv<n>` preamble. The writer thread
+/// blocks on [`WireTable::wait`] before its first frame to a peer, so it
+/// never guesses a byte format. `0` means "not yet negotiated".
+struct WireTable {
+    versions: Mutex<Vec<u8>>,
+    cv: Condvar,
+}
+
+impl WireTable {
+    fn new(nprocs: usize) -> WireTable {
+        WireTable {
+            versions: Mutex::new(vec![0; nprocs]),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// First publication wins; the readers' exit-path fallback uses this
+    /// so a real negotiation is never overwritten.
+    fn publish(&self, peer: usize, version: u8) {
+        let mut v = self.versions.lock();
+        if v[peer] == 0 {
+            v[peer] = version;
+        }
+        self.cv.notify_all();
+    }
+
+    /// The negotiated version for `peer`, waiting up to `deadline` for
+    /// the reader to publish it. `None` means the peer never completed
+    /// the preamble exchange in time.
+    fn wait(&self, peer: usize, deadline: Duration) -> Option<u8> {
+        let start = std::time::Instant::now(); // lint:allow(nondet-wall-clock) -- real-mode negotiation deadline; the table owns its wait clock
+        let mut v = self.versions.lock();
+        loop {
+            if v[peer] != 0 {
+                return Some(v[peer]);
+            }
+            let left = deadline.checked_sub(start.elapsed())?;
+            if left.is_zero() {
+                return None;
+            }
+            self.cv.wait_timeout(&mut v, left);
+        }
+    }
+}
+
+/// Reader-exit insurance: publish our own preference as the fallback
+/// version so the writer thread can never stall waiting on a verdict a
+/// dead reader will no longer deliver. First-publication-wins makes this
+/// a no-op after a real negotiation.
+struct PublishOnExit<'a> {
+    wire: &'a WireTable,
+    peer: usize,
+    prefer: u8,
+}
+
+impl Drop for PublishOnExit<'_> {
+    fn drop(&mut self) {
+        self.wire.publish(self.peer, self.prefer);
     }
 }
 
@@ -235,6 +322,9 @@ pub struct Comm {
     streams: Vec<Option<TcpStream>>,
     shutting_down: Arc<AtomicBool>,
     health: Arc<Health>,
+    /// Payload cap enforced on both sides of the wire
+    /// ([`frame::max_message_size`], frozen at construction).
+    max_msg: u64,
     /// Collective per-round receive deadline, nanoseconds.
     coll_deadline_ns: AtomicU64,
     /// Set by [`Comm::sever`]: crash simulation, skip the FIN handshake.
@@ -262,6 +352,9 @@ impl Comm {
         let engine = Arc::new(MatchEngine::new());
         let shutting_down = Arc::new(AtomicBool::new(false));
         let health = Arc::new(Health::new(nprocs));
+        let prefer = frame::wire_version_default();
+        let max_msg = frame::max_message_size();
+        let wire = Arc::new(WireTable::new(nprocs));
         let (tx, rx) = channel::<SendJob>();
 
         // Reader thread per peer.
@@ -274,6 +367,15 @@ impl Comm {
             // clamps to net.core.{r,w}mem_max exactly as the paper
             // describes).
             let _ = raise_socket_buffers(s, sockbuf_request());
+            // Version negotiation, sending side: our `MPv<n>` preamble is
+            // the first thing on every connection. Written inline — four
+            // bytes always fit in the socket buffer, so this cannot
+            // block even though peers construct their Comms one at a
+            // time. The peer's preamble is consumed by our reader thread
+            // below, which publishes the negotiated version for the
+            // writer to pick up.
+            let mut pre = s.try_clone()?;
+            write_all_deadline(&mut pre, &frame::preamble(prefer), deadline)?;
             let stream = s.try_clone()?;
             let ctx = ReaderCtx {
                 rank,
@@ -283,6 +385,9 @@ impl Comm {
                 deadline,
                 health: Arc::clone(&health),
                 tx: tx.clone(),
+                prefer,
+                max_msg,
+                wire: Arc::clone(&wire),
             };
             readers.push(
                 std::thread::Builder::new()
@@ -300,9 +405,13 @@ impl Comm {
             });
         }
         let my_rank = rank as u32;
+        let writer_wire = Arc::clone(&wire);
         let writer = std::thread::Builder::new()
             .name(format!("mplite-w{rank}"))
             .spawn(move || {
+                // Cache of negotiated versions so steady-state sends
+                // skip the table lock; 0 = not yet looked up.
+                let mut versions = vec![0u8; write_halves.len()];
                 while let Ok(job) = rx.recv() {
                     match job {
                         SendJob::Quit => break,
@@ -320,8 +429,20 @@ impl Comm {
                                         "no socket to destination",
                                     )
                                 })?;
-                                let hdr = encode_header(my_rank, tag, data.len() as u64);
-                                write_all_deadline(s, &hdr, deadline)?;
+                                if versions[dst] == 0 {
+                                    versions[dst] =
+                                        writer_wire.wait(dst, deadline).ok_or_else(|| {
+                                            std::io::Error::new(
+                                                std::io::ErrorKind::TimedOut,
+                                                format!(
+                                                    "wire negotiation with rank {dst} timed out"
+                                                ),
+                                            )
+                                        })?;
+                                }
+                                let (hdr, n) =
+                                    frame::build_header(versions[dst], my_rank, tag, &data);
+                                write_all_deadline(s, &hdr[..n], deadline)?;
                                 write_all_deadline(s, &data, deadline)?;
                                 Ok(())
                             })();
@@ -354,6 +475,7 @@ impl Comm {
             streams,
             shutting_down,
             health,
+            max_msg,
             coll_deadline_ns: AtomicU64::new(coll_deadline_default().as_nanos() as u64),
             severed: AtomicBool::new(false),
             coll_seq: AtomicI32::new(0),
@@ -380,17 +502,41 @@ impl Comm {
         Ok(())
     }
 
+    /// Reject a payload over the wire cap *before* it is queued — the
+    /// peer would refuse the frame anyway ([`FrameError::Oversized`]),
+    /// so fail fast on the sending side with the same typed verdict.
+    fn check_payload(&self, dst: usize, len: usize) -> Result<()> {
+        if len as u64 > self.max_msg {
+            return Err(MpError::Frame {
+                peer: dst,
+                err: FrameError::Oversized {
+                    len: len as u64,
+                    max: self.max_msg,
+                },
+            });
+        }
+        Ok(())
+    }
+
+    /// Largest payload this communicator will send or accept
+    /// (`MPLITE_MAX_MSG_BYTES`, frozen at construction).
+    pub fn max_message(&self) -> u64 {
+        self.max_msg
+    }
+
     /// Asynchronous tagged send. The returned request completes once the
     /// writer thread has handed the bytes to the kernel.
     pub fn isend(&self, dst: usize, tag: i32, data: impl Into<Bytes>) -> Result<SendRequest> {
         self.check_rank(dst)?;
         assert!(tag >= 0, "negative tags are reserved for collectives");
+        let data = data.into();
+        self.check_payload(dst, data.len())?;
         let slot = SendSlot::new();
         self.tx
             .send(SendJob::Msg {
                 dst,
                 tag,
-                data: data.into(),
+                data,
                 slot: Arc::clone(&slot),
             })
             .map_err(|_| MpError::Finalized)?;
@@ -424,6 +570,7 @@ impl Comm {
 
     pub(crate) fn isend_internal(&self, dst: usize, tag: i32, data: Bytes) -> Result<SendRequest> {
         self.check_rank(dst)?;
+        self.check_payload(dst, data.len())?;
         let slot = SendSlot::new();
         self.tx
             .send(SendJob::Msg {
@@ -473,10 +620,16 @@ impl Comm {
         announce_death(&self.engine, &self.health, &self.tx, self.rank, rank, why);
     }
 
-    /// Sharpen a link-level error into [`MpError::RankDead`] when a
-    /// membership verdict is on record — callers see *who* died, not
-    /// just that a socket or slot failed.
+    /// Sharpen a link-level error into its most specific verdict. A
+    /// frame-level verdict ([`MpError::Frame`]) wins over the generic
+    /// [`MpError::RankDead`]: a peer whose stream was *truncated or
+    /// corrupted mid-frame* is reported as exactly that, not as an
+    /// unannounced death. Callers see *what happened*, not just that a
+    /// socket or slot failed.
     pub(crate) fn classify_peer_error(&self, e: MpError) -> MpError {
+        if let Some((peer, err)) = self.health.first_frame_err() {
+            return MpError::Frame { peer, err };
+        }
         match self.dead_ranks().first() {
             Some(&rank) => MpError::RankDead { rank },
             None => e,
@@ -538,13 +691,56 @@ fn io_deadline() -> Duration {
         .unwrap_or(Duration::from_secs(5))
 }
 
-/// "timed out" / "disconnected", for poison messages.
-fn stall_kind(e: &std::io::Error) -> &'static str {
-    if is_timeout(e) {
-        "timed out"
-    } else {
-        "disconnected"
+/// Decoded control frame (reserved tags below the collective window).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Control {
+    /// Clean-shutdown announcement ([`FIN_TAG`]).
+    Fin,
+    /// Membership verdict ([`POISON_TAG`]): `dead` has died.
+    Poison {
+        /// The rank being declared dead.
+        dead: usize,
+    },
+}
+
+/// Interpret a control frame's tag and payload. `None` means the tag is
+/// not a control tag, or the payload is unusable (a poison verdict that
+/// is not exactly 8 bytes) — classify or ignore, never panic; the
+/// in-tree fuzzer ([`crate::fuzz`]) holds this path to that contract.
+pub(crate) fn parse_control(tag: i32, payload: &[u8]) -> Option<Control> {
+    match tag {
+        FIN_TAG => Some(Control::Fin),
+        POISON_TAG => {
+            let bytes = <[u8; 8]>::try_from(payload).ok()?;
+            Some(Control::Poison {
+                dead: u64::from_le_bytes(bytes) as usize,
+            })
+        }
+        _ => None,
     }
+}
+
+/// Record a malformed-frame verdict against `peer` and declare it dead:
+/// once a byte stream has lost framing integrity there is no way to
+/// resynchronize it, so the connection is condemned with a verdict that
+/// names exactly what the peer sent.
+fn fail_frame(
+    engine: &MatchEngine,
+    health: &Health,
+    tx: &Sender<SendJob>,
+    rank: usize,
+    peer: usize,
+    err: FrameError,
+) {
+    health.record_frame(peer, err);
+    announce_death(
+        engine,
+        health,
+        tx,
+        rank,
+        peer,
+        &format!("rank {peer} sent a malformed frame: {err}"),
+    );
 }
 
 // Linux socket-option constants (see <sys/socket.h>).
@@ -595,77 +791,166 @@ struct ReaderCtx {
     deadline: Duration,
     health: Arc<Health>,
     tx: Sender<SendJob>,
+    /// Our preferred wire version (the one our preamble announced).
+    prefer: u8,
+    /// Payload cap enforced before any allocation.
+    max_msg: u64,
+    /// Where the negotiated version is published for the writer.
+    wire: Arc<WireTable>,
+}
+
+/// Wait for the first byte of `buf` with no deadline — an idle link is
+/// healthy. Returns `false` if the reader should exit: a clean EOF after
+/// the peer announced FIN (or during our own shutdown) is the normal
+/// end-of-job teardown; an EOF *without* one is an unannounced death.
+fn read_first_byte_idle(stream: &mut TcpStream, ctx: &ReaderCtx, buf: &mut [u8]) -> bool {
+    loop {
+        match stream.read(&mut buf[..1]) {
+            Ok(0) => {
+                if !ctx.health.fin[ctx.peer].load(Ordering::Acquire)
+                    && !ctx.shutting_down.load(Ordering::Acquire)
+                {
+                    announce_death(
+                        &ctx.engine,
+                        &ctx.health,
+                        &ctx.tx,
+                        ctx.rank,
+                        ctx.peer,
+                        &format!("rank {} died (connection closed without FIN)", ctx.peer),
+                    );
+                }
+                return false;
+            }
+            Ok(_) => return true,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Finish reading a frame section whose first byte already arrived.
+/// Distinguishes the two ways it can fail: a *stall* (deadline expiry —
+/// the peer is connected but stopped making progress) poisons the
+/// engine; everything else (EOF, reset) is a *truncation* — the peer
+/// died mid-frame, and the verdict says how many bytes it still owed.
+fn read_rest_or_condemn(
+    stream: &mut TcpStream,
+    ctx: &ReaderCtx,
+    buf: &mut [u8],
+    already: usize,
+    what: &str,
+) -> bool {
+    let want = already + buf.len();
+    if let Err((got, e)) = read_exact_counted(stream, buf, ctx.deadline) {
+        if !ctx.shutting_down.load(Ordering::Acquire) {
+            if is_timeout(&e) {
+                ctx.engine
+                    .poison(&format!("peer {} timed out mid-{what}", ctx.peer));
+            } else {
+                fail_frame(
+                    &ctx.engine,
+                    &ctx.health,
+                    &ctx.tx,
+                    ctx.rank,
+                    ctx.peer,
+                    FrameError::Truncated {
+                        got: already + got,
+                        want,
+                    },
+                );
+            }
+        }
+        return false;
+    }
+    true
 }
 
 fn reader_loop(mut stream: TcpStream, ctx: ReaderCtx) {
-    let ReaderCtx {
-        rank,
-        peer,
-        engine,
-        shutting_down,
-        deadline,
-        health,
-        tx,
-    } = ctx;
-    loop {
-        // Block indefinitely for the *first* header byte — an idle link is
-        // healthy, and a clean EOF here after the peer announced FIN (it
-        // finished its work and dropped its Comm — every byte it sent is
-        // already in our kernel buffer or delivered) is the normal
-        // end-of-job teardown. An EOF *without* a FIN is an unannounced
-        // death. Once a message has started, every subsequent read runs
-        // under the deadline: a peer that stalls mid-message is dead,
-        // not idle.
-        let mut hdr = [0u8; HEADER_LEN];
-        loop {
-            match stream.read(&mut hdr[..1]) {
-                Ok(0) => {
-                    if !health.fin[peer].load(Ordering::Acquire)
-                        && !shutting_down.load(Ordering::Acquire)
-                    {
-                        announce_death(
-                            &engine,
-                            &health,
-                            &tx,
-                            rank,
-                            peer,
-                            &format!("rank {peer} died (connection closed without FIN)"),
-                        );
-                    }
-                    return;
-                }
-                Ok(_) => break,
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => return,
-            }
-        }
-        if let Err(e) = read_exact_deadline(&mut stream, &mut hdr[1..], deadline) {
-            if !shutting_down.load(Ordering::Acquire) {
-                engine.poison(&format!("peer {peer} {} mid-header", stall_kind(&e)));
+    // Insurance against every exit path below: publish *some* version so
+    // the writer thread never deadlocks on a negotiation that will no
+    // longer happen (first-publication-wins keeps real verdicts intact).
+    let _fallback = PublishOnExit {
+        wire: &ctx.wire,
+        peer: ctx.peer,
+        prefer: ctx.prefer,
+    };
+
+    // Version negotiation, receiving side: the peer's `MPv<n>` preamble
+    // is its first four bytes. Block without a deadline for the first
+    // byte — the peer's Comm may not be constructed yet.
+    let mut pre = [0u8; frame::PREAMBLE_LEN];
+    if !read_first_byte_idle(&mut stream, &ctx, &mut pre) {
+        return;
+    }
+    if !read_rest_or_condemn(&mut stream, &ctx, &mut pre[1..], 1, "preamble") {
+        return;
+    }
+    let peer_version = match frame::parse_preamble(&pre) {
+        Ok(v) => v,
+        Err(fe) => {
+            if !ctx.shutting_down.load(Ordering::Acquire) {
+                fail_frame(&ctx.engine, &ctx.health, &ctx.tx, ctx.rank, ctx.peer, fe);
             }
             return;
         }
-        let (src, tag, len) = decode_header(&hdr);
-        if tag == FIN_TAG || tag == POISON_TAG {
-            // Control messages never reach the matching engine.
-            let mut buf = vec![0u8; len as usize];
-            if read_exact_deadline(&mut stream, &mut buf, deadline).is_err() {
+    };
+    let version = frame::negotiate(ctx.prefer, peer_version);
+    ctx.wire.publish(ctx.peer, version);
+    let hdr_len = frame::header_len(version);
+
+    loop {
+        // Idle wait for the next frame, then the rest of the header
+        // under the deadline: a peer that stalls mid-frame is dead, not
+        // idle.
+        let mut hdr = [0u8; frame::V2_HEADER_LEN];
+        if !read_first_byte_idle(&mut stream, &ctx, &mut hdr) {
+            return;
+        }
+        if !read_rest_or_condemn(&mut stream, &ctx, &mut hdr[1..hdr_len], 1, "header") {
+            return;
+        }
+        // Validate everything — magic, version, flags, and the length
+        // against the cap — *before* allocating a payload buffer.
+        let pf = match frame::decode_any_header(version, &hdr[..hdr_len], ctx.max_msg) {
+            Ok(pf) => pf,
+            Err(fe) => {
+                if !ctx.shutting_down.load(Ordering::Acquire) {
+                    fail_frame(&ctx.engine, &ctx.health, &ctx.tx, ctx.rank, ctx.peer, fe);
+                }
                 return;
             }
-            if tag == FIN_TAG {
-                health.fin[peer].store(true, Ordering::Release);
-            } else if let Ok(bytes) = <[u8; 8]>::try_from(&buf[..]) {
-                let dead = u64::from_le_bytes(bytes) as usize;
-                if dead < health.dead.len() && dead != rank {
-                    announce_death(
-                        &engine,
-                        &health,
-                        &tx,
-                        rank,
-                        dead,
-                        &format!("rank {dead} dead (reported by peer {peer})"),
-                    );
+        };
+        if pf.tag == FIN_TAG || pf.tag == POISON_TAG {
+            // Control frames never reach the matching engine — but a
+            // membership verdict is only trusted once its checksum
+            // holds.
+            let mut buf = vec![0u8; pf.len as usize];
+            if !read_rest_or_condemn(&mut stream, &ctx, &mut buf, hdr_len, "control") {
+                return;
+            }
+            if let Err(fe) = pf.verify(&buf) {
+                if !ctx.shutting_down.load(Ordering::Acquire) {
+                    fail_frame(&ctx.engine, &ctx.health, &ctx.tx, ctx.rank, ctx.peer, fe);
                 }
+                return;
+            }
+            match parse_control(pf.tag, &buf) {
+                Some(Control::Fin) => {
+                    ctx.health.fin[ctx.peer].store(true, Ordering::Release);
+                }
+                Some(Control::Poison { dead }) => {
+                    if dead < ctx.health.dead.len() && dead != ctx.rank {
+                        announce_death(
+                            &ctx.engine,
+                            &ctx.health,
+                            &ctx.tx,
+                            ctx.rank,
+                            dead,
+                            &format!("rank {dead} dead (reported by peer {})", ctx.peer),
+                        );
+                    }
+                }
+                None => {}
             }
             continue;
         }
@@ -673,23 +958,37 @@ fn reader_loop(mut stream: TcpStream, ctx: ReaderCtx) {
         // socket *and* handing it to the matching engine — the work the
         // paper's §3.4 progress discussion attributes to the library.
         let t0 = trace::installed().map(|t| t.now_wall());
-        let mut buf = vec![0u8; len as usize];
-        if let Err(e) = read_exact_deadline(&mut stream, &mut buf, deadline) {
-            if !shutting_down.load(Ordering::Acquire) {
-                engine.poison(&format!("peer {peer} {} mid-message", stall_kind(&e)));
+        let mut buf = vec![0u8; pf.len as usize];
+        if !read_rest_or_condemn(&mut stream, &ctx, &mut buf, hdr_len, "message") {
+            return;
+        }
+        if let Err(fe) = pf.verify(&buf) {
+            if !ctx.shutting_down.load(Ordering::Acquire) {
+                fail_frame(&ctx.engine, &ctx.health, &ctx.tx, ctx.rank, ctx.peer, fe);
             }
             return;
         }
-        engine.deliver(InMsg {
-            src: src as usize,
-            tag,
-            data: Bytes::from(buf),
-        });
-        if let (Some(t), Some(start)) = (trace::installed(), t0) {
-            let track = trace::track(rank, trace::ROLE_READER);
-            t.span_wall(stages::PROGRESS_THREAD, track, start, len, 0);
-            t.instant_wall(stages::RECV, track, len, 0);
-        }
+        engine_deliver(&ctx, pf.src, pf.tag, buf, t0);
+    }
+}
+
+fn engine_deliver(
+    ctx: &ReaderCtx,
+    src: u32,
+    tag: i32,
+    buf: Vec<u8>,
+    t0: Option<tracelab::WallStamp>,
+) {
+    let len = buf.len() as u64;
+    ctx.engine.deliver(InMsg {
+        src: src as usize,
+        tag,
+        data: Bytes::from(buf),
+    });
+    if let (Some(t), Some(start)) = (trace::installed(), t0) {
+        let track = trace::track(ctx.rank, trace::ROLE_READER);
+        t.span_wall(stages::PROGRESS_THREAD, track, start, len, 0);
+        t.instant_wall(stages::RECV, track, len, 0);
     }
 }
 
@@ -745,18 +1044,62 @@ mod tests {
         (client, server)
     }
 
+    /// What a well-behaved v2 peer sends first.
+    fn send_preamble(client: &mut TcpStream) {
+        write_all_deadline(
+            client,
+            &frame::preamble(frame::WIRE_V2),
+            Duration::from_secs(1),
+        )
+        .expect("preamble");
+    }
+
+    /// A complete, checksummed v2 frame as raw wire bytes.
+    fn v2_frame(src: u32, tag: i32, payload: &[u8]) -> Vec<u8> {
+        let (h, n) = frame::build_header(frame::WIRE_V2, src, tag, payload);
+        let mut out = h[..n].to_vec();
+        out.extend_from_slice(payload);
+        out
+    }
+
     #[test]
     fn writer_deadline_times_out_on_stalled_peer() {
-        let (client, peer_side) = socket_pair();
+        let (client, mut peer_side) = socket_pair();
         let comm =
             Comm::from_mesh_with_deadline(0, vec![None, Some(client)], Duration::from_millis(150))
                 .expect("mesh");
+        // The peer completes negotiation but never reads afterwards.
+        send_preamble(&mut peer_side);
         // Far more than the kernel buffers absorb; the peer never reads,
         // so the writer thread must hit its deadline, not hang forever.
         let req = comm.isend(1, 0, vec![0u8; 64 << 20]).expect("queued");
         let err = req.wait().expect_err("peer is stalled");
         assert!(err.to_string().contains("deadline"), "{err}");
         drop(peer_side);
+    }
+
+    #[test]
+    fn oversized_send_is_rejected_before_queueing() {
+        let (client, mut peer_side) = socket_pair();
+        let comm =
+            Comm::from_mesh_with_deadline(0, vec![None, Some(client)], Duration::from_secs(1))
+                .expect("mesh");
+        send_preamble(&mut peer_side);
+        let too_big = (comm.max_message() + 1) as usize;
+        let err = match comm.isend(1, 0, vec![0u8; too_big]) {
+            Err(e) => e,
+            Ok(_) => panic!("oversized payload must be refused"),
+        };
+        assert!(
+            matches!(
+                err,
+                MpError::Frame {
+                    peer: 1,
+                    err: FrameError::Oversized { .. }
+                }
+            ),
+            "{err}"
+        );
     }
 
     fn test_ctx(engine: &Arc<MatchEngine>, deadline: Duration) -> (ReaderCtx, Arc<Health>) {
@@ -771,6 +1114,9 @@ mod tests {
                 deadline,
                 health: Arc::clone(&health),
                 tx,
+                prefer: frame::WIRE_V2,
+                max_msg: frame::DEFAULT_MAX_MESSAGE,
+                wire: Arc::new(WireTable::new(2)),
             },
             health,
         )
@@ -785,9 +1131,14 @@ mod tests {
             reader_loop(server, ctx);
         });
         // Header promises 100 payload bytes; only 10 ever arrive.
-        let hdr = encode_header(1, 0, 100);
-        write_all_deadline(&mut client, &hdr, Duration::from_secs(1)).expect("header");
-        write_all_deadline(&mut client, &[7u8; 10], Duration::from_secs(1)).expect("partial");
+        send_preamble(&mut client);
+        let wire = v2_frame(1, 0, &[7u8; 100]);
+        write_all_deadline(
+            &mut client,
+            &wire[..frame::V2_HEADER_LEN + 10],
+            Duration::from_secs(1),
+        )
+        .expect("partial frame");
         let err = engine
             .post(ANY_SOURCE, ANY_TAG)
             .wait()
@@ -797,25 +1148,89 @@ mod tests {
     }
 
     #[test]
-    fn reader_poisons_with_disconnect_on_midmessage_eof() {
+    fn midmessage_eof_is_a_typed_truncation_not_a_plain_death() {
         let (mut client, server) = socket_pair();
         let engine = Arc::new(MatchEngine::new());
-        let (ctx, _health) = test_ctx(&engine, Duration::from_secs(5));
+        let (ctx, health) = test_ctx(&engine, Duration::from_secs(5));
         let reader = std::thread::spawn(move || {
             reader_loop(server, ctx);
         });
-        let hdr = encode_header(1, 0, 100);
-        write_all_deadline(&mut client, &hdr, Duration::from_secs(1)).expect("header");
+        send_preamble(&mut client);
+        let wire = v2_frame(1, 0, &[7u8; 100]);
+        write_all_deadline(
+            &mut client,
+            &wire[..frame::V2_HEADER_LEN],
+            Duration::from_secs(1),
+        )
+        .expect("header");
         drop(client); // EOF mid-message, not a stall
         let err = engine
             .post(ANY_SOURCE, ANY_TAG)
             .wait()
             .expect_err("message can never complete");
-        assert!(
-            err.to_string().contains("disconnected mid-message"),
-            "{err}"
-        );
+        assert!(err.to_string().contains("malformed frame"), "{err}");
+        assert!(err.to_string().contains("truncated"), "{err}");
         reader.join().expect("reader exits");
+        // The satellite fix: the verdict on record is a *truncation*,
+        // so classification will name it instead of a generic RankDead.
+        let (peer, fe) = health.first_frame_err().expect("verdict recorded");
+        assert_eq!(peer, 1);
+        assert!(matches!(fe, FrameError::Truncated { .. }), "{fe}");
+        assert!(health.dead[1].load(Ordering::Acquire));
+    }
+
+    #[test]
+    fn garbage_preamble_is_a_typed_frame_error() {
+        let (mut client, server) = socket_pair();
+        let engine = Arc::new(MatchEngine::new());
+        let (ctx, health) = test_ctx(&engine, Duration::from_secs(5));
+        let reader = std::thread::spawn(move || {
+            reader_loop(server, ctx);
+        });
+        write_all_deadline(&mut client, b"HTTP", Duration::from_secs(1)).expect("garbage");
+        reader.join().expect("reader exits");
+        let (peer, fe) = health.first_frame_err().expect("verdict recorded");
+        assert_eq!(peer, 1);
+        assert!(matches!(fe, FrameError::BadMagic { .. }), "{fe}");
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_before_allocation() {
+        let (mut client, server) = socket_pair();
+        let engine = Arc::new(MatchEngine::new());
+        let (ctx, health) = test_ctx(&engine, Duration::from_secs(5));
+        let reader = std::thread::spawn(move || {
+            reader_loop(server, ctx);
+        });
+        send_preamble(&mut client);
+        // A syntactically valid header declaring an absurd length. The
+        // length check fires before the checksum is even consulted, so
+        // no payload buffer is ever allocated.
+        let mut wire = v2_frame(1, 0, &[]);
+        wire[12..20].copy_from_slice(&u64::MAX.to_le_bytes());
+        write_all_deadline(&mut client, &wire, Duration::from_secs(1)).expect("header");
+        reader.join().expect("reader exits");
+        let (_, fe) = health.first_frame_err().expect("verdict recorded");
+        assert!(matches!(fe, FrameError::Oversized { .. }), "{fe}");
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_checksum_verdict() {
+        let (mut client, server) = socket_pair();
+        let engine = Arc::new(MatchEngine::new());
+        let (ctx, health) = test_ctx(&engine, Duration::from_secs(5));
+        let reader = std::thread::spawn(move || {
+            reader_loop(server, ctx);
+        });
+        send_preamble(&mut client);
+        let mut wire = v2_frame(1, 0, b"integrity matters");
+        let last = wire.len() - 1;
+        wire[last] ^= 0x40; // one flipped bit in the payload
+        write_all_deadline(&mut client, &wire, Duration::from_secs(1)).expect("frame");
+        reader.join().expect("reader exits");
+        let (_, fe) = health.first_frame_err().expect("verdict recorded");
+        assert!(matches!(fe, FrameError::ChecksumMismatch { .. }), "{fe}");
+        assert!(health.dead[1].load(Ordering::Acquire));
     }
 
     #[test]
@@ -844,7 +1259,8 @@ mod tests {
         let reader = std::thread::spawn(move || {
             reader_loop(server, ctx);
         });
-        let fin = encode_header(1, FIN_TAG, 0);
+        send_preamble(&mut client);
+        let fin = v2_frame(1, FIN_TAG, &[]);
         write_all_deadline(&mut client, &fin, Duration::from_secs(1)).expect("fin");
         drop(client);
         reader.join().expect("reader exits");
@@ -867,22 +1283,39 @@ mod tests {
             deadline: Duration::from_secs(5),
             health: Arc::clone(&health),
             tx,
+            prefer: frame::WIRE_V2,
+            max_msg: frame::DEFAULT_MAX_MESSAGE,
+            wire: Arc::new(WireTable::new(4)),
         };
         let reader = std::thread::spawn(move || {
             reader_loop(server, ctx);
         });
         let pending = engine.post(ANY_SOURCE, ANY_TAG);
         // Peer 1 reports rank 3 dead, then shuts down cleanly.
-        let hdr = encode_header(1, POISON_TAG, 8);
-        write_all_deadline(&mut client, &hdr, Duration::from_secs(1)).expect("hdr");
-        write_all_deadline(&mut client, &3u64.to_le_bytes(), Duration::from_secs(1))
-            .expect("payload");
-        let fin = encode_header(1, FIN_TAG, 0);
+        send_preamble(&mut client);
+        let poison = v2_frame(1, POISON_TAG, &3u64.to_le_bytes());
+        write_all_deadline(&mut client, &poison, Duration::from_secs(1)).expect("poison");
+        let fin = v2_frame(1, FIN_TAG, &[]);
         write_all_deadline(&mut client, &fin, Duration::from_secs(1)).expect("fin");
         drop(client);
         reader.join().expect("reader exits");
         assert!(health.dead[3].load(Ordering::Acquire), "verdict recorded");
         let err = pending.wait().expect_err("poisoned");
         assert!(err.to_string().contains("rank 3 dead"), "{err}");
+    }
+
+    #[test]
+    fn parse_control_classifies_or_ignores_never_panics() {
+        assert_eq!(parse_control(FIN_TAG, &[]), Some(Control::Fin));
+        assert_eq!(parse_control(FIN_TAG, &[1, 2, 3]), Some(Control::Fin));
+        assert_eq!(
+            parse_control(POISON_TAG, &7u64.to_le_bytes()),
+            Some(Control::Poison { dead: 7 })
+        );
+        // Wrong-length poison payloads are unusable, not fatal.
+        assert_eq!(parse_control(POISON_TAG, &[1, 2, 3]), None);
+        assert_eq!(parse_control(POISON_TAG, &[0; 16]), None);
+        assert_eq!(parse_control(0, b"data"), None);
+        assert_eq!(parse_control(-5, &[]), None);
     }
 }

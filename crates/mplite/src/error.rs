@@ -3,6 +3,8 @@
 use std::fmt;
 use std::io;
 
+use crate::frame::FrameError;
+
 /// Errors surfaced by the message-passing API.
 #[derive(Debug)]
 pub enum MpError {
@@ -36,6 +38,16 @@ pub enum MpError {
         /// The dead peer's world rank.
         rank: usize,
     },
+    /// A peer put malformed bytes on the wire: bad magic, an
+    /// unsupported version, a length over the cap, a truncated frame,
+    /// or a checksum mismatch. Unlike [`MpError::RankDead`], this names
+    /// *what* the peer sent, not just that it vanished.
+    Frame {
+        /// The rank at the other end of the malformed frame.
+        peer: usize,
+        /// What exactly was wrong with the bytes.
+        err: FrameError,
+    },
     /// The communicator has been shut down.
     Finalized,
     /// A call violated the API's calling convention (e.g. a collective
@@ -67,6 +79,9 @@ impl fmt::Display for MpError {
                     f,
                     "rank {rank} is dead (unannounced exit or missed deadline)"
                 )
+            }
+            MpError::Frame { peer, err } => {
+                write!(f, "rank {peer} sent a malformed frame: {err}")
             }
             MpError::Finalized => write!(f, "communicator already finalized"),
             MpError::BadArg(what) => write!(f, "bad argument: {what}"),
@@ -106,5 +121,15 @@ mod tests {
         assert!(matches!(io, MpError::Io(_)));
         let dead = MpError::RankDead { rank: 5 };
         assert!(dead.to_string().contains("rank 5 is dead"));
+        let frame = MpError::Frame {
+            peer: 3,
+            err: FrameError::ChecksumMismatch {
+                expect: 0xAB,
+                got: 0xCD,
+            },
+        };
+        let text = frame.to_string();
+        assert!(text.contains("rank 3"), "{text}");
+        assert!(text.contains("checksum"), "{text}");
     }
 }

@@ -36,6 +36,8 @@ pub mod buf;
 pub mod collectives;
 pub mod comm;
 pub mod error;
+pub mod frame;
+pub mod fuzz;
 pub mod lifecycle;
 pub mod message;
 pub mod sync;
@@ -47,6 +49,7 @@ pub use crate::collectives::{Algorithm, ReduceElem, ReduceOp};
 pub use buf::Bytes;
 pub use comm::{Comm, RecvRequest, SendRequest, Status};
 pub use error::{MpError, Result};
+pub use frame::{FrameDecodeState, FrameDecoder, FrameError};
 pub use lifecycle::ConnLifeState;
 pub use message::{ANY_SOURCE, ANY_TAG};
 pub use typed::{wait_all_recvs, wait_all_sends, wait_any_recv};

@@ -31,6 +31,18 @@ impl Universe {
     /// Build an `n`-rank job inside this process. Returns one [`Comm`] per
     /// rank; hand each to its own thread.
     pub fn local(n: usize) -> Result<Vec<Comm>> {
+        Universe::local_via(n, |_, _, addr| Ok(addr))
+    }
+
+    /// [`Universe::local`] with an interposer: before rank `j` dials rank
+    /// `i`, `via(j, i, addr)` may substitute the connect target — e.g. a
+    /// `faultlab` chaos proxy front that forwards (and injures) the
+    /// bytes on their way to `addr`. The identity function reproduces
+    /// `local` exactly.
+    pub fn local_via(
+        n: usize,
+        mut via: impl FnMut(usize, usize, std::net::SocketAddr) -> std::io::Result<std::net::SocketAddr>,
+    ) -> Result<Vec<Comm>> {
         assert!(n >= 1, "need at least one rank");
         // Listeners first, so every connect target exists.
         let listeners: Vec<TcpListener> = (0..n)
@@ -51,9 +63,9 @@ impl Universe {
                 // j "dials" i; both ends live in this process, so short
                 // deadlines suffice — a failure here is a local bug, not
                 // a slow-booting peer.
-                let client =
-                    connect_retry(addrs[i], Duration::from_secs(1), &RetryPolicy::default())
-                        .map_err(|e| MpError::from_io("mesh connect", e))?;
+                let target = via(j, i, addrs[i]).map_err(|e| MpError::from_io("mesh via", e))?;
+                let client = connect_retry(target, Duration::from_secs(1), &RetryPolicy::default())
+                    .map_err(|e| MpError::from_io("mesh connect", e))?;
                 let server = accept_deadline(&listeners[i], Duration::from_secs(5), || true)
                     .map_err(|e| MpError::from_io("mesh accept", e))?;
                 streams[j][i] = Some(client);

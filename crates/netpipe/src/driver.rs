@@ -42,6 +42,15 @@ pub enum NetpipeError {
     },
     /// The wire protocol was violated (corrupt or mismatched payload).
     Protocol(String),
+    /// The peer sent a malformed v2 frame — bad magic, wrong version,
+    /// tampered checksum, truncation, or an oversized declared length —
+    /// caught by the framing layer before any payload was trusted.
+    Frame {
+        /// The operation that decoded the bad frame.
+        op: &'static str,
+        /// The typed framing verdict.
+        err: mplite::FrameError,
+    },
     /// Any other I/O error from a real-socket driver.
     Io(std::io::Error),
 }
@@ -71,6 +80,11 @@ impl NetpipeError {
     pub fn is_disconnect(&self) -> bool {
         matches!(self, NetpipeError::Disconnected { .. })
     }
+
+    /// Is this a typed framing verdict from the v2 wire decoder?
+    pub fn is_frame(&self) -> bool {
+        matches!(self, NetpipeError::Frame { .. })
+    }
 }
 
 impl fmt::Display for NetpipeError {
@@ -82,6 +96,9 @@ impl fmt::Display for NetpipeError {
                 write!(f, "peer disconnected during {op}: {source}")
             }
             NetpipeError::Protocol(msg) => write!(f, "protocol violation: {msg}"),
+            NetpipeError::Frame { op, err } => {
+                write!(f, "{op} received a malformed frame: {err}")
+            }
             NetpipeError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -93,6 +110,7 @@ impl std::error::Error for NetpipeError {
             NetpipeError::Timeout { source, .. }
             | NetpipeError::Disconnected { source, .. }
             | NetpipeError::Io(source) => Some(source),
+            NetpipeError::Frame { err, .. } => Some(err),
             _ => None,
         }
     }

@@ -26,11 +26,18 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use faultlab::io::{accept_deadline, connect_retry, read_exact_deadline, write_all_deadline};
+use faultlab::proxy::{ChaosProxy, FaultEvent, FrameFormat};
 use faultlab::{FaultCounters, FaultPlan, RetryPolicy};
+use mplite::frame;
 use simcore::trace::stages;
 use tracelab::WallTracer;
 
 use crate::driver::{Driver, DriverError, NetpipeError};
+
+/// Reserved tag on the echo wire that means "clean shutdown" — the
+/// framed replacement for the old `len == u64::MAX` sentinel, which a
+/// framing layer with a length bound can no longer smuggle.
+const ECHO_SHUTDOWN_TAG: i32 = -1;
 
 // Linux socket-option constants (see <sys/socket.h>).
 const SOL_SOCKET: i32 = 1;
@@ -155,6 +162,11 @@ pub struct RealTcpOptions {
     pub retry: RetryPolicy,
     /// Server-side fault injection.
     pub chaos: ChaosOptions,
+    /// Full fault plan, when one is in force. If it carries byte-level
+    /// clauses ([`FaultPlan::has_byte_faults`]), the driver interposes a
+    /// [`ChaosProxy`] between client and echo server and every frame
+    /// crosses the injured wire.
+    pub plan: Option<FaultPlan>,
 }
 
 impl Default for RealTcpOptions {
@@ -165,18 +177,21 @@ impl Default for RealTcpOptions {
             deadline: Duration::from_secs(5),
             retry: RetryPolicy::default(),
             chaos: ChaosOptions::default(),
+            plan: None,
         }
     }
 }
 
 impl RealTcpOptions {
     /// Adopt the real-mode knobs of a fault plan: the I/O deadline, the
-    /// reconnect backoff, and the chaos (kill) schedule.
+    /// reconnect backoff, the chaos (kill) schedule — and keep the whole
+    /// plan so byte-level clauses can raise a proxy.
     pub fn apply_plan(&mut self, plan: &FaultPlan) {
         self.deadline = plan.io_deadline;
         self.retry = plan.retry.clone();
         self.chaos.kill_after = plan.kill_after;
         self.chaos.kill_listener = plan.kill_listener;
+        self.plan = Some(plan.clone());
     }
 }
 
@@ -185,6 +200,7 @@ impl RealTcpOptions {
 pub struct RealTcpDriver {
     addr: SocketAddr,
     stream: Option<TcpStream>,
+    version: u8,
     buf: Vec<u8>,
     effective_bufs: (u32, u32),
     opts: RealTcpOptions,
@@ -192,14 +208,17 @@ pub struct RealTcpDriver {
     stop: Arc<AtomicBool>,
     tracer: Option<Arc<WallTracer>>,
     counters: FaultCounters,
+    proxy: Option<ChaosProxy>,
 }
 
 impl RealTcpDriver {
-    /// Start the echo server thread and connect to it.
+    /// Start the echo server thread and connect to it. If the options
+    /// carry a plan with byte-level clauses, a [`ChaosProxy`] is raised
+    /// between client and server and every connection dials the front.
     pub fn new(opts: RealTcpOptions) -> Result<RealTcpDriver, DriverError> {
         let listener =
             TcpListener::bind("127.0.0.1:0").map_err(|e| NetpipeError::from_io("bind", e))?;
-        let addr = listener
+        let mut addr = listener
             .local_addr()
             .map_err(|e| NetpipeError::from_io("bind", e))?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -209,9 +228,21 @@ impl RealTcpDriver {
             .name("netpipe-echo".into())
             .spawn(move || serve(listener, server_opts, server_stop))
             .map_err(|e| NetpipeError::from_io("spawn", e))?;
+        let proxy = match opts.plan.as_ref().filter(|p| p.has_byte_faults()) {
+            Some(plan) => {
+                let proxy = ChaosProxy::new(plan.clone(), FrameFormat::MPLITE_V2);
+                // Rank 0 = the NetPIPE client, rank 1 = the echo peer.
+                addr = proxy
+                    .front(0, 1, addr)
+                    .map_err(|e| NetpipeError::from_io("proxy front", e))?;
+                Some(proxy)
+            }
+            None => None,
+        };
         let mut driver = RealTcpDriver {
             addr,
             stream: None,
+            version: frame::wire_version_default(),
             buf: Vec::new(),
             effective_bufs: (0, 0),
             opts,
@@ -219,6 +250,7 @@ impl RealTcpDriver {
             stop,
             tracer: None,
             counters: FaultCounters::default(),
+            proxy,
         };
         driver.connect()?;
         Ok(driver)
@@ -236,9 +268,22 @@ impl RealTcpDriver {
         self.tracer = Some(tracer);
     }
 
-    /// Fault events observed so far (timeouts, reconnects).
+    /// Fault events observed so far: the driver's own timeouts and
+    /// reconnects, merged with whatever the chaos proxy (if any) has
+    /// injected so far.
     pub fn fault_counters(&self) -> FaultCounters {
-        self.counters
+        let mut c = self.counters;
+        if let Some(p) = &self.proxy {
+            c.merge(&p.counters());
+        }
+        c
+    }
+
+    /// Tear everything down and, if a chaos proxy was interposed, return
+    /// its final deterministic counters and sorted fault log.
+    pub fn finish_chaos(mut self) -> Option<(FaultCounters, Vec<FaultEvent>)> {
+        self.close();
+        self.proxy.take().map(ChaosProxy::finish)
     }
 
     fn trace_instant(&self, name: &'static str, bytes: u64) {
@@ -247,16 +292,23 @@ impl RealTcpDriver {
         }
     }
 
-    /// (Re)establish the client connection under the retry policy.
+    /// (Re)establish the client connection under the retry policy, then
+    /// negotiate the wire version (symmetric preamble exchange).
     fn connect(&mut self) -> Result<(), DriverError> {
         let per_attempt = self.opts.deadline.min(Duration::from_secs(1));
-        let stream = connect_retry(self.addr, per_attempt, &self.opts.retry)
+        let mut stream = connect_retry(self.addr, per_attempt, &self.opts.retry)
             .map_err(|e| NetpipeError::from_io("connect", e))?;
         stream
             .set_nodelay(self.opts.nodelay)
             .map_err(|e| NetpipeError::from_io("connect", e))?;
         self.effective_bufs = set_socket_buffers(&stream, self.opts.sockbuf, self.opts.sockbuf)
             .map_err(|e| NetpipeError::from_io("setsockopt", e))?;
+        self.version = frame::negotiate_wire(
+            &mut stream,
+            self.opts.deadline,
+            frame::wire_version_default(),
+        )
+        .map_err(|e| NetpipeError::from_io("negotiate", e))?;
         self.stream = Some(stream);
         Ok(())
     }
@@ -282,38 +334,68 @@ impl RealTcpDriver {
                 })
             }
         };
+        let version = self.version;
         let start = Instant::now();
-        write_all_deadline(stream, &bytes.to_le_bytes(), deadline)
+        let (hdr, hn) = frame::build_header(version, 0, 0, &self.buf[..n]);
+        write_all_deadline(stream, &hdr[..hn], deadline)
             .map_err(|e| NetpipeError::from_io("write", e))?;
         write_all_deadline(stream, &self.buf[..n], deadline)
             .map_err(|e| NetpipeError::from_io("write", e))?;
-        let mut hdr = [0u8; 8];
-        read_exact_deadline(stream, &mut hdr, deadline)
+        let hl = frame::header_len(version);
+        let mut rhdr = [0u8; frame::V2_HEADER_LEN];
+        read_exact_deadline(stream, &mut rhdr[..hl], deadline)
             .map_err(|e| NetpipeError::from_io("read", e))?;
-        let len = u64::from_le_bytes(hdr) as usize;
-        if len != n {
-            return Err(NetpipeError::Protocol(format!(
-                "echo length mismatch: sent {n}, got {len}"
-            )));
-        }
-        let mut got = vec![0u8; len];
+        // Length is bound-checked against the message cap BEFORE the
+        // allocation below — a tampered header cannot ask for memory.
+        let pf = frame::decode_any_header(version, &rhdr[..hl], frame::max_message_size())
+            .map_err(|err| NetpipeError::Frame { op: "read", err })?;
+        // Read and CRC-verify the declared (bound-checked) length BEFORE
+        // comparing it to what was sent: a corrupted length bit must
+        // surface as a typed frame verdict (checksum mismatch, or a
+        // timeout waiting for bytes that never existed) — `Protocol` is
+        // reserved for CRC-clean contract violations, i.e. server bugs.
+        let mut got = vec![0u8; pf.len as usize];
         read_exact_deadline(stream, &mut got, deadline)
             .map_err(|e| NetpipeError::from_io("read", e))?;
+        pf.verify(&got)
+            .map_err(|err| NetpipeError::Frame { op: "read", err })?;
         let elapsed = start.elapsed().as_secs_f64();
+        if pf.len != bytes {
+            return Err(NetpipeError::Protocol(format!(
+                "echo length mismatch: sent {n}, got {}",
+                pf.len
+            )));
+        }
         if got != self.buf[..n] {
             return Err(NetpipeError::Protocol("echo payload corrupted".into()));
         }
         Ok(elapsed)
     }
+
+    /// Tear down the connection, the echo server and (on clean paths)
+    /// leave the proxy joinable. Idempotent; `Drop` calls it too.
+    fn close(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(mut stream) = self.stream.take() {
+            let (hdr, hn) = frame::build_header(self.version, 0, ECHO_SHUTDOWN_TAG, &[]);
+            let _ = write_all_deadline(&mut stream, &hdr[..hn], Duration::from_secs(1));
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        if let Some(h) = self.server.take() {
+            let _ = h.join();
+        }
+    }
 }
 
 /// Outcome of serving one echo connection.
 enum EchoEnd {
-    /// Clean shutdown (sentinel received or shutdown flag set).
+    /// Clean shutdown (shutdown tag received or shutdown flag set).
     Clean,
     /// The chaos schedule killed the connection.
     Killed,
-    /// The client went away.
+    /// The client went away, or sent a malformed frame (the server's
+    /// answer to a bad frame is to drop the connection — the client
+    /// observes a typed disconnect, never a desynced stream).
     PeerGone,
 }
 
@@ -325,7 +407,15 @@ fn serve(listener: TcpListener, opts: RealTcpOptions, stop: Arc<AtomicBool>) {
             Ok(mut s) => {
                 let _ = s.set_nodelay(opts.nodelay);
                 let _ = set_socket_buffers(&s, opts.sockbuf, opts.sockbuf);
-                match echo_loop(&mut s, &opts, &stop) {
+                let version = match frame::negotiate_wire(
+                    &mut s,
+                    opts.deadline,
+                    frame::wire_version_default(),
+                ) {
+                    Ok(v) => v,
+                    Err(_) => continue, // bad preamble: drop, keep serving
+                };
+                match echo_loop(&mut s, version, &opts, &stop) {
                     EchoEnd::Clean => return,
                     EchoEnd::Killed if opts.chaos.kill_listener => return,
                     EchoEnd::Killed | EchoEnd::PeerGone => {}
@@ -337,11 +427,16 @@ fn serve(listener: TcpListener, opts: RealTcpOptions, stop: Arc<AtomicBool>) {
     }
 }
 
-/// Echo protocol: 8-byte length header, then the payload, echoed
-/// verbatim. `u64::MAX` as the length is the shutdown sentinel. All
-/// reads and writes are deadline-bounded; the idle wait for the next
-/// header polls in short slices so shutdown stays responsive.
-fn echo_loop(s: &mut TcpStream, opts: &RealTcpOptions, stop: &AtomicBool) -> EchoEnd {
+/// Echo protocol: one v2 frame per message (negotiated header + CRC'd
+/// payload), echoed back verbatim. A frame tagged [`ECHO_SHUTDOWN_TAG`]
+/// is the clean-shutdown signal. All reads and writes are
+/// deadline-bounded; the idle wait for the next header polls in short
+/// slices so shutdown stays responsive. Any framing violation —
+/// tampered magic, bad CRC, oversized declared length — drops the
+/// connection before a single payload byte is trusted.
+fn echo_loop(s: &mut TcpStream, version: u8, opts: &RealTcpOptions, stop: &AtomicBool) -> EchoEnd {
+    let hl = frame::header_len(version);
+    let max = frame::max_message_size();
     let mut buf = Vec::new();
     let mut echoed = 0u64;
     loop {
@@ -353,9 +448,9 @@ fn echo_loop(s: &mut TcpStream, opts: &RealTcpOptions, stop: &AtomicBool) -> Ech
             }
         }
         // Wait (possibly a long time) for the first header byte, polling
-        // so the shutdown flag is honored; the remaining 7 bytes follow
+        // so the shutdown flag is honored; the rest of the header follows
         // within the regular deadline.
-        let mut hdr = [0u8; 8];
+        let mut hdr = [0u8; frame::V2_HEADER_LEN];
         loop {
             match read_exact_deadline(s, &mut hdr[..1], SERVER_POLL) {
                 Ok(()) => break,
@@ -367,18 +462,26 @@ fn echo_loop(s: &mut TcpStream, opts: &RealTcpOptions, stop: &AtomicBool) -> Ech
                 Err(_) => return EchoEnd::PeerGone,
             }
         }
-        if read_exact_deadline(s, &mut hdr[1..], opts.deadline).is_err() {
+        if read_exact_deadline(s, &mut hdr[1..hl], opts.deadline).is_err() {
             return EchoEnd::PeerGone;
         }
-        let len = u64::from_le_bytes(hdr);
-        if len == u64::MAX {
-            return EchoEnd::Clean; // shutdown sentinel
-        }
-        buf.resize(len as usize, 0);
+        // The length bound is enforced here, before the resize below.
+        let pf = match frame::decode_any_header(version, &hdr[..hl], max) {
+            Ok(pf) => pf,
+            Err(_) => return EchoEnd::PeerGone,
+        };
+        buf.resize(pf.len as usize, 0);
         if read_exact_deadline(s, &mut buf, opts.deadline).is_err() {
             return EchoEnd::PeerGone;
         }
-        if write_all_deadline(s, &hdr, opts.deadline).is_err()
+        if pf.verify(&buf).is_err() {
+            return EchoEnd::PeerGone;
+        }
+        if pf.tag == ECHO_SHUTDOWN_TAG {
+            return EchoEnd::Clean;
+        }
+        // Echo the exact bytes back: header included, CRC and all.
+        if write_all_deadline(s, &hdr[..hl], opts.deadline).is_err()
             || write_all_deadline(s, &buf, opts.deadline).is_err()
         {
             return EchoEnd::PeerGone;
@@ -425,14 +528,7 @@ impl Driver for RealTcpDriver {
 
 impl Drop for RealTcpDriver {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
-        if let Some(stream) = self.stream.as_mut() {
-            let _ = write_all_deadline(stream, &u64::MAX.to_le_bytes(), Duration::from_secs(1));
-            let _ = stream.shutdown(std::net::Shutdown::Both);
-        }
-        if let Some(h) = self.server.take() {
-            let _ = h.join();
-        }
+        self.close();
     }
 }
 
@@ -552,5 +648,61 @@ mod tests {
         assert_eq!(opts.retry.base, Duration::from_millis(10));
         assert_eq!(opts.chaos.kill_after, Some(3));
         assert!(opts.chaos.kill_listener);
+        assert!(opts.plan.is_some(), "the full plan rides along");
+    }
+
+    #[test]
+    fn corrupted_wire_yields_typed_verdicts_and_service_recovers() {
+        let plan = match FaultPlan::parse("seed=13,corrupt=0.3,deadline=500ms") {
+            Ok(p) => p,
+            Err(e) => panic!("plan: {e}"),
+        };
+        let mut opts = RealTcpOptions::default();
+        opts.apply_plan(&plan);
+        let mut d = match RealTcpDriver::new(opts) {
+            Ok(d) => d,
+            Err(e) => panic!("setup through the proxy failed: {e}"),
+        };
+        let mut clean = 0u32;
+        let mut injured = 0u32;
+        for _ in 0..20 {
+            match d.roundtrip(512) {
+                Ok(_) => clean += 1,
+                Err(e) => {
+                    // Every failure must be a typed verdict, never a
+                    // desynced stream or an untyped surprise.
+                    assert!(
+                        e.is_frame() || e.is_timeout() || e.is_disconnect(),
+                        "untyped failure under chaos: {e}"
+                    );
+                    injured += 1;
+                    let _ = d.recover();
+                }
+            }
+        }
+        assert!(injured > 0, "corrupt=0.3 over 20 exchanges must fire");
+        assert!(clean > 0, "service must keep recovering");
+        let (counters, log) = match d.finish_chaos() {
+            Some(x) => x,
+            None => panic!("byte faults must raise the proxy"),
+        };
+        assert!(counters.corrupted > 0, "{counters}");
+        assert_eq!(counters.corrupted as usize, log.len(), "{log:?}");
+    }
+
+    #[test]
+    fn lossless_plan_raises_no_proxy() {
+        let plan = match FaultPlan::parse("seed=1,deadline=2s") {
+            Ok(p) => p,
+            Err(e) => panic!("plan: {e}"),
+        };
+        let mut opts = RealTcpOptions::default();
+        opts.apply_plan(&plan);
+        let mut d = match RealTcpDriver::new(opts) {
+            Ok(d) => d,
+            Err(e) => panic!("setup: {e}"),
+        };
+        assert!(d.roundtrip(1024).is_ok());
+        assert!(d.finish_chaos().is_none(), "no byte clauses, no interposer");
     }
 }

@@ -1,0 +1,6 @@
+//! Fixture: clean counterpart of `frame_violations.rs`. Never compiled.
+fn f(version: u8, hdr: &[u8], payload: &[u8]) {
+    let (h, n) = mplite::frame::build_header(version, 0, 7, payload);
+    let pf = mplite::frame::decode_any_header(version, hdr, mplite::frame::max_message_size());
+    let _ = (h, n, pf);
+}

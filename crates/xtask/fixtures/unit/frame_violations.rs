@@ -1,0 +1,9 @@
+//! Fixture: raw v1 header codec calls outside the framing layer. Never compiled.
+fn f(buf: &[u8; 16]) {
+    let h = mplite::message::encode_header(0, 7, 64);
+    let (src, tag, len) = mplite::message::decode_header(buf);
+    let bare = encode_header(1, -1, 0);
+    // lint:allow(frame-hygiene) -- negotiation shim reads the legacy header
+    let legacy = decode_header(buf);
+    let _ = (h, src, tag, len, bare, legacy);
+}
