@@ -266,6 +266,7 @@ impl FrameError {
 /// Encode a frame header for `version`. Returns the header buffer and
 /// the number of valid bytes in it (16 for v1, 24 for v2). For v2 the
 /// trailing CRC32C covers the header prefix chained with `payload`.
+// analyze: hot
 pub fn build_header(
     version: u8,
     src: u32,
@@ -334,6 +335,7 @@ pub struct PendingFrame {
 /// Decode and validate a header of the negotiated `version`, bounding
 /// the declared length against `max` *before* the caller allocates
 /// anything. `hdr` must hold at least [`header_len`]`(version)` bytes.
+// analyze: hot
 pub fn decode_any_header(version: u8, hdr: &[u8], max: u64) -> Result<PendingFrame, FrameError> {
     if version <= WIRE_V1 {
         if hdr.len() < message::HEADER_LEN {
@@ -518,6 +520,7 @@ impl FrameDecoder {
 
     /// Feed a chunk; returns every frame completed by it. The first
     /// error is final for this decoder.
+    // analyze: hot
     pub fn feed(&mut self, bytes: &[u8]) -> Result<Vec<Frame>, FrameError> {
         self.buf.extend_from_slice(bytes);
         let mut out = Vec::new();

@@ -110,6 +110,7 @@ impl MultiSession {
     /// the bytes (with a rendezvous handshake above the profile's
     /// threshold) and the receiver's library work is charged on
     /// arrival, after which the payload matches a posted receive.
+    // analyze: hot
     pub fn send(&self, eng: &mut MultiEngine, from: usize, to: usize, tag: i32, payload: Payload) {
         assert!(from != to, "collective schedules never self-send");
         let bytes = payload.len() as u64;
@@ -155,6 +156,7 @@ impl MultiSession {
         });
     }
 
+    // analyze: hot
     fn send_data(&self, eng: &mut MultiEngine, from: usize, to: usize, tag: i32, payload: Payload) {
         let bytes = payload.len() as u64;
         let this = self.clone();
@@ -179,6 +181,7 @@ impl MultiSession {
         );
     }
 
+    // analyze: hot
     fn deliver(&self, eng: &mut MultiEngine, from: usize, to: usize, tag: i32, payload: Payload) {
         let n = self.inner.n;
         let mut pairs = self.inner.pairs.borrow_mut();
@@ -199,6 +202,7 @@ impl MultiSession {
     /// under `tag`; `k` runs (as a scheduled event, never synchronously)
     /// once the payload is in `to`'s memory and past the library's
     /// receive path.
+    // analyze: hot
     pub fn post_recv(
         &self,
         eng: &mut MultiEngine,

@@ -206,6 +206,7 @@ fn tcp_mut(fabric: &mut Fabric, conn: ConnId) -> &mut TcpConn {
 }
 
 /// Dispatch as many segments as the window allows.
+// analyze: hot
 fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
     let now = eng.now();
     // (delivery_time, segment_bytes) pairs to schedule.
@@ -439,6 +440,7 @@ fn pump(eng: &mut Net, conn: ConnId, dir: usize) {
 }
 
 /// A segment reached the receiver's socket buffer and was copied out.
+// analyze: hot
 fn on_deliver(eng: &mut Net, conn: ConnId, dir: usize, seg: u64) {
     let now = eng.now();
     enum Next {

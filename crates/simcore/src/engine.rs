@@ -112,6 +112,7 @@ impl<W> Engine<W> {
     ///
     /// Scheduling in the past is a model bug; it panics in debug builds and
     /// clamps to `now` in release builds.
+    // analyze: hot
     pub fn schedule_at<F>(&mut self, t: SimTime, f: F)
     where
         F: FnOnce(&mut Engine<W>) + 'static,
@@ -127,6 +128,7 @@ impl<W> Engine<W> {
         self.queue.push(Scheduled {
             time,
             seq,
+            // analyze: allow(hot-alloc) -- one boxed closure per event is the current storage model; slab-allocated event records are ROADMAP item 1
             f: Box::new(f),
         });
     }
@@ -143,6 +145,7 @@ impl<W> Engine<W> {
 
     /// Pop and run the next event. Returns `false` when the queue is empty
     /// or the event limit has been reached.
+    // analyze: hot
     pub fn step(&mut self) -> bool {
         if self.executed >= self.event_limit {
             return false;

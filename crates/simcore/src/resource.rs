@@ -142,6 +142,7 @@ impl Resource {
     /// Reserve the resource for `bytes` starting no earlier than `now`.
     /// Returns the completion instant. FIFO: the request queues behind any
     /// previously accepted request.
+    // analyze: hot
     pub fn serve(&mut self, now: SimTime, bytes: u64) -> SimTime {
         let start = now.max(self.busy_until);
         let dur = self.service_time(bytes);
@@ -165,6 +166,7 @@ impl Resource {
     /// is richer than `per_item + bytes/rate` — e.g. a CPU charging
     /// "per-packet kernel cost plus copy at the kernel-copy rate".
     /// `bytes` is recorded for accounting only.
+    // analyze: hot
     pub fn serve_for(&mut self, now: SimTime, dur: SimDuration, bytes: u64) -> SimTime {
         let start = now.max(self.busy_until);
         let done = start + dur;

@@ -1,0 +1,19 @@
+// A three-level hot chain: the cost in `leaf` must be reported exactly
+// once, with the full entry -> middle -> leaf path, even though two
+// call sites reach `middle`.
+
+// analyze: hot
+pub fn entry() {
+    middle(1);
+    middle(2);
+}
+
+fn middle(n: u64) {
+    leaf(n);
+}
+
+fn leaf(n: u64) -> Vec<u64> {
+    let mut out = Vec::new();
+    out.push(n);
+    out
+}

@@ -1,0 +1,13 @@
+// A well-formed hot-alloc allow marker whose allocation has since
+// been removed: stale, and must be reported under marker-hygiene.
+
+// analyze: hot
+pub fn entry() {
+    work();
+}
+
+fn work() {
+    // analyze: allow(hot-alloc) -- covers an allocation that no longer exists
+    let n = 1;
+    let _ = n;
+}

@@ -1,0 +1,27 @@
+// Condvar-style shapes must stay clean end to end: the guard passed
+// into `wait` is the blessed blocking idiom, and notify/atomic calls
+// are synchronization operations, not bare data accesses.
+pub struct S {
+    state: Mutex<u64>,
+    cv: Condvar,
+    hits: AtomicU64,
+}
+
+impl S {
+    pub fn sleep(&self) {
+        let mut g = self.state.lock();
+        self.cv.wait(&mut g);
+    }
+
+    pub fn wake(&self) {
+        self.hits.fetch_add(1, Relaxed);
+        self.cv.notify_all();
+    }
+
+    pub fn run(&self) {
+        thread::scope(|s| {
+            self.sleep();
+            self.wake();
+        });
+    }
+}

@@ -1,0 +1,20 @@
+// Guarded side of a field used both under a mutex and bare; the bare
+// side lives in race_pair_b.rs so the verdict is genuinely cross-file.
+pub struct S {
+    state: Mutex<u64>,
+    count: u64,
+}
+
+impl S {
+    pub fn writer(&self) {
+        let g = self.state.lock();
+        let _n = self.count;
+    }
+
+    pub fn run(&self) {
+        thread::scope(|s| {
+            self.writer();
+            self.reader();
+        });
+    }
+}

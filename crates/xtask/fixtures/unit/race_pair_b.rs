@@ -1,0 +1,7 @@
+// Bare side: `count` read without the lock on a thread-reachable
+// path; the finding lands here, naming the guarded site in _a.
+impl S {
+    pub fn reader(&self) -> u64 {
+        self.count
+    }
+}

@@ -1,6 +1,7 @@
 //! The workspace analyze pass: everything `lint` checks, plus the
 //! cross-file passes (lock-order, units hygiene, nondeterminism
-//! dataflow), with a machine-readable JSON report for CI.
+//! dataflow, protocol conformance, hot-path cost, guarded-field
+//! consistency), with a machine-readable JSON report for CI.
 
 use std::collections::BTreeMap;
 use std::fs;
@@ -8,11 +9,13 @@ use std::path::Path;
 
 use crate::budget::Budget;
 use crate::diag::Diagnostic;
+use crate::hotpath::hotpath_findings;
 use crate::lint::{has_workspace_lints, BUDGET_FILE};
 use crate::locks::lock_findings;
 use crate::model::WorkspaceModel;
 use crate::nondet::nondet_findings;
 use crate::protocol::{protocol_findings, protocol_inventory};
+use crate::races::race_findings;
 use crate::rules::{file_findings, resolve, RawFinding, ANALYZE_BUDGETED_RULES, RULES};
 use crate::units::units_findings;
 use crate::walk::{collect_files, rel_str};
@@ -139,6 +142,12 @@ fn analyze_model(w: &WorkspaceModel) -> (AnalyzeOutcome, Vec<(String, Diagnostic
         per_file[fi].push(finding);
     }
     for (fi, finding) in protocol_findings(w) {
+        per_file[fi].push(finding);
+    }
+    for (fi, finding) in hotpath_findings(w) {
+        per_file[fi].push(finding);
+    }
+    for (fi, finding) in race_findings(w) {
         per_file[fi].push(finding);
     }
 

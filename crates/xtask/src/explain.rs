@@ -208,6 +208,46 @@ pub fn explain(rule: &str) -> Option<&'static str> {
              workspace. The two roles may live in different files or crates\n\
              — the check is cross-file."
         }
+        "hot-cost" => {
+            "hot-cost (analyze, cross-file; budgeted)\n\
+             scope: library code, workspace-wide (markers seeded in the sim\n\
+             dispatch, wire, matching, framing, and collective-executor crates)\n\n\
+             Functions marked `// analyze: hot` are per-message / per-event\n\
+             critical paths. The pass summarizes every function's direct costs\n\
+             — heap allocations (Box::new, Vec::new, vec!, format!,\n\
+             String::from, .to_vec(), .clone() on non-Copy receivers), lock\n\
+             acquisitions, and blocking primitives — and propagates the\n\
+             summaries over same-crate calls, reporting each cost site\n\
+             reachable from a hot entry with its full call chain. Counts are\n\
+             governed by the hot-cost sections of lint-budget.toml (ratchet:\n\
+             they only go down). A deliberate site is annotated in place:\n\
+             // analyze: allow(hot-alloc) -- <reason>."
+        }
+        "race-guarded-field" => {
+            "race-guarded-field (analyze, cross-file)\n\
+             scope: library code, workspace-wide\n\n\
+             A struct field accessed both under a mutex guard and bare, from\n\
+             code reachable from a thread root (thread::spawn, thread::scope,\n\
+             or a .spawn(..) builder), is inconsistently protected: safe Rust\n\
+             keeps it from being UB here, but the shape invites stale reads\n\
+             and lost updates once both paths run concurrently. Exempt: bare\n\
+             accesses behind &mut self / owned self (exclusive borrows cannot\n\
+             race) and accesses that immediately enter a sync primitive\n\
+             (.lock(), condvar wait/notify, atomics, channels, handle\n\
+             .clone()). The diagnostic is anchored at the bare site and names\n\
+             the guarded one. Suppress a reviewed exception with\n\
+             // lint:allow(race-guarded-field) -- <reason>."
+        }
+        "marker-hygiene" => {
+            "marker-hygiene (analyze)\n\
+             scope: library code, workspace-wide\n\n\
+             The `analyze:` marker grammar is itself checked, so markers\n\
+             cannot silently rot: a hot marker must attach to a function (the\n\
+             `fn` line or within five lines below), an allow marker must name\n\
+             a known rule (`hot-alloc`) and carry a `-- <reason>` tail, and an\n\
+             allow with no matching finding on its line (or the next) is\n\
+             stale and must be removed."
+        }
         _ => return None,
     })
 }
@@ -242,6 +282,9 @@ pub fn summary(rule: &str) -> &'static str {
         "protocol-unreachable" => "declared state unreachable from the initial state",
         "protocol-terminal" => "no terminal state, or a reachable state that can never finish",
         "protocol-duality" => "dual protocols' send/receive message sets do not mirror",
+        "hot-cost" => "allocation/lock/blocking site reachable from a hot entry (budgeted)",
+        "race-guarded-field" => "field accessed both under a guard and bare on threaded paths",
+        "marker-hygiene" => "malformed, unattached, or stale `analyze:` marker",
         _ => "",
     }
 }

@@ -11,9 +11,12 @@
 //!   library code is burned down via a checked-in ratcheting budget);
 //! * `cargo run -p xtask -- analyze` runs everything lint runs *plus*
 //!   the cross-file passes: lock-order deadlock detection, units
-//!   hygiene, nondeterminism dataflow, and protocol conformance
+//!   hygiene, nondeterminism dataflow, protocol conformance
 //!   (declared `protospec::protocol!` tables vs. the match arms that
-//!   step them). It can emit a JSON report
+//!   step them), hot-path cost analysis ([`hotpath`], marker-declared
+//!   hot entries with interprocedural allocation/lock/blocking
+//!   inventories), and guarded-field consistency ([`races`]). It can
+//!   emit a JSON report
 //!   (`--report OUT.json`) for CI and documents every rule via
 //!   `--explain RULE`.
 //!
@@ -32,12 +35,14 @@ pub mod budget;
 pub mod context;
 pub mod diag;
 pub mod explain;
+pub mod hotpath;
 pub mod lex;
 pub mod lint;
 pub mod locks;
 pub mod model;
 pub mod nondet;
 pub mod protocol;
+pub mod races;
 pub mod rules;
 pub mod units;
 pub mod walk;

@@ -35,10 +35,12 @@ use crate::rules::RawFinding;
 
 /// Files implementing the lock primitives themselves: their internals
 /// (poison recovery, condvar re-lock) are not acquisition *sites*.
-const PRIMITIVE_FILES: &[&str] = &["crates/mplite/src/sync.rs"];
+/// Shared with the hot-path and guarded-field passes.
+pub(crate) const PRIMITIVE_FILES: &[&str] = &["crates/mplite/src/sync.rs"];
 
-/// Blocking primitives a guard must never be held across.
-const BLOCKING: &[&str] = &[
+/// Blocking primitives a guard must never be held across. The hot-path
+/// cost pass reuses this table for its blocking-call summaries.
+pub(crate) const BLOCKING: &[&str] = &[
     "wait",
     "read_exact_deadline",
     "write_all_deadline",
@@ -46,7 +48,7 @@ const BLOCKING: &[&str] = &[
 ];
 
 /// Keywords that look like calls when followed by `(` but are not.
-const NON_CALL: &[&str] = &[
+pub(crate) const NON_CALL: &[&str] = &[
     "if", "while", "for", "match", "return", "loop", "in", "as", "let", "fn", "pub", "use", "impl",
     "move", "ref", "mut", "where", "unsafe", "dyn", "else", "enum", "struct", "trait", "type",
     "const", "static", "continue", "break", "self", "Self", "super", "crate", "drop",

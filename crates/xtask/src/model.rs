@@ -282,6 +282,156 @@ pub fn fn_items(w: &WorkspaceModel) -> Vec<FnItem> {
     out
 }
 
+/// A named struct field declaration, for the cost and guarded-field
+/// passes: `.clone()` receivers are checked against the declared type's
+/// `Copy`-ness, and field accesses are classified per field name.
+#[derive(Debug)]
+pub struct FieldDecl {
+    /// Owning crate.
+    pub krate: String,
+    /// Struct the field belongs to.
+    pub strukt: String,
+    /// Field name.
+    pub name: String,
+    /// Type token texts in declaration order (`Option < SimTime >`).
+    pub ty: Vec<String>,
+}
+
+/// Extract every named struct field declared in the workspace.
+pub fn field_decls(w: &WorkspaceModel) -> Vec<FieldDecl> {
+    let mut out = Vec::new();
+    for wf in &w.files {
+        let toks = &wf.model.toks;
+        let mut i = 0usize;
+        while i < toks.len() {
+            if !(toks[i].is_ident("struct")
+                && toks.get(i + 1).is_some_and(|t| t.kind == TokKind::Ident))
+            {
+                i += 1;
+                continue;
+            }
+            let strukt = toks[i + 1].text.clone();
+            let mut j = i + 2;
+            // Skip a generic parameter list on the struct itself.
+            if toks.get(j).is_some_and(|t| t.is_punct("<")) {
+                let mut angle = 0i32;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "<" => angle += 1,
+                        "<<" => angle += 2,
+                        ">" => angle -= 1,
+                        ">>" => angle -= 2,
+                        _ => {}
+                    }
+                    j += 1;
+                    if angle <= 0 {
+                        break;
+                    }
+                }
+            }
+            // Skip any `where` clause; stop at the body delimiter. Tuple
+            // structs (`(`) and unit structs (`;`) declare no named fields.
+            while j < toks.len()
+                && !(toks[j].text == "{" || toks[j].text == "(" || toks[j].is_punct(";"))
+            {
+                j += 1;
+            }
+            let Some(open) = toks.get(j) else { break };
+            if !(open.kind == TokKind::Open && open.text == "{") {
+                i = j + 1;
+                continue;
+            }
+            let body_nest = open.nest;
+            let field_nest = body_nest + 1;
+            let mut k = j + 1;
+            while k < toks.len() {
+                let t = &toks[k];
+                if t.kind == TokKind::Close && t.nest == body_nest {
+                    break;
+                }
+                // A field is `name :` directly at the body's nest level
+                // (`pub` and attributes never match: `pub` is followed by
+                // an ident, attribute internals sit one nest deeper).
+                if t.nest == field_nest
+                    && t.kind == TokKind::Ident
+                    && toks
+                        .get(k + 1)
+                        .is_some_and(|n| n.is_punct(":") && n.nest == field_nest)
+                {
+                    let mut ty = Vec::new();
+                    let mut m = k + 2;
+                    while m < toks.len() {
+                        let u = &toks[m];
+                        if (u.is_punct(",") && u.nest == field_nest)
+                            || (u.kind == TokKind::Close && u.nest == body_nest)
+                        {
+                            break;
+                        }
+                        ty.push(u.text.clone());
+                        m += 1;
+                    }
+                    out.push(FieldDecl {
+                        krate: wf.ctx.crate_name.clone(),
+                        strukt: strukt.clone(),
+                        name: t.text.clone(),
+                        ty,
+                    });
+                    k = m;
+                    continue;
+                }
+                k += 1;
+            }
+            i = j + 1;
+        }
+    }
+    out
+}
+
+/// Names of types that `#[derive(..., Copy, ...)]` anywhere in the
+/// workspace, for the `.clone()`-receiver heuristic of the hot-path
+/// cost pass.
+pub fn copy_types(w: &WorkspaceModel) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    for wf in &w.files {
+        let toks = &wf.model.toks;
+        let mut i = 0usize;
+        while i + 2 < toks.len() {
+            if !(toks[i].is_ident("derive") && toks[i + 1].is_punct("(")) {
+                i += 1;
+                continue;
+            }
+            let base = toks[i + 1].nest;
+            let mut j = i + 2;
+            let mut has_copy = false;
+            while j < toks.len() {
+                if toks[j].kind == TokKind::Close && toks[j].nest == base {
+                    break;
+                }
+                if toks[j].is_ident("Copy") {
+                    has_copy = true;
+                }
+                j += 1;
+            }
+            if has_copy {
+                // The derived item follows within a few tokens (further
+                // attributes and doc comments are not tokens).
+                let mut k = j;
+                while k < toks.len() && k < j + 40 {
+                    if (toks[k].is_ident("struct") || toks[k].is_ident("enum"))
+                        && toks.get(k + 1).is_some_and(|t| t.kind == TokKind::Ident)
+                    {
+                        out.insert(toks[k + 1].text.clone());
+                        break;
+                    }
+                    k += 1;
+                }
+            }
+            i = j + 1;
+        }
+    }
+    out
+}
+
 /// Parse an `impl` header starting at token `at` (the `impl` ident).
 /// Returns `(type_name, index_of_open_brace)`.
 fn impl_header(toks: &[Tok], at: usize) -> Option<(String, usize)> {

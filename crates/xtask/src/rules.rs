@@ -54,15 +54,19 @@ pub const RULES: &[&str] = &[
     "protocol-unreachable",
     "protocol-terminal",
     "protocol-duality",
+    "hot-cost",
+    "race-guarded-field",
+    "marker-hygiene",
 ];
 
 /// Rules whose counts are governed by the burn-down budget file rather
 /// than zero tolerance (`lint` subset).
 pub const BUDGETED_RULES: &[&str] = &["unwrap", "expect", "panic"];
 
-/// Budgeted rules under `analyze` (the lint set plus `units`, so legacy
-/// conversion debt can ratchet down instead of blocking).
-pub const ANALYZE_BUDGETED_RULES: &[&str] = &["unwrap", "expect", "panic", "units"];
+/// Budgeted rules under `analyze` (the lint set plus `units` and
+/// `hot-cost`, so legacy conversion debt and the hot-path cost
+/// inventory can ratchet down instead of blocking).
+pub const ANALYZE_BUDGETED_RULES: &[&str] = &["unwrap", "expect", "panic", "units", "hot-cost"];
 
 /// Rules only checked by `analyze`; `lint` must not report their
 /// annotations as stale and must ignore their budget entries.
@@ -78,6 +82,9 @@ pub const ANALYZE_ONLY_RULES: &[&str] = &[
     "protocol-unreachable",
     "protocol-terminal",
     "protocol-duality",
+    "hot-cost",
+    "race-guarded-field",
+    "marker-hygiene",
 ];
 
 /// The two files that own the raw v1 header codec; everywhere else in

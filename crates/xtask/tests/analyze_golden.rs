@@ -184,6 +184,68 @@ fn protocol_transition_violation_golden() {
     assert_eq!(got, want);
 }
 
+/// A hot chain three levels deep, with two call sites reaching the
+/// middle hop: the allocation in the leaf is reported exactly once,
+/// with the full entry -> middle -> leaf path in the message.
+#[test]
+fn hot_chain_three_deep_golden_reports_once_with_full_path() {
+    let src = fixture("unit/hot_chain.rs");
+    let rel = "crates/mplite/src/hot_chain.rs";
+    let got = diags(&[(rel, &src)]);
+    let want = vec![format!(
+        "{rel}:16: hot-cost: hot-path allocation `Vec::new` reachable from `entry` via \
+         entry -> middle -> leaf; hoist it off the hot path or annotate \
+         `analyze: allow(hot-alloc) -- <reason>`"
+    )];
+    assert_eq!(got, want);
+}
+
+/// A well-formed `analyze: allow(hot-alloc)` with no finding on its
+/// line or the next is stale: marker-hygiene, not silence.
+#[test]
+fn stale_hot_alloc_allow_golden() {
+    let src = fixture("unit/hot_stale_allow.rs");
+    let rel = "crates/mplite/src/hot_stale_allow.rs";
+    let got = diags(&[(rel, &src)]);
+    let want = vec![format!(
+        "{rel}:10: marker-hygiene: `analyze: allow(hot-alloc)` has no matching hot-cost \
+         finding on this line or the next; remove it"
+    )];
+    assert_eq!(got, want);
+}
+
+/// A field guarded in one file and bare in another, both on
+/// thread-reachable paths: one finding, at the bare site, naming the
+/// guarded site across the file boundary.
+#[test]
+fn race_guarded_field_pair_across_files_golden() {
+    let a = fixture("unit/race_pair_a.rs");
+    let b = fixture("unit/race_pair_b.rs");
+    let got = diags(&[
+        ("crates/mplite/src/race_pair_a.rs", &a),
+        ("crates/mplite/src/race_pair_b.rs", &b),
+    ]);
+    let want = vec![
+        "crates/mplite/src/race_pair_b.rs:5: race-guarded-field: field `mplite::count` \
+         accessed bare in `reader` but under guard on `mplite::state` at \
+         crates/mplite/src/race_pair_a.rs:11 in `writer`; both are reachable from thread \
+         spawn sites — take the lock here too, or annotate \
+         `lint:allow(race-guarded-field) -- <reason>`"
+            .to_string(),
+    ];
+    assert_eq!(got, want);
+}
+
+/// The condvar idiom — guard passed into `wait`, notify calls, atomic
+/// ops — must survive the whole pipeline clean: no lock-across-blocking,
+/// no race-guarded-field, no hot-cost.
+#[test]
+fn condvar_style_fixture_is_clean_end_to_end() {
+    let src = fixture("unit/race_condvar_clean.rs");
+    let got = diags(&[("crates/mplite/src/race_condvar_clean.rs", &src)]);
+    assert!(got.is_empty(), "{got:?}");
+}
+
 /// The lexer edge-case fixture — raw strings full of rule triggers,
 /// nested block comments, `b'\''` byte chars, doc comments naming
 /// panic! — must trip nothing under any crate's rule set.
@@ -220,12 +282,19 @@ fn real_workspace_analyzes_clean() {
 }
 
 /// The ratchet floor: no budget entry may ever rise above its value at
-/// the seed of this analyzer. The seed budget had **no entries** (every
-/// crate/rule pair at zero), so any entry that appears in
-/// lint-budget.toml is a regression.
+/// the seed of its section. The per-file rules seeded with **no
+/// entries** (every crate/rule pair at zero); the hot-cost sections
+/// seeded at the burn-down inventory recorded when the hot-path pass
+/// landed. Any entry above its floor — or any new section — is a
+/// regression; entries may only shrink toward zero.
 #[test]
 fn budget_never_exceeds_seed() {
-    const SEED: &[(&str, &str, usize)] = &[];
+    const SEED: &[(&str, &str, usize)] = &[
+        ("collectives", "hot-cost", 21),
+        ("mplite", "hot-cost", 2),
+        ("mpsim", "hot-cost", 35),
+        ("protosim", "hot-cost", 2),
+    ];
     let text = std::fs::read_to_string(workspace_root().join("lint-budget.toml"))
         .expect("budget file exists");
     let budget = Budget::parse(&text).expect("budget parses");
@@ -268,6 +337,9 @@ fn analyze_binary_report_and_exit_codes() {
         "protocol-unreachable",
         "protocol-terminal",
         "protocol-duality",
+        "hot-cost",
+        "race-guarded-field",
+        "marker-hygiene",
     ] {
         assert!(json.contains(&format!("\"{rule}\"")), "{rule}: {json}");
     }
